@@ -1,0 +1,77 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the memory hierarchy: L1 hit
+ * path, L2 fill path, coherent read-write sharing between two cores,
+ * and directory operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/memory_system.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+void
+BM_L1HitPath(benchmark::State &state)
+{
+    MemorySystem mem(1, HierarchyGeometry{}, MemTimings{});
+    // Warm a single line.
+    mem.access(0, 0x10000, AccessType::Read, ExecContext::User);
+    for (auto _ : state) {
+        const AccessResult r =
+            mem.access(0, 0x10000, AccessType::Read, ExecContext::User);
+        benchmark::DoNotOptimize(r.latency);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_L2FillPath(benchmark::State &state)
+{
+    MemorySystem mem(1, HierarchyGeometry{}, MemTimings{});
+    Rng rng(5);
+    for (auto _ : state) {
+        // A fresh line each time: full miss path to memory.
+        const Addr addr = rng.next64() & 0xFFFFFFC0ULL;
+        const AccessResult r =
+            mem.access(0, addr, AccessType::Read, ExecContext::User);
+        benchmark::DoNotOptimize(r.latency);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CoherentPingPong(benchmark::State &state)
+{
+    MemorySystem mem(2, HierarchyGeometry{}, MemTimings{});
+    for (auto _ : state) {
+        const AccessResult a =
+            mem.access(0, 0x20000, AccessType::Write, ExecContext::User);
+        const AccessResult b =
+            mem.access(1, 0x20000, AccessType::Write, ExecContext::Os);
+        benchmark::DoNotOptimize(a.latency + b.latency);
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+
+void
+BM_ZipfRegionAccess(benchmark::State &state)
+{
+    Rng rng(9);
+    ZipfDistribution zipf(16384, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_L1HitPath);
+BENCHMARK(BM_L2FillPath);
+BENCHMARK(BM_CoherentPingPong);
+BENCHMARK(BM_ZipfRegionAccess);
+BENCHMARK_MAIN();

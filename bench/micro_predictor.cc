@@ -1,0 +1,92 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the run-length predictor
+ * organizations: lookup and update throughput of the 200-entry CAM,
+ * the 1500-entry tag-less direct-mapped RAM, and the infinite table.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/run_length_predictor.hh"
+#include "os/invocation.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+/** Pre-generate a realistic AState stream: ~80 hot values. */
+std::vector<std::uint64_t>
+astateStream(std::size_t count)
+{
+    Rng rng(7);
+    std::vector<std::uint64_t> hot(80);
+    for (auto &v : hot)
+        v = rng.next64();
+    std::vector<std::uint64_t> stream(count);
+    ZipfDistribution zipf(hot.size(), 0.9);
+    for (auto &v : stream)
+        v = hot[zipf.sample(rng)];
+    return stream;
+}
+
+template <typename Predictor>
+void
+predictUpdateLoop(benchmark::State &state)
+{
+    Predictor predictor;
+    const auto stream = astateStream(4096);
+    Rng rng(11);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t astate = stream[i++ & 4095];
+        const RunLengthPrediction p = predictor.predict(astate);
+        benchmark::DoNotOptimize(p.length);
+        predictor.update(astate, 100 + (astate & 1023));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CamPredictor(benchmark::State &state)
+{
+    predictUpdateLoop<CamPredictor>(state);
+}
+
+void
+BM_DirectMappedPredictor(benchmark::State &state)
+{
+    predictUpdateLoop<DirectMappedPredictor>(state);
+}
+
+void
+BM_InfinitePredictor(benchmark::State &state)
+{
+    predictUpdateLoop<InfinitePredictor>(state);
+}
+
+void
+BM_AStateHash(benchmark::State &state)
+{
+    AStateRegisters regs;
+    Rng rng(3);
+    regs.pstate = rng.next64();
+    regs.g0 = rng.next64();
+    regs.g1 = rng.next64();
+    regs.i0 = rng.next64();
+    regs.i1 = rng.next64();
+    for (auto _ : state) {
+        regs.i0 += 1;
+        benchmark::DoNotOptimize(computeAState(regs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_CamPredictor);
+BENCHMARK(BM_DirectMappedPredictor);
+BENCHMARK(BM_InfinitePredictor);
+BENCHMARK(BM_AStateHash);
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces the Section III-A predictor accuracy numbers: the paper's
+ * 200-entry CAM precisely predicts the run length of 73.6 % of
+ * privileged invocations and lands within ±5 % for a further 24.8 %,
+ * and both the tag-less 1500-entry direct-mapped RAM and an infinite
+ * table perform similarly. Mispredictions are dominated by interrupt
+ * preemption and overwhelmingly *underestimate* the run length.
+ */
+
+#include <cstdio>
+
+#include "system/experiment.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+PredictorStats
+statsFor(WorkloadKind kind, PredictorKind predictor)
+{
+    SystemConfig config = ExperimentRunner::baselineConfig(kind);
+    config.offloadEnabled = true;
+    config.policy = PolicyKind::HardwarePredictor;
+    config.predictor = predictor;
+    config.staticThreshold = 1ULL << 40;
+    // The paper warms 50 M instructions before measuring; use a
+    // proportionally long warmup so the predictor tables are trained
+    // before accuracy is scored (compute workloads invoke few
+    // syscalls, so cold-start otherwise dominates their stats).
+    config.warmupInstructions = 1'500'000;
+    config.measureInstructions = 3'000'000;
+    System system(config);
+    return system.run().accuracy;
+}
+
+const char *
+predictorName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Cam: return "cam-200";
+      case PredictorKind::DirectMapped: return "dm-1500";
+      case PredictorKind::Infinite: return "infinite";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace oscar;
+
+    std::printf("== Section III-A: run-length prediction accuracy ==\n\n");
+
+    TextTable table({"predictor", "exact", "within5%", "miss",
+                     "underest.", "storage"});
+    std::vector<WorkloadKind> all = serverWorkloads();
+    for (WorkloadKind kind : computeWorkloads())
+        all.push_back(kind);
+
+    for (PredictorKind predictor :
+         {PredictorKind::Cam, PredictorKind::DirectMapped,
+          PredictorKind::Infinite}) {
+        PredictorStats merged;
+        for (WorkloadKind kind : all)
+            merged.merge(statsFor(kind, predictor));
+
+        const auto table_ptr = makePredictor(predictor);
+        table.addRow({
+            predictorName(predictor),
+            formatPercent(merged.exactRate(), 1),
+            formatPercent(merged.withinToleranceRate(), 1),
+            formatPercent(merged.missRate(), 1),
+            formatPercent(merged.underestimateShare(), 1),
+            std::to_string(table_ptr->storageBits() / 8 / 1024) + "." +
+                std::to_string(table_ptr->storageBits() / 8 % 1024 *
+                               10 / 1024) +
+                " KB",
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper (CAM): 73.6%% exact + 24.8%% within +/-5%%; "
+                "misses under-estimate (interrupt extensions); the "
+                "direct-mapped and infinite organizations perform "
+                "similarly.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Section V-C: scalability of a single OS core.
+ *
+ * SPECjbb2005 threads on 1, 2 and 4 user cores share one OS core with
+ * an off-loading threshold of N=100 and a 1,000-cycle off-loading
+ * overhead. The paper observes a mean queuing delay of ~1,348 cycles
+ * at 2:1 (aggregate throughput only +4.5 % over the same cores without
+ * off-loading) and a queuing explosion past 25,000 cycles at 4:1 —
+ * concluding that OS cores should be provisioned 1:1.
+ */
+
+#include <cstdio>
+
+#include "system/experiment.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+constexpr InstCount kMeasurePerThread = 900'000;
+
+/** Aggregate throughput of n user cores with no off-loading. */
+double
+baselineThroughput(unsigned user_cores)
+{
+    SystemConfig config =
+        ExperimentRunner::baselineConfig(WorkloadKind::SpecJbb);
+    config.userCores = user_cores;
+    config.measureInstructions = kMeasurePerThread;
+    return ExperimentRunner::run(config).throughput;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace oscar;
+
+    std::printf("== Section V-C: sharing one OS core between user "
+                "cores ==\n(SPECjbb2005, N=100, 1,000-cycle off-load "
+                "overhead)\n\n");
+
+    TextTable table({"user:OS cores", "mean queue delay", "max",
+                     "OS-core busy", "agg. throughput vs no-offload"});
+
+    for (unsigned user_cores : {1u, 2u, 4u}) {
+        SystemConfig config = ExperimentRunner::hardwareConfig(
+            WorkloadKind::SpecJbb, 100, 1000);
+        config.userCores = user_cores;
+        config.measureInstructions = kMeasurePerThread;
+        const SimResults results = ExperimentRunner::run(config);
+        const double base = baselineThroughput(user_cores);
+
+        table.addRow({
+            std::to_string(user_cores) + ":1",
+            formatDouble(results.meanQueueDelay, 0) + " cy",
+            formatDouble(results.maxQueueDelay, 0) + " cy",
+            formatPercent(results.osCoreUtilization, 1),
+            formatDouble((results.throughput / base - 1.0) * 100.0, 1) +
+                "%",
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: ~1,348-cycle mean queuing at 2:1 (+4.5%% "
+                "aggregate), >25,000 cycles at 4:1 (throughput loss); "
+                "conclusion: provision OS cores 1:1.\n");
+    return 0;
+}

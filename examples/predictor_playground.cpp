@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Scenario: an architect evaluating the run-length predictor in
+ * isolation — no full-system simulation, just the hardware structure
+ * fed with a hand-built invocation trace.
+ *
+ * Demonstrates the public predictor API: AState hashing from
+ * architected registers, training, the 2-bit confidence machinery and
+ * the global fallback, and a head-to-head between the CAM, the
+ * direct-mapped RAM and an infinite table on a synthetic trace.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/predictor_stats.hh"
+#include "core/run_length_predictor.hh"
+#include "os/invocation.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+/** One trace record: an AState and the true run length behind it. */
+struct TraceRecord
+{
+    std::uint64_t astate;
+    InstCount length;
+};
+
+/**
+ * Build a trace resembling a server's syscall stream: a hot set of
+ * (service, argument) pairs with deterministic lengths, plus a few
+ * noisy services and occasional never-seen-before AStates.
+ */
+std::vector<TraceRecord>
+buildTrace(std::size_t count)
+{
+    ServiceTable table;
+    Rng rng(2024);
+    ArchState arch;
+
+    struct HotCall
+    {
+        ServiceId id;
+        std::uint64_t arg;
+    };
+    const std::vector<HotCall> hot = {
+        {ServiceId::Read, 512},   {ServiceId::Read, 4096},
+        {ServiceId::Write, 4096}, {ServiceId::Poll, 8},
+        {ServiceId::GetTimeOfDay, 0}, {ServiceId::Accept, 0},
+        {ServiceId::SendFile, 65536}, {ServiceId::Stat, 0},
+    };
+    ZipfDistribution popularity(hot.size(), 0.9);
+
+    std::vector<TraceRecord> trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (rng.nextBool(0.02)) {
+            // A cold, never-repeated AState (e.g. an unusual ioctl).
+            trace.push_back({rng.next64(), 200 + rng.nextBounded(5000)});
+            continue;
+        }
+        const HotCall &call = hot[popularity.sample(rng)];
+        const OsService &svc = table.service(call.id);
+        setupEntryRegisters(arch, svc, call.arg, 3);
+        TraceRecord record;
+        record.astate = computeAState(captureRegisters(arch));
+        record.length = svc.sampleLength(call.arg, rng);
+        trace.push_back(record);
+    }
+    return trace;
+}
+
+void
+evaluate(const char *label, RunLengthPredictor &predictor,
+         const std::vector<TraceRecord> &trace)
+{
+    PredictorStats stats(PredictorStats::defaultThresholds(),
+                         /*exclude_window_traps=*/false);
+    for (const TraceRecord &record : trace) {
+        const RunLengthPrediction p = predictor.predict(record.astate);
+        stats.record(p, record.length, false);
+        predictor.update(record.astate, record.length);
+    }
+    std::printf("  %-14s exact %5.1f%%  within5%% %5.1f%%  miss %5.1f%%"
+                "  global-fallback %5.1f%%  binary@500 %5.1f%%  "
+                "storage %llu bits\n",
+                label, stats.exactRate() * 100.0,
+                stats.withinToleranceRate() * 100.0,
+                stats.missRate() * 100.0,
+                stats.globalFallbackRate() * 100.0,
+                stats.binaryAccuracyFor(500) * 100.0,
+                static_cast<unsigned long long>(
+                    predictor.storageBits()));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace oscar;
+
+    std::printf("=== Run-length predictor playground ===\n\n");
+    std::printf("feeding a synthetic 50k-invocation syscall trace "
+                "(hot set of 8 calls + 2%% cold states)\n\n");
+
+    const std::vector<TraceRecord> trace = buildTrace(50'000);
+
+    CamPredictor cam(200);
+    DirectMappedPredictor dm(1500);
+    InfinitePredictor infinite;
+    evaluate("cam-200", cam, trace);
+    evaluate("dm-1500", dm, trace);
+    evaluate("infinite", infinite, trace);
+
+    std::printf("\nhow confidence works (watch one AState):\n");
+    CamPredictor demo(8);
+    const std::uint64_t astate = 0xFEEDFACE;
+    const InstCount lengths[] = {1000, 1000, 1000, 4000, 1000, 1000};
+    for (InstCount actual : lengths) {
+        const RunLengthPrediction p = demo.predict(astate);
+        std::printf("  predict=%6llu (%s)  actual=%llu\n",
+                    static_cast<unsigned long long>(p.length),
+                    p.fromGlobal ? "global" : "local ",
+                    static_cast<unsigned long long>(actual));
+        demo.update(astate, actual);
+    }
+    std::printf("\nafter the 4000-instruction outlier the entry "
+                "retrains within one observation —\nthe behaviour "
+                "instrumentation-based estimates cannot match.\n");
+    return 0;
+}

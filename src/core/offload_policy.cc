@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Implementation of the off-load decision policies.
+ */
+
+#include "core/offload_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+const char *
+policyShortName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline: return "base";
+      case PolicyKind::StaticInstrumentation: return "SI";
+      case PolicyKind::DynamicInstrumentation: return "DI";
+      case PolicyKind::HardwarePredictor: return "HI";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// ServiceProfile
+
+void
+ServiceProfile::observe(ServiceId id, InstCount length)
+{
+    const auto index = static_cast<std::size_t>(id);
+    oscar_assert(index < stats.size());
+    stats[index].add(static_cast<double>(length));
+}
+
+double
+ServiceProfile::meanLength(ServiceId id) const
+{
+    const auto index = static_cast<std::size_t>(id);
+    oscar_assert(index < stats.size());
+    return stats[index].mean();
+}
+
+std::uint64_t
+ServiceProfile::invocations(ServiceId id) const
+{
+    const auto index = static_cast<std::size_t>(id);
+    oscar_assert(index < stats.size());
+    return stats[index].count();
+}
+
+std::uint64_t
+ServiceProfile::totalObservations() const
+{
+    std::uint64_t total = 0;
+    for (const RunningStat &s : stats)
+        total += s.count();
+    return total;
+}
+
+// ---------------------------------------------------------------------
+// BaselinePolicy
+
+OffloadDecision
+BaselinePolicy::decide(const OsInvocation &invocation)
+{
+    (void)invocation;
+    return OffloadDecision{};
+}
+
+void
+BaselinePolicy::observe(const OsInvocation &invocation,
+                        const OffloadDecision &decision,
+                        InstCount actual_length)
+{
+    (void)invocation;
+    (void)decision;
+    (void)actual_length;
+}
+
+// ---------------------------------------------------------------------
+// StaticInstrumentationPolicy
+
+StaticInstrumentationPolicy::StaticInstrumentationPolicy(
+    const ServiceProfile &profile, Cycle migration_one_way,
+    Cycle instrumentation_cost)
+    : cost(instrumentation_cost)
+{
+    // Instrument the services whose profiled mean run length is at
+    // least twice the off-loading (migration) latency.
+    const double cutoff = 2.0 * static_cast<double>(migration_one_way);
+    for (std::size_t i = 0; i < kNumServices; ++i) {
+        const auto id = static_cast<ServiceId>(i);
+        selected[i] = profile.invocations(id) > 0 &&
+                      profile.meanLength(id) >= cutoff;
+    }
+}
+
+OffloadDecision
+StaticInstrumentationPolicy::decide(const OsInvocation &invocation)
+{
+    oscar_assert(invocation.service != nullptr);
+    OffloadDecision decision;
+    const auto index = static_cast<std::size_t>(invocation.service->id);
+    if (selected[index]) {
+        // Only instrumented entry points pay the software overhead;
+        // their embedded static check always chooses to off-load.
+        decision.offload = true;
+        decision.cost = cost;
+    }
+    return decision;
+}
+
+void
+StaticInstrumentationPolicy::observe(const OsInvocation &invocation,
+                                     const OffloadDecision &decision,
+                                     InstCount actual_length)
+{
+    (void)invocation;
+    (void)decision;
+    (void)actual_length;
+}
+
+bool
+StaticInstrumentationPolicy::instrumented(ServiceId id) const
+{
+    return selected[static_cast<std::size_t>(id)];
+}
+
+unsigned
+StaticInstrumentationPolicy::instrumentedCount() const
+{
+    unsigned count = 0;
+    for (bool s : selected) {
+        if (s)
+            ++count;
+    }
+    return count;
+}
+
+// ---------------------------------------------------------------------
+// PredictivePolicy
+
+PredictivePolicy::PredictivePolicy(RunLengthPredictor &predictor,
+                                   const ThresholdProvider &threshold,
+                                   Cycle decision_cost,
+                                   PolicyKind policy_kind)
+    : pred(predictor), thresh(threshold), cost(decision_cost),
+      policyKind(policy_kind)
+{
+    oscar_assert(policy_kind == PolicyKind::DynamicInstrumentation ||
+                 policy_kind == PolicyKind::HardwarePredictor);
+}
+
+OffloadDecision
+PredictivePolicy::decide(const OsInvocation &invocation)
+{
+    OffloadDecision decision;
+    decision.prediction = pred.predict(invocation.astate());
+    decision.predictedLength = decision.prediction.length;
+    decision.predictorUsed = true;
+    decision.cost = cost;
+    decision.offload = decision.predictedLength > thresh.threshold();
+    return decision;
+}
+
+void
+PredictivePolicy::observe(const OsInvocation &invocation,
+                          const OffloadDecision &decision,
+                          InstCount actual_length)
+{
+    pred.update(invocation.astate(), actual_length);
+    if (decision.predictorUsed) {
+        accuracy.record(decision.prediction, actual_length,
+                        invocation.isWindowTrap());
+    }
+}
+
+} // namespace oscar

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of predictor accuracy accounting.
+ */
+
+#include "core/predictor_stats.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+const std::vector<InstCount> &
+PredictorStats::defaultThresholds()
+{
+    static const std::vector<InstCount> kDefault = {25,   100,  500,
+                                                    1000, 5000, 10000};
+    return kDefault;
+}
+
+PredictorStats::PredictorStats(std::vector<InstCount> thresholds,
+                               bool exclude_window_traps)
+    : ns(std::move(thresholds)), binary(ns.size()),
+      excludeWindowTraps(exclude_window_traps)
+{
+}
+
+void
+PredictorStats::record(const RunLengthPrediction &prediction,
+                       InstCount actual, bool is_window_trap)
+{
+    if (excludeWindowTraps && is_window_trap)
+        return;
+    ++total;
+    if (prediction.fromGlobal)
+        ++fromGlobal;
+    if (prediction.length == actual) {
+        ++exact;
+    } else if (withinTolerance(prediction.length, actual)) {
+        ++within;
+    } else if (prediction.length < actual) {
+        ++underestimates;
+    } else {
+        ++overestimates;
+    }
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        const bool predicted_over = prediction.length > ns[i];
+        const bool actually_over = actual > ns[i];
+        binary[i].add(predicted_over == actually_over);
+    }
+}
+
+double
+PredictorStats::exactRate() const
+{
+    return total ? static_cast<double>(exact) / total : 0.0;
+}
+
+double
+PredictorStats::withinToleranceRate() const
+{
+    return total ? static_cast<double>(within) / total : 0.0;
+}
+
+double
+PredictorStats::missRate() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(total - exact - within) / total;
+}
+
+double
+PredictorStats::globalFallbackRate() const
+{
+    return total ? static_cast<double>(fromGlobal) / total : 0.0;
+}
+
+double
+PredictorStats::underestimateShare() const
+{
+    const std::uint64_t misses = underestimates + overestimates;
+    if (misses == 0)
+        return 0.0;
+    return static_cast<double>(underestimates) / misses;
+}
+
+double
+PredictorStats::binaryAccuracy(std::size_t i) const
+{
+    oscar_assert(i < binary.size());
+    return binary[i].ratio();
+}
+
+double
+PredictorStats::binaryAccuracyFor(InstCount n) const
+{
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        if (ns[i] == n)
+            return binary[i].ratio();
+    }
+    oscar_panic("threshold %llu is not tracked",
+                static_cast<unsigned long long>(n));
+}
+
+void
+PredictorStats::merge(const PredictorStats &other)
+{
+    oscar_assert(ns == other.ns);
+    total += other.total;
+    exact += other.exact;
+    within += other.within;
+    fromGlobal += other.fromGlobal;
+    underestimates += other.underestimates;
+    overestimates += other.overestimates;
+    for (std::size_t i = 0; i < binary.size(); ++i)
+        binary[i].addMany(other.binary[i].hits(), other.binary[i].total());
+}
+
+void
+PredictorStats::reset()
+{
+    for (RatioStat &b : binary)
+        b.reset();
+    total = exact = within = fromGlobal = 0;
+    underestimates = overestimates = 0;
+}
+
+} // namespace oscar

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Implementation of the run-length predictors.
+ */
+
+#include "core/run_length_predictor.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+bool
+withinTolerance(InstCount predicted, InstCount actual)
+{
+    const double diff = std::abs(static_cast<double>(predicted) -
+                                 static_cast<double>(actual));
+    return diff <= 0.05 * static_cast<double>(actual);
+}
+
+void
+GlobalRunLengthHistory::observe(InstCount length)
+{
+    ring[cursor] = length;
+    cursor = (cursor + 1) % kDepth;
+    if (filled < kDepth)
+        ++filled;
+}
+
+InstCount
+GlobalRunLengthHistory::prediction() const
+{
+    if (filled == 0)
+        return 0;
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < filled; ++i)
+        sum += ring[i];
+    return sum / filled;
+}
+
+// ---------------------------------------------------------------------
+// CamPredictor
+
+CamPredictor::CamPredictor(std::size_t entries)
+    : table(entries)
+{
+    oscar_assert(entries > 0);
+}
+
+CamPredictor::Entry *
+CamPredictor::find(std::uint64_t astate)
+{
+    for (Entry &entry : table) {
+        if (entry.valid && entry.astate == astate)
+            return &entry;
+    }
+    return nullptr;
+}
+
+RunLengthPrediction
+CamPredictor::predict(std::uint64_t astate)
+{
+    RunLengthPrediction pred;
+    Entry *entry = find(astate);
+    if (entry == nullptr) {
+        pred.length = globalHistory.prediction();
+        pred.fromGlobal = true;
+        return pred;
+    }
+    entry->lastUse = ++useClock;
+    pred.tableHit = true;
+    if (entry->conf == 0) {
+        // Low-confidence local entries lose to the global prediction.
+        pred.length = globalHistory.prediction();
+        pred.fromGlobal = true;
+    } else {
+        pred.length = entry->length;
+    }
+    return pred;
+}
+
+void
+CamPredictor::update(std::uint64_t astate, InstCount actual)
+{
+    observeGlobal(actual);
+    Entry *entry = find(astate);
+    if (entry != nullptr) {
+        // Confidence trains on what this entry *would have* predicted.
+        if (withinTolerance(entry->length, actual))
+            entry->conf = confidence::up(entry->conf);
+        else
+            entry->conf = confidence::down(entry->conf);
+        entry->length = actual;
+        entry->lastUse = ++useClock;
+        return;
+    }
+
+    // Allocate, evicting the LRU victim if necessary.
+    Entry *victim = nullptr;
+    for (Entry &candidate : table) {
+        if (!candidate.valid) {
+            victim = &candidate;
+            break;
+        }
+        if (victim == nullptr || candidate.lastUse < victim->lastUse)
+            victim = &candidate;
+    }
+    victim->valid = true;
+    victim->astate = astate;
+    victim->length = actual;
+    victim->conf = 0;
+    victim->lastUse = ++useClock;
+}
+
+std::uint64_t
+CamPredictor::storageBits() const
+{
+    // 64-bit AState tag + 16-bit length + 2-bit confidence per entry;
+    // the paper quotes ~2 KB for 200 entries.
+    return table.size() * (64 + 16 + 2);
+}
+
+std::size_t
+CamPredictor::occupancy() const
+{
+    std::size_t live = 0;
+    for (const Entry &entry : table) {
+        if (entry.valid)
+            ++live;
+    }
+    return live;
+}
+
+// ---------------------------------------------------------------------
+// DirectMappedPredictor
+
+DirectMappedPredictor::DirectMappedPredictor(std::size_t entries)
+    : table(entries)
+{
+    oscar_assert(entries > 0);
+}
+
+std::size_t
+DirectMappedPredictor::index(std::uint64_t astate) const
+{
+    // The paper indexes with the least-significant AState bits; for a
+    // non-power-of-two table size that generalizes to a modulo.
+    return static_cast<std::size_t>(astate % table.size());
+}
+
+RunLengthPrediction
+DirectMappedPredictor::predict(std::uint64_t astate)
+{
+    RunLengthPrediction pred;
+    const Entry &entry = table[index(astate)];
+    if (!entry.valid || entry.conf == 0) {
+        pred.length = globalHistory.prediction();
+        pred.fromGlobal = true;
+        pred.tableHit = entry.valid;
+        return pred;
+    }
+    pred.length = entry.length;
+    pred.tableHit = true;
+    return pred;
+}
+
+void
+DirectMappedPredictor::update(std::uint64_t astate, InstCount actual)
+{
+    observeGlobal(actual);
+    Entry &entry = table[index(astate)];
+    if (entry.valid) {
+        if (withinTolerance(entry.length, actual))
+            entry.conf = confidence::up(entry.conf);
+        else
+            entry.conf = confidence::down(entry.conf);
+    } else {
+        entry.valid = true;
+        entry.conf = 0;
+    }
+    entry.length = actual;
+}
+
+std::uint64_t
+DirectMappedPredictor::storageBits() const
+{
+    // Tag-less: 16-bit length + 2-bit confidence per entry; the paper
+    // quotes 3.3 KB for 1500 entries.
+    return table.size() * (16 + 2);
+}
+
+// ---------------------------------------------------------------------
+// InfinitePredictor
+
+RunLengthPrediction
+InfinitePredictor::predict(std::uint64_t astate)
+{
+    RunLengthPrediction pred;
+    auto it = table.find(astate);
+    if (it == table.end()) {
+        pred.length = globalHistory.prediction();
+        pred.fromGlobal = true;
+        return pred;
+    }
+    pred.tableHit = true;
+    if (it->second.conf == 0) {
+        pred.length = globalHistory.prediction();
+        pred.fromGlobal = true;
+    } else {
+        pred.length = it->second.length;
+    }
+    return pred;
+}
+
+void
+InfinitePredictor::update(std::uint64_t astate, InstCount actual)
+{
+    observeGlobal(actual);
+    auto it = table.find(astate);
+    if (it != table.end()) {
+        if (withinTolerance(it->second.length, actual))
+            it->second.conf = confidence::up(it->second.conf);
+        else
+            it->second.conf = confidence::down(it->second.conf);
+        it->second.length = actual;
+        return;
+    }
+    table.emplace(astate, Entry{actual, 0});
+}
+
+std::uint64_t
+InfinitePredictor::storageBits() const
+{
+    return table.size() * (64 + 16 + 2);
+}
+
+std::unique_ptr<RunLengthPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Cam:
+        return std::make_unique<CamPredictor>();
+      case PredictorKind::DirectMapped:
+        return std::make_unique<DirectMappedPredictor>();
+      case PredictorKind::Infinite:
+        return std::make_unique<InfinitePredictor>();
+    }
+    oscar_panic("unknown predictor kind");
+}
+
+} // namespace oscar

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Hardware OS run-length predictors (Section III-A, Figure 2).
+ *
+ * On every transition to privileged mode the predictor is indexed with
+ * the AState — the XOR of PSTATE, g0, g1, i0 and i1 — and returns the
+ * run length observed the last time that AState was seen. A 2-bit
+ * saturating confidence counter per entry is incremented when the
+ * entry's prediction lands within ±5 % of the actual length and
+ * decremented otherwise; at confidence 0 the predictor falls back to a
+ * *global* prediction, the mean of the last three observed run lengths
+ * regardless of AState (the paper notes OS run lengths cluster, making
+ * the global value a better guess than a cold local entry).
+ *
+ * Three organizations are provided:
+ *  - CamPredictor: the paper's proposal, a 200-entry fully-associative
+ *    CAM with LRU replacement (~2 KB of storage);
+ *  - DirectMappedPredictor: the paper's tag-less 1500-entry RAM
+ *    alternative (~3.3 KB), indexed by the AState's low bits;
+ *  - InfinitePredictor: unbounded table, the paper's "infinite
+ *    history" upper bound.
+ */
+
+#ifndef OSCAR_CORE_RUN_LENGTH_PREDICTOR_HH_
+#define OSCAR_CORE_RUN_LENGTH_PREDICTOR_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Result of one predictor lookup. */
+struct RunLengthPrediction
+{
+    /** Predicted run length in instructions. */
+    InstCount length = 0;
+    /** True when the global fallback supplied the value. */
+    bool fromGlobal = false;
+    /** True when the AState was found in the table. */
+    bool tableHit = false;
+};
+
+/** True when a prediction lands within ±5 % of the actual length. */
+bool withinTolerance(InstCount predicted, InstCount actual);
+
+/**
+ * Mean of the last three observed run lengths (any AState).
+ */
+class GlobalRunLengthHistory
+{
+  public:
+    /** Record an observed run length. */
+    void observe(InstCount length);
+
+    /** Current global prediction; 0 before any observation. */
+    InstCount prediction() const;
+
+    /** Number of observations recorded (saturates at capacity). */
+    unsigned depth() const { return filled; }
+
+  private:
+    static constexpr unsigned kDepth = 3;
+    InstCount ring[kDepth] = {0, 0, 0};
+    unsigned cursor = 0;
+    unsigned filled = 0;
+};
+
+/**
+ * Abstract run-length predictor.
+ */
+class RunLengthPredictor
+{
+  public:
+    virtual ~RunLengthPredictor() = default;
+
+    /** Predict the run length of the invocation with this AState. */
+    virtual RunLengthPrediction predict(std::uint64_t astate) = 0;
+
+    /** Train with the observed run length of a completed invocation. */
+    virtual void update(std::uint64_t astate, InstCount actual) = 0;
+
+    /** Hardware storage the organization requires, in bits. */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Organization name for reports. */
+    virtual std::string name() const = 0;
+
+    /** The shared last-three-lengths global history. */
+    const GlobalRunLengthHistory &global() const { return globalHistory; }
+
+  protected:
+    /** Feed the global history; called by every update(). */
+    void observeGlobal(InstCount length) { globalHistory.observe(length); }
+
+    GlobalRunLengthHistory globalHistory;
+};
+
+/** Saturating 2-bit confidence helpers. */
+namespace confidence
+{
+inline constexpr std::uint8_t kMax = 3;
+
+/** Increment with saturation. */
+constexpr std::uint8_t
+up(std::uint8_t c)
+{
+    return c >= kMax ? kMax : static_cast<std::uint8_t>(c + 1);
+}
+
+/** Decrement with saturation. */
+constexpr std::uint8_t
+down(std::uint8_t c)
+{
+    return c == 0 ? 0 : static_cast<std::uint8_t>(c - 1);
+}
+} // namespace confidence
+
+/**
+ * The paper's 200-entry fully-associative CAM organization.
+ */
+class CamPredictor : public RunLengthPredictor
+{
+  public:
+    /** @param entries CAM capacity (paper: 200). */
+    explicit CamPredictor(std::size_t entries = 200);
+
+    RunLengthPrediction predict(std::uint64_t astate) override;
+    void update(std::uint64_t astate, InstCount actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "cam"; }
+
+    /** Number of live entries (tests). */
+    std::size_t occupancy() const;
+
+    /** Capacity. */
+    std::size_t capacity() const { return table.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t astate = 0;
+        InstCount length = 0;
+        std::uint8_t conf = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    Entry *find(std::uint64_t astate);
+
+    std::vector<Entry> table;
+    std::uint64_t useClock = 0;
+};
+
+/**
+ * The paper's tag-less direct-mapped RAM organization (1500 entries).
+ *
+ * Being tag-less, distinct AStates that share low-order bits alias
+ * into the same entry; the confidence counter limits the damage.
+ */
+class DirectMappedPredictor : public RunLengthPredictor
+{
+  public:
+    /** @param entries Table size (paper: 1500). */
+    explicit DirectMappedPredictor(std::size_t entries = 1500);
+
+    RunLengthPrediction predict(std::uint64_t astate) override;
+    void update(std::uint64_t astate, InstCount actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "direct-mapped"; }
+
+  private:
+    struct Entry
+    {
+        InstCount length = 0;
+        std::uint8_t conf = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(std::uint64_t astate) const;
+
+    std::vector<Entry> table;
+};
+
+/**
+ * Unbounded table: the "infinite history" reference point.
+ */
+class InfinitePredictor : public RunLengthPredictor
+{
+  public:
+    RunLengthPrediction predict(std::uint64_t astate) override;
+    void update(std::uint64_t astate, InstCount actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "infinite"; }
+
+    /** Number of distinct AStates seen. */
+    std::size_t occupancy() const { return table.size(); }
+
+  private:
+    struct Entry
+    {
+        InstCount length = 0;
+        std::uint8_t conf = 0;
+    };
+
+    std::unordered_map<std::uint64_t, Entry> table;
+};
+
+/** Predictor organizations selectable from configuration. */
+enum class PredictorKind : std::uint8_t
+{
+    Cam,
+    DirectMapped,
+    Infinite,
+};
+
+/** Factory for the configured organization. */
+std::unique_ptr<RunLengthPredictor> makePredictor(PredictorKind kind);
+
+} // namespace oscar
+
+#endif // OSCAR_CORE_RUN_LENGTH_PREDICTOR_HH_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the architected-state model.
+ */
+
+#include "cpu/arch_state.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+ArchState::ArchState()
+    : pstateReg(pstate::kIe | pstate::kPef)
+{
+}
+
+void
+ArchState::setPrivileged(bool priv)
+{
+    if (priv)
+        pstateReg |= pstate::kPriv;
+    else
+        pstateReg &= ~pstate::kPriv;
+}
+
+void
+ArchState::setInterruptsEnabled(bool enabled)
+{
+    if (enabled)
+        pstateReg |= pstate::kIe;
+    else
+        pstateReg &= ~pstate::kIe;
+}
+
+std::uint64_t
+ArchState::global(unsigned index) const
+{
+    oscar_assert(index < globals.size());
+    // g0 is architecturally hardwired to zero on SPARC; the paper
+    // nonetheless lists it among the hashed registers, so we model it
+    // as a real register the OS-entry stub can populate.
+    return globals[index];
+}
+
+void
+ArchState::setGlobal(unsigned index, std::uint64_t value)
+{
+    oscar_assert(index < globals.size());
+    globals[index] = value;
+}
+
+std::uint64_t
+ArchState::input(unsigned index) const
+{
+    oscar_assert(index < inputs.size());
+    return inputs[index];
+}
+
+void
+ArchState::setInput(unsigned index, std::uint64_t value)
+{
+    oscar_assert(index < inputs.size());
+    inputs[index] = value;
+}
+
+bool
+ArchState::onCall()
+{
+    if (depth + 1 >= kNumWindows) {
+        // The register file is full: the deepest window is spilled to
+        // the memory stack and reused for the new frame.
+        return true;
+    }
+    ++depth;
+    return false;
+}
+
+bool
+ArchState::onReturn()
+{
+    if (depth == 0) {
+        // Returning past the shallowest resident window: the caller's
+        // frame must be filled back from the memory stack.
+        return true;
+    }
+    --depth;
+    return false;
+}
+
+} // namespace oscar

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SPARC-flavoured architected state.
+ *
+ * The off-loading predictor hashes a handful of architected registers
+ * at every transition to privileged mode (Section III-A of the paper):
+ * PSTATE, the globals g0/g1, and the input-argument registers i0/i1.
+ * This class models exactly the state that hash observes, plus the
+ * register-window bookkeeping that generates SPARC's characteristic
+ * short spill/fill traps.
+ */
+
+#ifndef OSCAR_CPU_ARCH_STATE_HH_
+#define OSCAR_CPU_ARCH_STATE_HH_
+
+#include <array>
+#include <cstdint>
+
+namespace oscar
+{
+
+/** PSTATE bit positions (subset of the SPARC V9 definition). */
+namespace pstate
+{
+/** Interrupts enabled. */
+inline constexpr std::uint64_t kIe = 1ULL << 1;
+/** Privileged execution mode. */
+inline constexpr std::uint64_t kPriv = 1ULL << 2;
+/** Floating point unit enabled. */
+inline constexpr std::uint64_t kPef = 1ULL << 4;
+/** Address masking (32-bit compatibility). */
+inline constexpr std::uint64_t kAm = 1ULL << 3;
+} // namespace pstate
+
+/**
+ * Architected register state visible to the AState hash.
+ */
+class ArchState
+{
+  public:
+    /** Number of register windows (UltraSPARC III has 8). */
+    static constexpr unsigned kNumWindows = 8;
+
+    ArchState();
+
+    /** PSTATE register value. */
+    std::uint64_t pstate() const { return pstateReg; }
+
+    /** Set the whole PSTATE register. */
+    void setPstate(std::uint64_t value) { pstateReg = value; }
+
+    /** Enter or leave privileged mode. */
+    void setPrivileged(bool priv);
+
+    /** True when the PRIV bit is set. */
+    bool privileged() const { return pstateReg & pstate::kPriv; }
+
+    /** Enable or disable interrupt delivery. */
+    void setInterruptsEnabled(bool enabled);
+
+    /** True when the IE bit is set. */
+    bool interruptsEnabled() const { return pstateReg & pstate::kIe; }
+
+    /** Global register g0..g7. */
+    std::uint64_t global(unsigned index) const;
+
+    /** Set a global register. */
+    void setGlobal(unsigned index, std::uint64_t value);
+
+    /** Input register i0..i7 of the current window. */
+    std::uint64_t input(unsigned index) const;
+
+    /** Set an input register. */
+    void setInput(unsigned index, std::uint64_t value);
+
+    /**
+     * Model a procedure call (SAVE instruction).
+     *
+     * @return true when the register file overflowed and a spill trap
+     *         must run.
+     */
+    bool onCall();
+
+    /**
+     * Model a procedure return (RESTORE instruction).
+     *
+     * @return true when the needed window was spilled and a fill trap
+     *         must run.
+     */
+    bool onReturn();
+
+    /** Current call depth relative to the deepest spilled frame. */
+    unsigned windowDepth() const { return depth; }
+
+  private:
+    std::uint64_t pstateReg;
+    std::array<std::uint64_t, 8> globals{};
+    std::array<std::uint64_t, 8> inputs{};
+    /** Occupied windows between the shallowest and deepest live frame. */
+    unsigned depth = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_CPU_ARCH_STATE_HH_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Implementation of the segment execution engine.
+ */
+
+#include "cpu/exec_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+SegmentProfile::SegmentProfile(AddressRegion *code, double instr_per_data,
+                               double instr_per_fetch)
+    : codeRegion(code), instrPerDataAccess(instr_per_data),
+      instrPerCodeLine(instr_per_fetch)
+{
+    oscar_assert(code != nullptr);
+    oscar_assert(instr_per_data >= 1.0);
+    oscar_assert(instr_per_fetch >= 1.0);
+}
+
+void
+SegmentProfile::addData(AddressRegion *region, double weight,
+                        double write_fraction)
+{
+    oscar_assert(region != nullptr);
+    oscar_assert(weight >= 0.0);
+    oscar_assert(write_fraction >= 0.0 && write_fraction <= 1.0);
+    data.push_back(RegionAccess{region, weight, write_fraction});
+    alias.reset();
+}
+
+void
+SegmentProfile::finalize()
+{
+    if (data.empty())
+        return;
+    std::vector<double> weights;
+    weights.reserve(data.size());
+    for (const RegionAccess &ra : data)
+        weights.push_back(ra.weight);
+    alias = std::make_unique<AliasTable>(weights);
+}
+
+const RegionAccess &
+SegmentProfile::sampleData(Rng &rng) const
+{
+    oscar_assert(alias != nullptr);
+    return data[alias->sample(rng)];
+}
+
+ExecResult
+ExecEngine::execute(MemorySystem &mem, CoreId core, ExecContext ctx,
+                    InstCount instructions, const SegmentProfile &profile,
+                    Rng &rng)
+{
+    oscar_assert(profile.finalized());
+    ExecResult result;
+    if (instructions == 0)
+        return result;
+
+    const auto burst_span = static_cast<std::uint64_t>(
+        2.0 * profile.instrPerData());
+    double fetch_accum = 0.0;
+    const double fetch_rate = 1.0 / profile.instrPerFetch();
+
+    InstCount remaining = instructions;
+    while (remaining > 0) {
+        // Instructions until the next data reference: uniform on
+        // [1, 2*instrPerData], preserving the configured mean.
+        InstCount burst = 1 + rng.nextBounded(std::max<std::uint64_t>(
+                                  1, burst_span));
+        if (burst > remaining)
+            burst = remaining;
+        result.cycles += burst;
+        remaining -= burst;
+
+        // Instruction-line fetches accrued over the burst.
+        fetch_accum += static_cast<double>(burst) * fetch_rate;
+        while (fetch_accum >= 1.0) {
+            fetch_accum -= 1.0;
+            const Addr pc = profile.code()->nextAccess(rng);
+            const AccessResult fetch =
+                mem.access(core, pc, AccessType::InstrFetch, ctx);
+            ++result.fetches;
+            if (fetch.latency > 1)
+                result.cycles += fetch.latency - 1;
+        }
+
+        if (remaining == 0 || !profile.hasData())
+            continue;
+
+        const RegionAccess &target = profile.sampleData(rng);
+        const bool is_write = rng.nextBool(target.writeFraction);
+        const Addr addr = target.region->nextAccess(rng);
+        const AccessResult access = mem.access(
+            core, addr, is_write ? AccessType::Write : AccessType::Read,
+            ctx);
+        ++result.dataAccesses;
+        // The first cycle of a data reference overlaps the consuming
+        // instruction; only the excess stalls the pipeline.
+        if (access.latency > 1)
+            result.cycles += access.latency - 1;
+    }
+    return result;
+}
+
+} // namespace oscar

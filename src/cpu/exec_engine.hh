@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Segment execution engine for in-order cores.
+ *
+ * The simulator never interprets real instructions; a workload or OS
+ * service describes each execution segment statistically (how many
+ * instructions, which working-set regions it touches, how often, and
+ * with what write ratio), and this engine charges cycles for it:
+ * 1 cycle per instruction plus the memory-stall cycles returned by the
+ * coherent hierarchy. This matches the paper's in-order 1-IPC cores,
+ * where all timing variation comes from the memory system.
+ */
+
+#ifndef OSCAR_CPU_EXEC_ENGINE_HH_
+#define OSCAR_CPU_EXEC_ENGINE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+#include "workload/address_space.hh"
+
+namespace oscar
+{
+
+/** One weighted data target of a segment. */
+struct RegionAccess
+{
+    AddressRegion *region = nullptr;
+    /** Relative probability of a data reference hitting this region. */
+    double weight = 1.0;
+    /** Fraction of references to this region that are writes. */
+    double writeFraction = 0.0;
+};
+
+/**
+ * Statistical description of an execution segment's memory behaviour.
+ */
+class SegmentProfile
+{
+  public:
+    /**
+     * @param code Region instruction fetches are drawn from.
+     * @param instr_per_data Mean instructions between data references.
+     * @param instr_per_fetch Mean instructions between I-line fetches.
+     */
+    SegmentProfile(AddressRegion *code, double instr_per_data,
+                   double instr_per_fetch);
+
+    /** Add a weighted data target; call finalize() afterwards. */
+    void addData(AddressRegion *region, double weight,
+                 double write_fraction);
+
+    /** Build the sampling table; must be called before execution. */
+    void finalize();
+
+    /** Code region. */
+    AddressRegion *code() const { return codeRegion; }
+
+    /** Mean instructions between data references. */
+    double instrPerData() const { return instrPerDataAccess; }
+
+    /** Mean instructions between I-line fetches. */
+    double instrPerFetch() const { return instrPerCodeLine; }
+
+    /** Sample a data target; finalize() must have run. */
+    const RegionAccess &sampleData(Rng &rng) const;
+
+    /** True when the profile has at least one data target. */
+    bool hasData() const { return !data.empty(); }
+
+    /** True once finalize() has run (or no data was added). */
+    bool finalized() const { return alias != nullptr || data.empty(); }
+
+  private:
+    AddressRegion *codeRegion;
+    double instrPerDataAccess;
+    double instrPerCodeLine;
+    std::vector<RegionAccess> data;
+    std::unique_ptr<AliasTable> alias;
+};
+
+/** Outcome of executing one segment. */
+struct ExecResult
+{
+    /** Cycles the segment occupied the core. */
+    Cycle cycles = 0;
+    /** Data references issued. */
+    std::uint64_t dataAccesses = 0;
+    /** Instruction-line fetches issued. */
+    std::uint64_t fetches = 0;
+};
+
+/**
+ * Stateless executor: charges a segment's instructions and memory
+ * references against a core's hierarchy.
+ */
+class ExecEngine
+{
+  public:
+    /**
+     * Execute a segment.
+     *
+     * @param mem Coherent hierarchy to charge references against.
+     * @param core Core the segment runs on.
+     * @param ctx User or OS attribution.
+     * @param instructions Retired-instruction budget of the segment.
+     * @param profile Memory behaviour description.
+     * @param rng Deterministic stream for reference generation.
+     */
+    static ExecResult execute(MemorySystem &mem, CoreId core,
+                              ExecContext ctx, InstCount instructions,
+                              const SegmentProfile &profile, Rng &rng);
+};
+
+} // namespace oscar
+
+#endif // OSCAR_CPU_EXEC_ENGINE_HH_

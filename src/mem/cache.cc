@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the set-associative tag store.
+ */
+
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+std::uint64_t
+CacheGeometry::sets() const
+{
+    const std::uint64_t line_capacity = sizeBytes / lineBytes;
+    return line_capacity / assoc;
+}
+
+SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geometry)
+    : label(std::move(name)), geom(geometry)
+{
+    if (geom.lineBytes == 0 || !std::has_single_bit(
+            static_cast<std::uint64_t>(geom.lineBytes))) {
+        oscar_fatal("%s: line size %u must be a power of two",
+                    label.c_str(), geom.lineBytes);
+    }
+    if (geom.assoc == 0)
+        oscar_fatal("%s: associativity must be positive", label.c_str());
+    if (geom.sizeBytes % (static_cast<std::uint64_t>(geom.lineBytes) *
+                          geom.assoc) != 0) {
+        oscar_fatal("%s: size %llu not divisible by line*assoc",
+                    label.c_str(),
+                    static_cast<unsigned long long>(geom.sizeBytes));
+    }
+    numSets = geom.sets();
+    if (numSets == 0 || !std::has_single_bit(numSets)) {
+        oscar_fatal("%s: set count %llu must be a power of two",
+                    label.c_str(),
+                    static_cast<unsigned long long>(numSets));
+    }
+    ways.assign(numSets * geom.assoc, Way{});
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    return line_addr & (numSets - 1);
+}
+
+SetAssocCache::Way *
+SetAssocCache::findWay(Addr line_addr)
+{
+    const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        Way &way = ways[base + w];
+        if (way.state != MesiState::Invalid && way.tag == line_addr)
+            return &way;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Way *
+SetAssocCache::findWay(Addr line_addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findWay(line_addr);
+}
+
+MesiState
+SetAssocCache::access(Addr line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (way == nullptr) {
+        ++missCount;
+        return MesiState::Invalid;
+    }
+    ++hitCount;
+    way->lastUse = ++useClock;
+    return way->state;
+}
+
+MesiState
+SetAssocCache::probe(Addr line_addr) const
+{
+    const Way *way = findWay(line_addr);
+    return way ? way->state : MesiState::Invalid;
+}
+
+std::optional<Eviction>
+SetAssocCache::insert(Addr line_addr, MesiState state)
+{
+    oscar_assert(state != MesiState::Invalid);
+    // Re-inserting a resident line just refreshes its state.
+    if (Way *way = findWay(line_addr)) {
+        way->state = state;
+        way->lastUse = ++useClock;
+        return std::nullopt;
+    }
+
+    const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        Way &way = ways[base + w];
+        if (way.state == MesiState::Invalid) {
+            victim = &way;
+            break;
+        }
+        if (victim == nullptr || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->state != MesiState::Invalid) {
+        evicted = Eviction{victim->tag, victim->state};
+        ++evictionCount;
+    }
+    victim->tag = line_addr;
+    victim->state = state;
+    victim->lastUse = ++useClock;
+    return evicted;
+}
+
+void
+SetAssocCache::setState(Addr line_addr, MesiState state)
+{
+    Way *way = findWay(line_addr);
+    if (way == nullptr) {
+        oscar_panic("%s: setState on non-resident line %llu",
+                    label.c_str(),
+                    static_cast<unsigned long long>(line_addr));
+    }
+    way->state = state;
+}
+
+MesiState
+SetAssocCache::invalidate(Addr line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (way == nullptr)
+        return MesiState::Invalid;
+    const MesiState old = way->state;
+    way->state = MesiState::Invalid;
+    return old;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (Way &way : ways)
+        way.state = MesiState::Invalid;
+}
+
+std::uint64_t
+SetAssocCache::residentLines() const
+{
+    std::uint64_t count = 0;
+    for (const Way &way : ways) {
+        if (way.state != MesiState::Invalid)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace oscar

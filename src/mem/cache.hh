@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and per-line MESI state.
+ *
+ * The cache is a *tag store* only: this reproduction models timing and
+ * coherence, never data values. Latency accounting lives in
+ * MemorySystem; this class answers presence/state questions.
+ */
+
+#ifndef OSCAR_MEM_CACHE_HH_
+#define OSCAR_MEM_CACHE_HH_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/coherence.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheGeometry
+{
+    /** Capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+    /** Associativity (ways per set). */
+    unsigned assoc = 2;
+    /** Line size in bytes. */
+    unsigned lineBytes = 64;
+    /** Access latency in cycles. */
+    Cycle hitLatency = 1;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t sets() const;
+};
+
+/** A line evicted to make room for an insertion. */
+struct Eviction
+{
+    Addr lineAddr;
+    MesiState state;
+};
+
+/**
+ * Tag store with per-line MESI state.
+ *
+ * Addresses passed in are *line* addresses (byte address divided by the
+ * line size); MemorySystem performs the conversion once.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name Instance name used in error messages.
+     * @param geometry Size/assoc/line parameters; validated here.
+     */
+    SetAssocCache(std::string name, const CacheGeometry &geometry);
+
+    /**
+     * Look up a line and touch LRU on hit.
+     *
+     * @return The line's MESI state, or Invalid on miss.
+     */
+    MesiState access(Addr line_addr);
+
+    /** Look up without disturbing LRU state. */
+    MesiState probe(Addr line_addr) const;
+
+    /**
+     * Insert a line with the given state, evicting the LRU way if the
+     * set is full.
+     *
+     * @return The evicted line, if any.
+     */
+    std::optional<Eviction> insert(Addr line_addr, MesiState state);
+
+    /**
+     * Change the state of a resident line.
+     *
+     * It is a simulator bug to call this for a non-resident line.
+     */
+    void setState(Addr line_addr, MesiState state);
+
+    /**
+     * Remove a line.
+     *
+     * @return The state it held, or Invalid if it was not resident.
+     */
+    MesiState invalidate(Addr line_addr);
+
+    /** Drop every line (used between experiment phases). */
+    void invalidateAll();
+
+    /** Number of currently valid lines. */
+    std::uint64_t residentLines() const;
+
+    /** Geometry this cache was built with. */
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Instance name. */
+    const std::string &name() const { return label; }
+
+    /** Lifetime hit count. */
+    std::uint64_t hits() const { return hitCount; }
+
+    /** Lifetime miss count. */
+    std::uint64_t misses() const { return missCount; }
+
+    /** Lifetime eviction count. */
+    std::uint64_t evictions() const { return evictionCount; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Set index for a line address. */
+    std::uint64_t setIndex(Addr line_addr) const;
+
+    /** Find the way holding a line, or nullptr. */
+    Way *findWay(Addr line_addr);
+    const Way *findWay(Addr line_addr) const;
+
+    std::string label;
+    CacheGeometry geom;
+    std::uint64_t numSets;
+    std::vector<Way> ways; // numSets * assoc, set-major
+    std::uint64_t useClock = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t evictionCount = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MEM_CACHE_HH_

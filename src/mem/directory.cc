@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the MESI directory.
+ */
+
+#include "mem/directory.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+Directory::Directory(unsigned num_cores)
+    : cores(num_cores)
+{
+    if (num_cores == 0 || num_cores > 64)
+        oscar_fatal("directory supports 1..64 cores, got %u", num_cores);
+}
+
+DirEntry
+Directory::lookup(Addr line_addr) const
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        return DirEntry{};
+    return it->second;
+}
+
+void
+Directory::addSharer(Addr line_addr, CoreId core)
+{
+    oscar_assert(core < cores);
+    DirEntry &entry = entries[line_addr];
+    entry.sharerMask |= 1ULL << core;
+    entry.exclusive = false;
+}
+
+void
+Directory::setExclusive(Addr line_addr, CoreId core)
+{
+    oscar_assert(core < cores);
+    DirEntry &entry = entries[line_addr];
+    entry.sharerMask = 1ULL << core;
+    entry.exclusive = true;
+}
+
+void
+Directory::demoteToShared(Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    oscar_assert(it != entries.end());
+    it->second.exclusive = false;
+}
+
+void
+Directory::removeSharer(Addr line_addr, CoreId core)
+{
+    oscar_assert(core < cores);
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        return;
+    it->second.sharerMask &= ~(1ULL << core);
+    if (it->second.sharerMask == 0) {
+        entries.erase(it);
+    } else if (it->second.sharerCount() > 1) {
+        it->second.exclusive = false;
+    }
+}
+
+std::size_t
+Directory::trackedLines() const
+{
+    return entries.size();
+}
+
+void
+Directory::clear()
+{
+    entries.clear();
+}
+
+} // namespace oscar

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Directory controller for the private-L2 MESI protocol.
+ *
+ * One entry per line tracks which cores' L2s hold the line and whether
+ * one of them holds it exclusively (E or M). The MemorySystem consults
+ * and updates the directory on every L2 miss, upgrade, and eviction,
+ * keeping it exactly consistent with the tag stores.
+ */
+
+#ifndef OSCAR_MEM_DIRECTORY_HH_
+#define OSCAR_MEM_DIRECTORY_HH_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Directory view of one line. */
+struct DirEntry
+{
+    /** Bit i set iff core i's L2 holds the line. */
+    std::uint64_t sharerMask = 0;
+    /** True when exactly one core holds the line in E or M. */
+    bool exclusive = false;
+
+    /** True when no core caches the line. */
+    bool uncached() const { return sharerMask == 0; }
+
+    /** Number of caching cores. */
+    unsigned sharerCount() const
+    {
+        return static_cast<unsigned>(__builtin_popcountll(sharerMask));
+    }
+
+    /** Core id of the exclusive owner; only valid when exclusive. */
+    CoreId owner() const
+    {
+        return static_cast<CoreId>(__builtin_ctzll(sharerMask));
+    }
+
+    /** True iff the given core caches the line. */
+    bool
+    hasSharer(CoreId core) const
+    {
+        return (sharerMask >> core) & 1ULL;
+    }
+};
+
+/**
+ * Map from line address to DirEntry.
+ */
+class Directory
+{
+  public:
+    /** @param num_cores Number of cores tracked; must be <= 64. */
+    explicit Directory(unsigned num_cores);
+
+    /** Look up a line; returns an Uncached entry when absent. */
+    DirEntry lookup(Addr line_addr) const;
+
+    /** Record that a core obtained the line in Shared state. */
+    void addSharer(Addr line_addr, CoreId core);
+
+    /** Record that a core obtained the line exclusively (E or M). */
+    void setExclusive(Addr line_addr, CoreId core);
+
+    /** Demote an exclusive owner to one sharer among possibly many. */
+    void demoteToShared(Addr line_addr);
+
+    /** Record that a core's L2 dropped the line (eviction/invalidation). */
+    void removeSharer(Addr line_addr, CoreId core);
+
+    /** Number of lines with at least one sharer. */
+    std::size_t trackedLines() const;
+
+    /** Drop all entries (between experiment phases). */
+    void clear();
+
+    /** Number of cores this directory was built for. */
+    unsigned numCores() const { return cores; }
+
+  private:
+    unsigned cores;
+    std::unordered_map<Addr, DirEntry> entries;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MEM_DIRECTORY_HH_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Point-to-point interconnect latency model.
+ *
+ * The paper models "a simple point-to-point interconnect fabric"
+ * between the private L2s and the directory. We charge a fixed
+ * per-hop latency; requests traverse core -> directory and
+ * (optionally) directory -> remote core -> requester.
+ */
+
+#ifndef OSCAR_MEM_INTERCONNECT_HH_
+#define OSCAR_MEM_INTERCONNECT_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/**
+ * Fixed-latency point-to-point fabric.
+ */
+class Interconnect
+{
+  public:
+    /** @param hop_latency Cycles for one link traversal. */
+    explicit Interconnect(Cycle hop_latency = 10)
+        : hopCycles(hop_latency)
+    {}
+
+    /** One-way core-to-directory latency. */
+    Cycle coreToDirectory() const { return hopCycles; }
+
+    /** One-way directory-to-core latency. */
+    Cycle directoryToCore() const { return hopCycles; }
+
+    /** One-way core-to-core latency (through the fabric). */
+    Cycle coreToCore() const { return 2 * hopCycles; }
+
+    /** Round trip core -> directory -> core. */
+    Cycle requestResponse() const { return 2 * hopCycles; }
+
+    /** Per-hop latency this fabric was built with. */
+    Cycle hopLatency() const { return hopCycles; }
+
+    /** Total messages charged so far (for stats/tests). */
+    std::uint64_t messageCount() const { return messages; }
+
+    /** Record that a message crossed the fabric. */
+    void countMessage() { ++messages; }
+
+  private:
+    Cycle hopCycles;
+    std::uint64_t messages = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MEM_INTERCONNECT_HH_

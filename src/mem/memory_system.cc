@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Implementation of the coherent memory hierarchy.
+ */
+
+#include "mem/memory_system.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+double
+CoreMemStats::l2HitRate() const
+{
+    const std::uint64_t hits = l2User.hits() + l2Os.hits();
+    const std::uint64_t total = l2User.total() + l2Os.total();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+MemorySystem::MemorySystem(unsigned num_cores,
+                           const HierarchyGeometry &geometry,
+                           const MemTimings &timings)
+    : coreStats(num_cores), dir(num_cores),
+      fabric(timings.interconnectHop), lat(timings)
+{
+    if (num_cores == 0)
+        oscar_fatal("memory system needs at least one core");
+    if (geometry.l1i.lineBytes != geometry.l2.lineBytes ||
+        geometry.l1d.lineBytes != geometry.l2.lineBytes) {
+        oscar_fatal("L1 and L2 line sizes must match");
+    }
+    lineShift = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(geometry.l2.lineBytes)));
+
+    cores.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c) {
+        CoreCaches cc;
+        const std::string prefix = "core" + std::to_string(c);
+        cc.l1i = std::make_unique<SetAssocCache>(prefix + ".l1i",
+                                                 geometry.l1i);
+        cc.l1d = std::make_unique<SetAssocCache>(prefix + ".l1d",
+                                                 geometry.l1d);
+        cc.l2 = std::make_unique<SetAssocCache>(prefix + ".l2",
+                                                geometry.l2);
+        cores.push_back(std::move(cc));
+    }
+}
+
+const CoreMemStats &
+MemorySystem::stats(CoreId core) const
+{
+    oscar_assert(core < coreStats.size());
+    return coreStats[core];
+}
+
+const SetAssocCache &
+MemorySystem::l2(CoreId core) const
+{
+    oscar_assert(core < cores.size());
+    return *cores[core].l2;
+}
+
+const SetAssocCache &
+MemorySystem::l1d(CoreId core) const
+{
+    oscar_assert(core < cores.size());
+    return *cores[core].l1d;
+}
+
+const SetAssocCache &
+MemorySystem::l1i(CoreId core) const
+{
+    oscar_assert(core < cores.size());
+    return *cores[core].l1i;
+}
+
+void
+MemorySystem::invalidateAll()
+{
+    for (CoreCaches &cc : cores) {
+        cc.l1i->invalidateAll();
+        cc.l1d->invalidateAll();
+        cc.l2->invalidateAll();
+    }
+    dir.clear();
+}
+
+void
+MemorySystem::resetStats()
+{
+    for (CoreMemStats &cs : coreStats)
+        cs = CoreMemStats{};
+    resetWindow();
+}
+
+double
+MemorySystem::windowL2HitRate() const
+{
+    if (windowL2Accesses == 0)
+        return 0.0;
+    return static_cast<double>(windowL2Hits) /
+           static_cast<double>(windowL2Accesses);
+}
+
+void
+MemorySystem::resetWindow()
+{
+    windowL2Hits = 0;
+    windowL2Accesses = 0;
+}
+
+unsigned
+MemorySystem::invalidateRemote(Addr line_addr, CoreId except)
+{
+    const DirEntry entry = dir.lookup(line_addr);
+    unsigned invalidated = 0;
+    for (unsigned c = 0; c < cores.size(); ++c) {
+        if (c == except || !entry.hasSharer(c))
+            continue;
+        cores[c].l2->invalidate(line_addr);
+        cores[c].l1d->invalidate(line_addr);
+        cores[c].l1i->invalidate(line_addr);
+        dir.removeSharer(line_addr, c);
+        ++coreStats[c].invalidationsReceived;
+        fabric.countMessage();
+        ++invalidated;
+    }
+    return invalidated;
+}
+
+void
+MemorySystem::fillL2(CoreId core, Addr line_addr, MesiState state)
+{
+    auto evicted = cores[core].l2->insert(line_addr, state);
+    if (evicted) {
+        // Inclusion: the L1s may not keep a line the L2 dropped.
+        cores[core].l1d->invalidate(evicted->lineAddr);
+        cores[core].l1i->invalidate(evicted->lineAddr);
+        dir.removeSharer(evicted->lineAddr, core);
+        // A Modified victim is written back; the writeback is off the
+        // critical path and charged no latency, matching the paper's
+        // uniform-latency memory model.
+    }
+}
+
+void
+MemorySystem::fillL1(CoreId core, Addr line_addr, bool instr)
+{
+    SetAssocCache &l1 = instr ? *cores[core].l1i : *cores[core].l1d;
+    // L1s hold presence only; authoritative MESI state lives in the L2.
+    l1.insert(line_addr, MesiState::Shared);
+}
+
+Cycle
+MemorySystem::upgradeLine(CoreId core, Addr line_addr)
+{
+    // S->M upgrade: request to directory, invalidations to sharers,
+    // acks back to the requester.
+    fabric.countMessage();
+    Cycle latency = fabric.requestResponse() + lat.directoryLookup;
+    const unsigned invalidated = invalidateRemote(line_addr, core);
+    if (invalidated > 0)
+        latency += lat.invalidateAck;
+    dir.setExclusive(line_addr, core);
+    cores[core].l2->setState(line_addr, MesiState::Modified);
+    ++coreStats[core].upgrades;
+    if (invalidated > 0)
+        coreStats[core].invalidationsSent += invalidated;
+    return latency;
+}
+
+AccessResult
+MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
+                           ExecContext ctx)
+{
+    (void)ctx;
+    AccessResult result;
+    fabric.countMessage();
+    result.latency = fabric.requestResponse() + lat.directoryLookup;
+
+    const DirEntry entry = dir.lookup(line_addr);
+    const bool remote_exclusive =
+        entry.exclusive && !entry.hasSharer(core);
+
+    if (remote_exclusive) {
+        // Another core owns the line in E or M: cache-to-cache supply.
+        const CoreId owner = entry.owner();
+        fabric.countMessage();
+        result.latency += lat.cacheToCache;
+        result.source = AccessSource::RemoteCache;
+        ++coreStats[core].c2cTransfers;
+        if (is_write) {
+            cores[owner].l2->invalidate(line_addr);
+            cores[owner].l1d->invalidate(line_addr);
+            cores[owner].l1i->invalidate(line_addr);
+            dir.removeSharer(line_addr, owner);
+            ++coreStats[owner].invalidationsReceived;
+            ++coreStats[core].invalidationsSent;
+            result.invalidatedRemote = true;
+            dir.setExclusive(line_addr, core);
+            fillL2(core, line_addr, MesiState::Modified);
+        } else {
+            // Owner downgrades to Shared (writeback folded into the
+            // cache-to-cache latency).
+            cores[owner].l2->setState(line_addr, MesiState::Shared);
+            dir.demoteToShared(line_addr);
+            dir.addSharer(line_addr, core);
+            fillL2(core, line_addr, MesiState::Shared);
+        }
+    } else if (!entry.uncached() && !entry.hasSharer(core)) {
+        // Shared at one or more other cores.
+        if (is_write) {
+            const unsigned invalidated = invalidateRemote(line_addr, core);
+            result.latency += lat.invalidateAck + lat.memory;
+            result.source = AccessSource::Memory;
+            result.invalidatedRemote = invalidated > 0;
+            coreStats[core].invalidationsSent += invalidated;
+            ++coreStats[core].memoryFetches;
+            dir.setExclusive(line_addr, core);
+            fillL2(core, line_addr, MesiState::Modified);
+        } else {
+            result.latency += lat.memory;
+            result.source = AccessSource::Memory;
+            ++coreStats[core].memoryFetches;
+            dir.addSharer(line_addr, core);
+            fillL2(core, line_addr, MesiState::Shared);
+        }
+    } else {
+        // Uncached anywhere: fetch from memory.
+        result.latency += lat.memory;
+        result.source = AccessSource::Memory;
+        ++coreStats[core].memoryFetches;
+        dir.setExclusive(line_addr, core);
+        fillL2(core, line_addr,
+               is_write ? MesiState::Modified : MesiState::Exclusive);
+    }
+    return result;
+}
+
+AccessResult
+MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
+                     ExecContext ctx)
+{
+    oscar_assert(core < cores.size());
+    const Addr line_addr = byte_addr >> lineShift;
+    const bool is_instr = type == AccessType::InstrFetch;
+    const bool is_write = type == AccessType::Write;
+    CoreCaches &cc = cores[core];
+    CoreMemStats &cs = coreStats[core];
+
+    AccessResult result;
+    result.latency = lat.l1Hit;
+
+    SetAssocCache &l1 = is_instr ? *cc.l1i : *cc.l1d;
+    RatioStat &l1_stat = is_instr ? cs.l1i : cs.l1d;
+    const bool l1_hit = l1.access(line_addr) != MesiState::Invalid;
+    l1_stat.add(l1_hit);
+
+    if (l1_hit) {
+        if (is_write) {
+            const MesiState l2_state = cc.l2->probe(line_addr);
+            oscar_assert(l2_state != MesiState::Invalid);
+            if (!canWrite(l2_state)) {
+                result.latency += upgradeLine(core, line_addr);
+                result.upgrade = true;
+            } else if (l2_state == MesiState::Exclusive) {
+                // Silent E->M upgrade.
+                cc.l2->setState(line_addr, MesiState::Modified);
+            }
+        }
+        result.source = AccessSource::L1;
+        return result;
+    }
+
+    // L1 miss: consult the private L2.
+    const MesiState l2_state = cc.l2->access(line_addr);
+    result.latency += lat.l2Hit;
+    const bool l2_usable = l2_state != MesiState::Invalid;
+    RatioStat &l2_stat = ctx == ExecContext::User ? cs.l2User : cs.l2Os;
+
+    if (l2_usable) {
+        l2_stat.add(true);
+        ++windowL2Hits;
+        ++windowL2Accesses;
+        if (is_write && !canWrite(l2_state)) {
+            result.latency += upgradeLine(core, line_addr);
+            result.upgrade = true;
+        } else if (is_write && l2_state == MesiState::Exclusive) {
+            cc.l2->setState(line_addr, MesiState::Modified);
+        }
+        fillL1(core, line_addr, is_instr);
+        result.source = AccessSource::L2;
+        return result;
+    }
+
+    l2_stat.add(false);
+    ++windowL2Accesses;
+
+    const AccessResult miss = handleL2Miss(core, line_addr, is_write, ctx);
+    result.latency += miss.latency;
+    result.source = miss.source;
+    result.invalidatedRemote = miss.invalidatedRemote;
+    fillL1(core, line_addr, is_instr);
+    return result;
+}
+
+} // namespace oscar

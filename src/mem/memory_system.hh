@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The full memory hierarchy: per-core private L1I/L1D/L2 tag stores, a
+ * MESI directory, a point-to-point interconnect, and uniform-latency
+ * main memory (Table II of the paper).
+ *
+ * Accesses resolve atomically: state is updated and the full latency of
+ * the access is returned to the caller, which stalls the in-order core
+ * for that long (the abstraction gem5 calls "atomic mode with timing
+ * annotations"). Contention is modelled where the paper models it — at
+ * the non-SMT OS core via an explicit request queue — not inside the
+ * fabric.
+ */
+
+#ifndef OSCAR_MEM_MEMORY_SYSTEM_HH_
+#define OSCAR_MEM_MEMORY_SYSTEM_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/directory.hh"
+#include "mem/interconnect.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Kind of memory reference. */
+enum class AccessType : std::uint8_t
+{
+    InstrFetch,
+    Read,
+    Write,
+};
+
+/** Execution context issuing the reference, for stat attribution. */
+enum class ExecContext : std::uint8_t
+{
+    User,
+    Os,
+};
+
+/** Where the data was ultimately supplied from. */
+enum class AccessSource : std::uint8_t
+{
+    L1,
+    L2,
+    RemoteCache, ///< cache-to-cache transfer
+    Memory,
+};
+
+/** Outcome of one memory reference. */
+struct AccessResult
+{
+    /** Total cycles the reference occupied the core. */
+    Cycle latency = 0;
+    /** Supply point. */
+    AccessSource source = AccessSource::L1;
+    /** True when other cores' copies were invalidated. */
+    bool invalidatedRemote = false;
+    /** True when the reference paid an S->M upgrade transaction. */
+    bool upgrade = false;
+};
+
+/** Latency parameters of the hierarchy (Table II + coherence costs). */
+struct MemTimings
+{
+    Cycle l1Hit = 1;
+    Cycle l2Hit = 12;
+    Cycle directoryLookup = 20;
+    Cycle cacheToCache = 25;
+    Cycle invalidateAck = 20;
+    Cycle memory = 350;
+    Cycle interconnectHop = 10;
+};
+
+/** Geometry of one core's private hierarchy (Table II defaults). */
+struct HierarchyGeometry
+{
+    CacheGeometry l1i{32 * 1024, 2, 64, 1};
+    CacheGeometry l1d{32 * 1024, 2, 64, 1};
+    CacheGeometry l2{1024 * 1024, 16, 64, 12};
+};
+
+/** Per-core, per-context cache statistics. */
+struct CoreMemStats
+{
+    RatioStat l1i;
+    RatioStat l1d;
+    RatioStat l2User;
+    RatioStat l2Os;
+    std::uint64_t c2cTransfers = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t invalidationsReceived = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t memoryFetches = 0;
+
+    /** Combined L2 hit rate across contexts. */
+    double l2HitRate() const;
+};
+
+/**
+ * The coherent multi-core memory hierarchy.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param num_cores Cores with private hierarchies (1..64).
+     * @param geometry Per-core cache geometry (same for all cores).
+     * @param timings Latency parameters.
+     */
+    MemorySystem(unsigned num_cores, const HierarchyGeometry &geometry,
+                 const MemTimings &timings);
+
+    /**
+     * Perform one reference and return its latency and classification.
+     *
+     * @param core Issuing core.
+     * @param byte_addr Byte address.
+     * @param type Fetch/read/write.
+     * @param ctx User or OS execution, for stat attribution.
+     */
+    AccessResult access(CoreId core, Addr byte_addr, AccessType type,
+                        ExecContext ctx);
+
+    /** Number of cores. */
+    unsigned numCores() const { return static_cast<unsigned>(cores.size()); }
+
+    /** Lifetime statistics for one core. */
+    const CoreMemStats &stats(CoreId core) const;
+
+    /**
+     * Windowed L2 hit rate across the given cores since the last
+     * resetWindow() — the feedback signal for dynamic-N estimation
+     * (Section III-B averages the user and OS cores' L2 hit rates).
+     */
+    double windowL2HitRate() const;
+
+    /** Start a new measurement window. */
+    void resetWindow();
+
+    /** Tag-store access to a core's L2 (tests/inspection). */
+    const SetAssocCache &l2(CoreId core) const;
+
+    /** Tag-store access to a core's L1D (tests/inspection). */
+    const SetAssocCache &l1d(CoreId core) const;
+
+    /** Tag-store access to a core's L1I (tests/inspection). */
+    const SetAssocCache &l1i(CoreId core) const;
+
+    /** The directory (tests/inspection). */
+    const Directory &directory() const { return dir; }
+
+    /** Drop all cached state (between experiment phases). */
+    void invalidateAll();
+
+    /**
+     * Zero all per-core statistics and the measurement window without
+     * touching cache contents (warmup-to-measurement transition).
+     */
+    void resetStats();
+
+    /** Timings this hierarchy was built with. */
+    const MemTimings &timings() const { return lat; }
+
+  private:
+    struct CoreCaches
+    {
+        std::unique_ptr<SetAssocCache> l1i;
+        std::unique_ptr<SetAssocCache> l1d;
+        std::unique_ptr<SetAssocCache> l2;
+    };
+
+    /** Handle an L2 miss: directory transaction + fill. */
+    AccessResult handleL2Miss(CoreId core, Addr line_addr, bool is_write,
+                              ExecContext ctx);
+
+    /** Pay for and perform an S->M upgrade for a line resident at core. */
+    Cycle upgradeLine(CoreId core, Addr line_addr);
+
+    /** Invalidate a line in every other core's hierarchy. */
+    unsigned invalidateRemote(Addr line_addr, CoreId except);
+
+    /** Insert into L2 handling eviction bookkeeping. */
+    void fillL2(CoreId core, Addr line_addr, MesiState state);
+
+    /** Insert presence into the right L1. */
+    void fillL1(CoreId core, Addr line_addr, bool instr);
+
+    std::vector<CoreCaches> cores;
+    std::vector<CoreMemStats> coreStats;
+    Directory dir;
+    Interconnect fabric;
+    MemTimings lat;
+    unsigned lineShift;
+
+    // Measurement window for the threshold controller feedback.
+    std::uint64_t windowL2Hits = 0;
+    std::uint64_t windowL2Accesses = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MEM_MEMORY_SYSTEM_HH_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the Poisson interrupt source.
+ */
+
+#include "os/interrupts.hh"
+
+#include <cmath>
+
+namespace oscar
+{
+
+InterruptSource::InterruptSource(const InterruptConfig &config,
+                                 const ServiceTable &table, Rng rng)
+    : cfg(config), services(table), stream(rng)
+{
+}
+
+InstCount
+InterruptSource::preemptionExtension(Cycle expected_cycles)
+{
+    if (!enabled() || expected_cycles == 0)
+        return 0;
+
+    // Poisson arrivals: number of preemptions over the window.
+    const double lambda = static_cast<double>(expected_cycles) /
+                          cfg.meanInterarrivalCycles;
+    InstCount extension = 0;
+    // Sample arrival count by thinning: for the short windows typical
+    // of OS sequences lambda is small, so iterate arrivals directly.
+    double remaining_window = static_cast<double>(expected_cycles);
+    for (;;) {
+        const double gap = stream.nextExponential(
+            cfg.meanInterarrivalCycles);
+        if (gap >= remaining_window)
+            break;
+        remaining_window -= gap;
+        // Preempting handler: device interrupts only.
+        const ServiceId handler =
+            stream.nextBool(0.5) ? ServiceId::NetRxIrq
+                                 : ServiceId::TimerIrq;
+        const OsService &svc = services.service(handler);
+        extension += svc.sampleLength(0, stream);
+        ++extensions;
+        // Guard against pathological configs flooding one sequence.
+        if (extension > 200000)
+            break;
+    }
+    (void)lambda;
+    return extension;
+}
+
+} // namespace oscar

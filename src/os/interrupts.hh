@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Asynchronous device-interrupt model.
+ *
+ * Interrupts matter to the paper in two ways: (1) they appear as
+ * standalone privileged sequences in the workload mix, and (2) when
+ * they preempt an in-flight interruptible OS sequence they *extend*
+ * its observed run length, which is the paper's dominant source of
+ * run-length mispredictions ("these interrupts typically extend the
+ * duration of OS invocations, almost never decreasing it").
+ */
+
+#ifndef OSCAR_OS_INTERRUPTS_HH_
+#define OSCAR_OS_INTERRUPTS_HH_
+
+#include <cstdint>
+
+#include "os/os_service.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Configuration of the asynchronous interrupt stream. */
+struct InterruptConfig
+{
+    /** Mean cycles between device interrupts; 0 disables them. */
+    double meanInterarrivalCycles = 0.0;
+};
+
+/**
+ * Poisson interrupt source.
+ */
+class InterruptSource
+{
+  public:
+    /**
+     * @param config Arrival-rate configuration.
+     * @param table Service table (handlers are drawn from it).
+     * @param rng Independent stream for arrival sampling.
+     */
+    InterruptSource(const InterruptConfig &config,
+                    const ServiceTable &table, Rng rng);
+
+    /**
+     * Extra instructions appended to an interruptible OS sequence by
+     * interrupt preemption.
+     *
+     * @param expected_cycles Roughly how long the sequence will occupy
+     *        the core; longer sequences absorb more arrivals.
+     * @return Handler instructions to append (possibly 0).
+     */
+    InstCount preemptionExtension(Cycle expected_cycles);
+
+    /** True when the source is enabled. */
+    bool enabled() const { return cfg.meanInterarrivalCycles > 0.0; }
+
+    /** Number of preemption extensions granted so far. */
+    std::uint64_t extensionCount() const { return extensions; }
+
+  private:
+    InterruptConfig cfg;
+    const ServiceTable &services;
+    Rng stream;
+    std::uint64_t extensions = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OS_INTERRUPTS_HH_

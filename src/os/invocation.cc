@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of invocation helpers.
+ */
+
+#include "os/invocation.hh"
+
+namespace oscar
+{
+
+namespace
+{
+
+/** Mix a service id into a 64-bit kernel entry-vector value. */
+std::uint64_t
+entryVector(ServiceId id)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(id) + 1;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+AStateRegisters
+captureRegisters(const ArchState &arch)
+{
+    AStateRegisters regs;
+    regs.pstate = arch.pstate();
+    regs.g0 = arch.global(0);
+    regs.g1 = arch.global(1);
+    regs.i0 = arch.input(0);
+    regs.i1 = arch.input(1);
+    return regs;
+}
+
+void
+setupEntryRegisters(ArchState &arch, const OsService &service,
+                    std::uint64_t arg0, std::uint64_t arg1)
+{
+    arch.setPrivileged(true);
+    arch.setInterruptsEnabled(service.interruptible);
+    arch.setGlobal(0, entryVector(service.id));
+    arch.setGlobal(1, static_cast<std::uint64_t>(service.id));
+    arch.setInput(0, arg0);
+    arch.setInput(1, arg1);
+}
+
+} // namespace oscar

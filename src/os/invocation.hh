@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One OS invocation: the unit the off-loading decision acts on.
+ *
+ * A workload generates an OsInvocation each time its thread enters
+ * privileged mode. The invocation carries the architected-register
+ * snapshot (from which the predictor computes its AState hash) and the
+ * sampled true run length, which only the execution path may read —
+ * decision policies see registers, never the future.
+ */
+
+#ifndef OSCAR_OS_INVOCATION_HH_
+#define OSCAR_OS_INVOCATION_HH_
+
+#include <cstdint>
+
+#include "cpu/arch_state.hh"
+#include "os/os_service.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Snapshot of the registers hashed by the predictor (Section III-A). */
+struct AStateRegisters
+{
+    std::uint64_t pstate = 0;
+    std::uint64_t g0 = 0;
+    std::uint64_t g1 = 0;
+    std::uint64_t i0 = 0;
+    std::uint64_t i1 = 0;
+};
+
+/**
+ * XOR-hash of the architected registers, the paper's AState.
+ */
+constexpr std::uint64_t
+computeAState(const AStateRegisters &regs)
+{
+    return regs.pstate ^ regs.g0 ^ regs.g1 ^ regs.i0 ^ regs.i1;
+}
+
+/** Capture the AState registers from live architected state. */
+AStateRegisters captureRegisters(const ArchState &arch);
+
+/**
+ * One transition into privileged mode.
+ */
+struct OsInvocation
+{
+    /** Service being invoked. */
+    const OsService *service = nullptr;
+    /** Primary argument (bytes, fd count, ...). */
+    std::uint64_t arg = 0;
+    /** Register snapshot at the privileged-mode entry. */
+    AStateRegisters regs;
+    /**
+     * True run length in instructions (before any asynchronous
+     * interrupt extension). Decision policies must not read this.
+     */
+    InstCount trueLength = 0;
+
+    /** The predictor's hash input. */
+    std::uint64_t astate() const { return computeAState(regs); }
+
+    /** True for the spill/fill traps excluded from de-skewed figures. */
+    bool
+    isWindowTrap() const
+    {
+        return service != nullptr && service->isWindowTrap();
+    }
+};
+
+/**
+ * Populate architected state the way the OS-entry stub would before
+ * trapping: PSTATE gains PRIV (and reflects the handler's IE), g0
+ * carries the kernel entry vector, g1 the service number, i0/i1 the
+ * arguments.
+ */
+void setupEntryRegisters(ArchState &arch, const OsService &service,
+                         std::uint64_t arg0, std::uint64_t arg1);
+
+} // namespace oscar
+
+#endif // OSCAR_OS_INVOCATION_HH_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Thread-migration cost models (Section II, "Migration
+ * Implementations").
+ *
+ * The paper is agnostic to the off-loading mechanism and sweeps the
+ * one-way migration latency. Two named design points anchor the
+ * results: *Conservative* (~5,000 cycles, the measured thread-migration
+ * time of an unmodified Linux 2.6.18 kernel) and *Aggressive*
+ * (100 cycles, the hardware thread-transfer mechanism of Brown &
+ * Tullsen's Shared-Thread Multiprocessor).
+ */
+
+#ifndef OSCAR_OS_MIGRATION_HH_
+#define OSCAR_OS_MIGRATION_HH_
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/**
+ * One-way migration latency model.
+ */
+class MigrationModel
+{
+  public:
+    /** @param one_way Cycles to move a thread between cores, one way. */
+    explicit MigrationModel(Cycle one_way, std::string name = "custom")
+        : oneWay(one_way), modelName(std::move(name))
+    {}
+
+    /** Unmodified Linux 2.6.18 software migration (~5,000 cycles). */
+    static MigrationModel conservative()
+    {
+        return MigrationModel(5000, "conservative");
+    }
+
+    /** Kernel fast-switching proposal (Strong et al., ~3,000 cycles). */
+    static MigrationModel improvedSoftware()
+    {
+        return MigrationModel(3000, "improved-software");
+    }
+
+    /** Hardware thread-state machine (Brown & Tullsen, ~100 cycles). */
+    static MigrationModel aggressive()
+    {
+        return MigrationModel(100, "aggressive");
+    }
+
+    /** One-way latency in cycles. */
+    Cycle oneWayLatency() const { return oneWay; }
+
+    /** Cost of a full off-load round trip (out and back). */
+    Cycle roundTripLatency() const { return 2 * oneWay; }
+
+    /** Design-point name. */
+    const std::string &name() const { return modelName; }
+
+  private:
+    Cycle oneWay;
+    std::string modelName;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OS_MIGRATION_HH_

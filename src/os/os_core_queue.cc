@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the OS-core request queue.
+ */
+
+#include "os/os_core_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+bool
+OsCoreQueue::offer(const OffloadRequest &req, Cycle now)
+{
+    oscar_assert(req.arrival <= now || req.arrival == now);
+    if (!coreBusy) {
+        coreBusy = true;
+        delayStat.add(0.0);
+        ++admittedCount;
+        return true;
+    }
+    waiting.push_back(req);
+    return false;
+}
+
+bool
+OsCoreQueue::completeCurrent(Cycle now, OffloadRequest &next_out)
+{
+    oscar_assert(coreBusy);
+    if (waiting.empty()) {
+        coreBusy = false;
+        return false;
+    }
+    next_out = waiting.front();
+    waiting.pop_front();
+    oscar_assert(now >= next_out.arrival);
+    delayStat.add(static_cast<double>(now - next_out.arrival));
+    ++admittedCount;
+    return true;
+}
+
+void
+OsCoreQueue::resetStats()
+{
+    delayStat.reset();
+    admittedCount = 0;
+}
+
+} // namespace oscar

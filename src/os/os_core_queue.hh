@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Request queue of the dedicated (non-SMT) OS core.
+ *
+ * Section V-C: "if the OS core is handling an off-loading request when
+ * an additional request comes in, the new request must be stalled
+ * until the OS core becomes free." The queue records the delay each
+ * request waits, the statistic the scalability study reports.
+ */
+
+#ifndef OSCAR_OS_OS_CORE_QUEUE_HH_
+#define OSCAR_OS_OS_CORE_QUEUE_HH_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** One off-loaded request waiting for the OS core. */
+struct OffloadRequest
+{
+    /** Thread that off-loaded. */
+    std::uint32_t threadId = 0;
+    /** Cycle the request arrived at the OS core. */
+    Cycle arrival = 0;
+};
+
+/**
+ * FIFO admission control for a single OS core.
+ */
+class OsCoreQueue
+{
+  public:
+    /**
+     * Offer a request.
+     *
+     * @param req The request.
+     * @param now Current cycle.
+     * @return true when the OS core was idle and the request may start
+     *         immediately; false when it was queued.
+     */
+    bool offer(const OffloadRequest &req, Cycle now);
+
+    /**
+     * The OS core finished its current request.
+     *
+     * @param now Completion cycle.
+     * @return The next request to start (its queue delay is recorded),
+     *         or nullptr-like: use hasNext()/next() pattern instead.
+     */
+    bool completeCurrent(Cycle now, OffloadRequest &next_out);
+
+    /** True while a request occupies the OS core. */
+    bool busy() const { return coreBusy; }
+
+    /** Requests waiting (excluding the one in service). */
+    std::size_t depth() const { return waiting.size(); }
+
+    /** Distribution of cycles requests waited before starting. */
+    const RunningStat &queueDelay() const { return delayStat; }
+
+    /** Total requests ever admitted (started service). */
+    std::uint64_t admitted() const { return admittedCount; }
+
+    /** Reset statistics (not occupancy). */
+    void resetStats();
+
+  private:
+    std::deque<OffloadRequest> waiting;
+    bool coreBusy = false;
+    RunningStat delayStat;
+    std::uint64_t admittedCount = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OS_OS_CORE_QUEUE_HH_

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * The standard OS service table.
+ *
+ * Lengths are in instructions and were chosen so the per-workload
+ * mixes (src/workload) reproduce the run-length structure the paper
+ * reports: heavy sub-25-instruction register-window traffic on SPARC,
+ * a large population of short-to-medium syscalls, and a fat tail of
+ * multi-10k-instruction sequences (sendfile of large responses, fork/
+ * exec of CGI children, journal fsyncs) that dominates total OS time.
+ */
+
+#include "os/os_service.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+InstCount
+OsService::sampleLength(std::uint64_t arg, Rng &rng) const
+{
+    double length = meanLength(arg);
+    if (lengthSigma > 0.0) {
+        // Multiplicative log-normal noise centred on the mean.
+        length *= rng.nextLogNormal(-0.5 * lengthSigma * lengthSigma,
+                                    lengthSigma);
+    }
+    if (length < 5.0)
+        length = 5.0;
+    return static_cast<InstCount>(length);
+}
+
+double
+OsService::meanLength(std::uint64_t arg) const
+{
+    return baseLength + argScale * static_cast<double>(arg);
+}
+
+namespace
+{
+
+/** Shorthand builder keeping the table below readable. */
+struct ServiceBuilder
+{
+    OsService s;
+
+    ServiceBuilder(ServiceId id, std::string name, ServiceKind kind,
+                   double base, double arg_scale, double sigma)
+    {
+        s.id = id;
+        s.name = std::move(name);
+        s.kind = kind;
+        s.baseLength = base;
+        s.argScale = arg_scale;
+        s.lengthSigma = sigma;
+    }
+
+    /** Handler runs with interrupts masked. */
+    ServiceBuilder &
+    uninterruptible()
+    {
+        s.interruptible = false;
+        return *this;
+    }
+
+    /** Data-pool weights: user / OS / shared. */
+    ServiceBuilder &
+    touches(double user, double os, double shared)
+    {
+        s.userDataWeight = user;
+        s.osDataWeight = os;
+        s.sharedDataWeight = shared;
+        return *this;
+    }
+
+    /** Write fractions: user / OS / shared pools. */
+    ServiceBuilder &
+    writes(double user, double os, double shared)
+    {
+        s.userWriteFraction = user;
+        s.osWriteFraction = os;
+        s.sharedWriteFraction = shared;
+        return *this;
+    }
+
+    /** Memory intensity: instructions per data ref / per I-fetch. */
+    ServiceBuilder &
+    density(double per_data, double per_fetch)
+    {
+        s.instrPerData = per_data;
+        s.instrPerFetch = per_fetch;
+        return *this;
+    }
+
+    /** Kernel code footprint. */
+    ServiceBuilder &
+    codeFootprint(std::uint64_t bytes)
+    {
+        s.codeBytes = bytes;
+        return *this;
+    }
+
+    /** Kernel data subsystem (and common-set share). */
+    ServiceBuilder &
+    pool(OsDataPool data_pool, double common_share = 0.3)
+    {
+        s.pool = data_pool;
+        s.commonShare = common_share;
+        return *this;
+    }
+
+    operator OsService() const { return s; }
+};
+
+} // namespace
+
+ServiceTable::ServiceTable()
+{
+    using SB = ServiceBuilder;
+    using SK = ServiceKind;
+    services.reserve(kNumServices);
+
+    // Register-window traps: tiny, uninterruptible, and almost
+    // entirely user-stack traffic — the references that ping-pong
+    // lines between cores when such traps are off-loaded (the paper's
+    // explanation for the N=0 performance cliff).
+    services.push_back(
+        SB(ServiceId::SpillTrap, "spill_trap", SK::WindowTrap, 18, 0, 0)
+            .uninterruptible()
+            .touches(0.92, 0.08, 0.0)
+            .writes(0.9, 0.1, 0.0)
+            .density(1.5, 16.0)
+            .codeFootprint(1024)
+            .pool(OsDataPool::Common, 0.9));
+    services.push_back(
+        SB(ServiceId::FillTrap, "fill_trap", SK::WindowTrap, 20, 0, 0)
+            .uninterruptible()
+            .touches(0.92, 0.08, 0.0)
+            .writes(0.05, 0.1, 0.0)
+            .density(1.5, 16.0)
+            .codeFootprint(1024)
+            .pool(OsDataPool::Common, 0.9));
+
+    // Trivial syscalls.
+    services.push_back(
+        SB(ServiceId::GetPid, "getpid", SK::Syscall, 17, 0, 0)
+            .uninterruptible()
+            .touches(0.1, 0.9, 0.0)
+            .writes(0.0, 0.05, 0.0)
+            .density(5.0, 12.0)
+            .codeFootprint(512)
+            .pool(OsDataPool::Common, 1.0));
+    services.push_back(
+        SB(ServiceId::GetTimeOfDay, "gettimeofday", SK::Syscall, 80, 0, 0)
+            .uninterruptible()
+            .touches(0.4, 0.6, 0.0)
+            .writes(0.5, 0.05, 0.0)
+            .density(5.0, 12.0)
+            .codeFootprint(2048)
+            .pool(OsDataPool::Common, 1.0));
+    services.push_back(
+        SB(ServiceId::ClockGetTime, "clock_gettime", SK::Syscall, 70, 0, 0)
+            .uninterruptible()
+            .touches(0.4, 0.6, 0.0)
+            .writes(0.5, 0.05, 0.0)
+            .density(5.0, 12.0)
+            .codeFootprint(2048)
+            .pool(OsDataPool::Common, 1.0));
+    services.push_back(
+        SB(ServiceId::SchedYield, "sched_yield", SK::Syscall, 150, 0, 0)
+            .touches(0.05, 0.95, 0.0)
+            .writes(0.1, 0.15, 0.0)
+            .density(4.0, 10.0)
+            .codeFootprint(8 * 1024)
+            .pool(OsDataPool::Common, 0.8));
+
+    // File and socket I/O: run length scales with the byte count
+    // argument; data movement touches user buffers (copy-out), the
+    // kernel page/buffer cache, and shared I/O descriptors.
+    services.push_back(
+        SB(ServiceId::Read, "read", SK::Syscall, 300, 0.25, 0)
+            .touches(0.20, 0.60, 0.20)
+            .writes(0.85, 0.1, 0.3)
+            .density(3.0, 12.0)
+            .codeFootprint(24 * 1024)
+            .pool(OsDataPool::FileIo, 0.08));
+    services.push_back(
+        SB(ServiceId::Write, "write", SK::Syscall, 320, 0.25, 0)
+            .touches(0.20, 0.60, 0.20)
+            .writes(0.1, 0.4, 0.5)
+            .density(3.0, 12.0)
+            .codeFootprint(24 * 1024)
+            .pool(OsDataPool::FileIo, 0.08));
+    services.push_back(
+        SB(ServiceId::Open, "open", SK::Syscall, 900, 0, 0.025)
+            .touches(0.15, 0.75, 0.10)
+            .writes(0.1, 0.15, 0.2)
+            .density(4.0, 10.0)
+            .codeFootprint(32 * 1024)
+            .pool(OsDataPool::FileIo, 0.2));
+    services.push_back(
+        SB(ServiceId::Close, "close", SK::Syscall, 250, 0, 0.015)
+            .touches(0.1, 0.85, 0.05)
+            .writes(0.1, 0.2, 0.3)
+            .density(4.0, 10.0)
+            .codeFootprint(8 * 1024)
+            .pool(OsDataPool::FileIo, 0.3));
+    services.push_back(
+        SB(ServiceId::Stat, "stat", SK::Syscall, 700, 0, 0.015)
+            .touches(0.25, 0.70, 0.05)
+            .writes(0.6, 0.1, 0.1)
+            .density(4.0, 10.0)
+            .codeFootprint(16 * 1024)
+            .pool(OsDataPool::FileIo, 0.2));
+    services.push_back(
+        SB(ServiceId::Poll, "poll", SK::Syscall, 380, 40.0, 0.008)
+            .touches(0.3, 0.55, 0.15)
+            .writes(0.5, 0.2, 0.2)
+            .density(4.0, 10.0)
+            .codeFootprint(12 * 1024)
+            .pool(OsDataPool::Net, 0.3));
+    services.push_back(
+        SB(ServiceId::Select, "select", SK::Syscall, 500, 30.0, 0)
+            .touches(0.3, 0.55, 0.15)
+            .writes(0.5, 0.2, 0.2)
+            .density(4.0, 10.0)
+            .codeFootprint(12 * 1024)
+            .pool(OsDataPool::Net, 0.3));
+    services.push_back(
+        SB(ServiceId::Accept, "accept", SK::Syscall, 1200, 0, 0.02)
+            .touches(0.15, 0.65, 0.20)
+            .writes(0.3, 0.5, 0.5)
+            .density(4.0, 10.0)
+            .codeFootprint(24 * 1024)
+            .pool(OsDataPool::Net, 0.2));
+    services.push_back(
+        SB(ServiceId::SendTo, "sendto", SK::Syscall, 600, 0.20, 0)
+            .touches(0.18, 0.57, 0.25)
+            .writes(0.1, 0.5, 0.6)
+            .density(3.0, 12.0)
+            .codeFootprint(28 * 1024)
+            .pool(OsDataPool::Net, 0.08));
+    services.push_back(
+        SB(ServiceId::RecvFrom, "recvfrom", SK::Syscall, 620, 0.20, 0)
+            .touches(0.18, 0.57, 0.25)
+            .writes(0.8, 0.2, 0.3)
+            .density(3.0, 12.0)
+            .codeFootprint(28 * 1024)
+            .pool(OsDataPool::Net, 0.08));
+    services.push_back(
+        SB(ServiceId::SendFile, "sendfile", SK::Syscall, 2500, 0.22, 0)
+            .touches(0.08, 0.62, 0.30)
+            .writes(0.05, 0.25, 0.5)
+            .density(2.0, 14.0)
+            .codeFootprint(32 * 1024)
+            .pool(OsDataPool::PageCache, 0.05));
+    services.push_back(
+        SB(ServiceId::Writev, "writev", SK::Syscall, 800, 0.22, 0)
+            .touches(0.18, 0.57, 0.25)
+            .writes(0.1, 0.5, 0.6)
+            .density(3.0, 12.0)
+            .codeFootprint(20 * 1024)
+            .pool(OsDataPool::FileIo, 0.08));
+
+    // Memory management.
+    services.push_back(
+        SB(ServiceId::Mmap, "mmap", SK::Syscall, 1400, 0.02, 0.02)
+            .touches(0.1, 0.85, 0.05)
+            .writes(0.1, 0.5, 0.2)
+            .density(4.0, 10.0)
+            .codeFootprint(32 * 1024)
+            .pool(OsDataPool::Vm, 0.10));
+    services.push_back(
+        SB(ServiceId::Brk, "brk", SK::Syscall, 350, 0, 0)
+            .touches(0.1, 0.85, 0.05)
+            .writes(0.1, 0.5, 0.2)
+            .density(4.0, 10.0)
+            .codeFootprint(8 * 1024)
+            .pool(OsDataPool::Vm, 0.3));
+
+    // Synchronization.
+    services.push_back(
+        SB(ServiceId::Futex, "futex", SK::Syscall, 300, 0, 0)
+            .touches(0.35, 0.50, 0.15)
+            .writes(0.5, 0.3, 0.6)
+            .density(4.0, 10.0)
+            .codeFootprint(12 * 1024)
+            .pool(OsDataPool::Common, 0.8));
+    services.push_back(
+        SB(ServiceId::FutexWait, "futex_wait", SK::Syscall, 2200, 0, 0.05)
+            .touches(0.2, 0.65, 0.15)
+            .writes(0.3, 0.25, 0.6)
+            .density(4.0, 10.0)
+            .codeFootprint(16 * 1024)
+            .pool(OsDataPool::Common, 0.7));
+
+    // Faults.
+    services.push_back(
+        SB(ServiceId::PageFault, "page_fault", SK::Fault, 1800, 0, 0.02)
+            .touches(0.25, 0.70, 0.05)
+            .writes(0.3, 0.5, 0.2)
+            .density(4.0, 10.0)
+            .codeFootprint(24 * 1024)
+            .pool(OsDataPool::Vm, 0.12));
+    services.push_back(
+        SB(ServiceId::TlbMiss, "tlb_miss", SK::Fault, 60, 0, 0.0)
+            .uninterruptible()
+            .touches(0.1, 0.9, 0.0)
+            .writes(0.05, 0.05, 0.0)
+            .density(3.0, 16.0)
+            .codeFootprint(2048)
+            .pool(OsDataPool::Vm, 0.5));
+
+    // Scheduling and process management.
+    services.push_back(
+        SB(ServiceId::ContextSwitch, "context_switch", SK::Syscall, 1200,
+           0, 0.025)
+            .uninterruptible()
+            .touches(0.15, 0.80, 0.05)
+            .writes(0.4, 0.25, 0.3)
+            .density(3.0, 10.0)
+            .codeFootprint(20 * 1024)
+            .pool(OsDataPool::Common, 0.8));
+    services.push_back(
+        SB(ServiceId::Fork, "fork", SK::Syscall, 30000, 0, 0.03)
+            .touches(0.15, 0.80, 0.05)
+            .writes(0.3, 0.45, 0.3)
+            .density(2.2, 10.0)
+            .codeFootprint(48 * 1024)
+            .pool(OsDataPool::Vm, 0.12));
+    services.push_back(
+        SB(ServiceId::Exec, "execve", SK::Syscall, 52000, 0, 0.03)
+            .touches(0.12, 0.83, 0.05)
+            .writes(0.4, 0.45, 0.3)
+            .density(2.2, 10.0)
+            .codeFootprint(64 * 1024)
+            .pool(OsDataPool::PageCache, 0.06));
+    services.push_back(
+        SB(ServiceId::Fsync, "fsync", SK::Syscall, 6500, 0, 0.04)
+            .touches(0.05, 0.80, 0.15)
+            .writes(0.05, 0.45, 0.6)
+            .density(2.2, 12.0)
+            .codeFootprint(32 * 1024)
+            .pool(OsDataPool::PageCache, 0.05));
+    services.push_back(
+        SB(ServiceId::SocketSetup, "socket_setup", SK::Syscall, 3000, 0,
+           0.025)
+            .touches(0.10, 0.75, 0.15)
+            .writes(0.2, 0.5, 0.5)
+            .density(4.0, 10.0)
+            .codeFootprint(24 * 1024)
+            .pool(OsDataPool::Net, 0.25));
+
+    // Device-interrupt handlers (asynchronous arrivals).
+    services.push_back(
+        SB(ServiceId::TimerIrq, "timer_irq", SK::Interrupt, 800, 0, 0.008)
+            .uninterruptible()
+            .touches(0.05, 0.90, 0.05)
+            .writes(0.1, 0.2, 0.3)
+            .density(4.0, 10.0)
+            .codeFootprint(8 * 1024)
+            .pool(OsDataPool::Common, 0.8));
+    services.push_back(
+        SB(ServiceId::NetRxIrq, "net_rx_irq", SK::Interrupt, 2200, 0, 0.02)
+            .touches(0.05, 0.65, 0.30)
+            .writes(0.1, 0.6, 0.7)
+            .density(3.0, 12.0)
+            .codeFootprint(28 * 1024)
+            .pool(OsDataPool::Net, 0.08));
+    services.push_back(
+        SB(ServiceId::DiskIrq, "disk_irq", SK::Interrupt, 1500, 0, 0.02)
+            .touches(0.05, 0.75, 0.20)
+            .writes(0.1, 0.6, 0.6)
+            .density(3.0, 12.0)
+            .codeFootprint(16 * 1024)
+            .pool(OsDataPool::FileIo, 0.2));
+
+    oscar_assert(services.size() == kNumServices);
+    for (std::size_t i = 0; i < services.size(); ++i) {
+        oscar_assert(static_cast<std::size_t>(services[i].id) == i);
+    }
+}
+
+const OsService &
+ServiceTable::service(ServiceId id) const
+{
+    const auto index = static_cast<std::size_t>(id);
+    oscar_assert(index < services.size());
+    return services[index];
+}
+
+} // namespace oscar

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * OS service models.
+ *
+ * Every privileged-mode sequence the simulator executes — system
+ * calls, register-window traps, page faults, and device-interrupt
+ * handlers — is an *OS service*. A service's run length is a function
+ * of an input argument plus optional noise, exactly the structure the
+ * paper exploits: the AState hash of the entry registers (which carry
+ * the service id and arguments) is a strong predictor of run length,
+ * while the noise and interrupt extensions bound how good any
+ * predictor can be.
+ */
+
+#ifndef OSCAR_OS_OS_SERVICE_HH_
+#define OSCAR_OS_OS_SERVICE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/**
+ * Kernel data subsystem a service's OS-side references land in.
+ *
+ * Real kernels partition their working set: file I/O walks the page
+ * cache, socket calls the network stack, faults the VM metadata, and
+ * everything touches a small hot set of common structures (current
+ * task, run queues). This partition is what lets selective off-loading
+ * move a *subsystem's* working set wholesale to the OS core instead of
+ * splitting one monolithic pool across two caches.
+ */
+enum class OsDataPool : std::uint8_t
+{
+    Common,    ///< task structs, run queues, time keeping
+    FileIo,    ///< VFS metadata + small-file buffer cache
+    Net,       ///< socket buffers, protocol control blocks
+    Vm,        ///< page tables, VMA metadata
+    PageCache, ///< bulk payload pages of large transfers
+};
+
+/** Number of kernel data pools. */
+inline constexpr std::size_t kNumOsPools = 5;
+
+/** Broad class of a privileged sequence. */
+enum class ServiceKind : std::uint8_t
+{
+    Syscall,
+    WindowTrap, ///< SPARC register-window spill/fill
+    Fault,      ///< page fault, TLB miss
+    Interrupt,  ///< asynchronous device interrupt handler
+};
+
+/** Stable service identifiers used by workload mixes. */
+enum class ServiceId : std::uint16_t
+{
+    SpillTrap,
+    FillTrap,
+    GetPid,
+    GetTimeOfDay,
+    ClockGetTime,
+    SchedYield,
+    Read,
+    Write,
+    Open,
+    Close,
+    Stat,
+    Poll,
+    Select,
+    Accept,
+    SendTo,
+    RecvFrom,
+    SendFile,
+    Writev,
+    Mmap,
+    Brk,
+    Futex,
+    FutexWait,
+    PageFault,
+    TlbMiss,
+    ContextSwitch,
+    Fork,
+    Exec,
+    Fsync,
+    SocketSetup,
+    TimerIrq,
+    NetRxIrq,
+    DiskIrq,
+    kCount, ///< number of services; keep last
+};
+
+/** Number of distinct services in the table. */
+inline constexpr std::size_t kNumServices =
+    static_cast<std::size_t>(ServiceId::kCount);
+
+/**
+ * Immutable description of one OS service.
+ */
+struct OsService
+{
+    ServiceId id;
+    std::string name;
+    ServiceKind kind;
+
+    /** Instructions executed independent of the argument. */
+    double baseLength = 100.0;
+    /** Additional instructions per unit of the primary argument. */
+    double argScale = 0.0;
+    /**
+     * Sigma of the multiplicative log-normal noise on the length;
+     * 0 makes the service deterministic given its argument.
+     */
+    double lengthSigma = 0.0;
+    /** True when the handler runs with interrupts enabled (IE=1). */
+    bool interruptible = true;
+
+    /** Kernel subsystem this service's OS-side references land in. */
+    OsDataPool pool = OsDataPool::Common;
+    /** Share of OS-side references that hit the common hot set. */
+    double commonShare = 0.3;
+    /**
+     * Write fraction of common-set references. Kept low: the common
+     * structures (current task, clocks, run queues) are read far more
+     * often than written, which is what keeps cross-core sharing of
+     * the common set cheap (read-shared lines do not ping-pong).
+     */
+    double commonWriteFraction = 0.08;
+
+    /** Memory-profile weights across the three data pools. */
+    double userDataWeight = 0.2;
+    double osDataWeight = 0.6;
+    double sharedDataWeight = 0.2;
+    /** Write fraction for references into each pool. */
+    double userWriteFraction = 0.3;
+    double osWriteFraction = 0.3;
+    double sharedWriteFraction = 0.5;
+
+    /** Mean instructions between data references while executing. */
+    double instrPerData = 4.0;
+    /** Mean instructions between I-line fetches. */
+    double instrPerFetch = 10.0;
+    /** Footprint of this service's kernel code, in bytes. */
+    std::uint64_t codeBytes = 16 * 1024;
+
+    /**
+     * Sample the *true* run length of one invocation.
+     *
+     * @param arg Primary argument value (bytes, fd count, ...).
+     * @param rng Deterministic stream.
+     */
+    InstCount sampleLength(std::uint64_t arg, Rng &rng) const;
+
+    /** Expected run length for a given argument (no noise). */
+    double meanLength(std::uint64_t arg) const;
+
+    /** True for the register-window spill/fill traps the paper de-skews. */
+    bool isWindowTrap() const { return kind == ServiceKind::WindowTrap; }
+};
+
+/**
+ * The table of all OS services, shared by every workload.
+ */
+class ServiceTable
+{
+  public:
+    /** Build the standard service table (see os_service.cc). */
+    ServiceTable();
+
+    /** Look up a service by id. */
+    const OsService &service(ServiceId id) const;
+
+    /** All services in id order. */
+    const std::vector<OsService> &all() const { return services; }
+
+    /** Number of services. */
+    std::size_t size() const { return services.size(); }
+
+  private:
+    std::vector<OsService> services;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OS_OS_SERVICE_HH_

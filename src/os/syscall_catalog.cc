@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table I data.
+ */
+
+#include "os/syscall_catalog.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+SyscallCatalog::SyscallCatalog()
+    : entries{
+          {"Linux 2.6.30", 344},    {"Linux 2.2", 190},
+          {"Linux 2.6.16", 310},    {"Linux 1.0", 143},
+          {"Linux 2.4.29", 259},    {"Linux 0.01", 67},
+          {"FreeBSD Current", 513}, {"Windows Vista", 360},
+          {"FreeBSD 5.3", 444},     {"Windows XP", 288},
+          {"FreeBSD 2.2", 254},     {"Windows 2000", 247},
+          {"OpenSolaris", 255},     {"Windows NT", 211},
+      }
+{
+}
+
+unsigned
+SyscallCatalog::countFor(const std::string &os_name) const
+{
+    for (const OsSyscallCount &row : entries) {
+        if (row.osName == os_name)
+            return row.syscallCount;
+    }
+    oscar_fatal("unknown OS in syscall catalog: %s", os_name.c_str());
+}
+
+unsigned
+SyscallCatalog::maxCount() const
+{
+    unsigned best = 0;
+    for (const OsSyscallCount &row : entries)
+        best = std::max(best, row.syscallCount);
+    return best;
+}
+
+unsigned
+SyscallCatalog::minCount() const
+{
+    unsigned best = entries.front().syscallCount;
+    for (const OsSyscallCount &row : entries)
+        best = std::min(best, row.syscallCount);
+    return best;
+}
+
+std::uint64_t
+SyscallCatalog::totalInstrumentationPoints() const
+{
+    std::uint64_t total = 0;
+    for (const OsSyscallCount &row : entries)
+        total += row.syscallCount;
+    return total;
+}
+
+} // namespace oscar

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Catalog of system-call interface sizes across operating systems
+ * (Table I of the paper). The paper uses these counts to argue that
+ * manually instrumenting every OS entry point is impractical; the
+ * bench binary for Table I regenerates the table from this data.
+ */
+
+#ifndef OSCAR_OS_SYSCALL_CATALOG_HH_
+#define OSCAR_OS_SYSCALL_CATALOG_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oscar
+{
+
+/** One row of Table I. */
+struct OsSyscallCount
+{
+    /** Operating system name and version. */
+    std::string osName;
+    /** Number of distinct system calls it exposes. */
+    unsigned syscallCount;
+};
+
+/**
+ * The Table I data set.
+ */
+class SyscallCatalog
+{
+  public:
+    SyscallCatalog();
+
+    /** All rows in the paper's order (column-major pairs flattened). */
+    const std::vector<OsSyscallCount> &rows() const { return entries; }
+
+    /** Count for a named OS; fatal if unknown. */
+    unsigned countFor(const std::string &os_name) const;
+
+    /** Largest syscall count in the catalog. */
+    unsigned maxCount() const;
+
+    /** Smallest syscall count in the catalog. */
+    unsigned minCount() const;
+
+    /**
+     * Worst-case engineering burden estimate: total instrumentation
+     * points if every entry of every cataloged OS were hand-annotated.
+     */
+    std::uint64_t totalInstrumentationPoints() const;
+
+  private:
+    std::vector<OsSyscallCount> entries;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OS_SYSCALL_CATALOG_HH_

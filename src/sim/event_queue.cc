@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of the discrete-event kernel.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+EventQueue::~EventQueue()
+{
+    while (!heap.empty()) {
+        delete heap.top();
+        heap.pop();
+    }
+}
+
+std::uint64_t
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    oscar_assert(when >= currentCycle);
+    auto *entry = new Entry{when, nextId++, std::move(cb), false};
+    heap.push(entry);
+    pool.push_back(entry);
+    ++liveCount;
+    return entry->id;
+}
+
+bool
+EventQueue::cancel(std::uint64_t id)
+{
+    // Linear scan of the live pool; the pool is pruned as events fire,
+    // and cancellation is rare (only un-migration on early completion).
+    for (Entry *entry : pool) {
+        if (entry->id == id && !entry->cancelled) {
+            entry->cancelled = true;
+            --liveCount;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty() && heap.top()->cancelled) {
+        Entry *dead = heap.top();
+        heap.pop();
+        for (auto it = pool.begin(); it != pool.end(); ++it) {
+            if (*it == dead) {
+                pool.erase(it);
+                break;
+            }
+        }
+        delete dead;
+    }
+}
+
+void
+EventQueue::runOne()
+{
+    skipCancelled();
+    oscar_assert(!heap.empty());
+    Entry *entry = heap.top();
+    heap.pop();
+    for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (*it == entry) {
+            pool.erase(it);
+            break;
+        }
+    }
+    oscar_assert(entry->when >= currentCycle);
+    currentCycle = entry->when;
+    ++fired;
+    --liveCount;
+    Callback cb = std::move(entry->cb);
+    const Cycle when = entry->when;
+    delete entry;
+    cb(when);
+}
+
+void
+EventQueue::runUntil(Cycle limit)
+{
+    for (;;) {
+        skipCancelled();
+        if (heap.empty() || heap.top()->when > limit)
+            return;
+        runOne();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    return liveCount == 0;
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    // The heap may carry cancelled entries above live ones; scan the
+    // pool for the minimum live cycle instead.
+    Cycle best = kNoCycle;
+    for (const Entry *entry : pool) {
+        if (!entry->cancelled && entry->when < best)
+            best = entry->when;
+    }
+    return best;
+}
+
+} // namespace oscar

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event scheduling kernel.
+ *
+ * The system model advances cores and the OS core through a single
+ * global event queue keyed by cycle. Ties are broken by insertion
+ * order, so simulation is fully deterministic.
+ */
+
+#ifndef OSCAR_SIM_EVENT_QUEUE_HH_
+#define OSCAR_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/**
+ * Min-heap of (cycle, sequence) ordered callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Cycle)>;
+
+    /**
+     * Schedule a callback at an absolute cycle.
+     *
+     * @param when Absolute cycle; must be >= now().
+     * @param cb Callback invoked with the firing cycle.
+     * @return Monotonically increasing event id.
+     */
+    std::uint64_t schedule(Cycle when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event existed and had not yet fired.
+     */
+    bool cancel(std::uint64_t id);
+
+    /** Fire the earliest pending event; advances now(). */
+    void runOne();
+
+    /** Run until the queue is empty or now() would exceed the limit. */
+    void runUntil(Cycle limit);
+
+    /** True when no live events are pending. */
+    bool empty() const;
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t pendingCount() const { return liveCount; }
+
+    /** Current simulated cycle. */
+    Cycle now() const { return currentCycle; }
+
+    /** Cycle of the earliest pending event, or kNoCycle when empty. */
+    Cycle nextEventCycle() const;
+
+    /** Total events ever fired (for stats/tests). */
+    std::uint64_t firedCount() const { return fired; }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct Compare
+    {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->id > b->id;
+        }
+    };
+
+    /** Drop cancelled entries from the heap top. */
+    void skipCancelled();
+
+    std::priority_queue<Entry *, std::vector<Entry *>, Compare> heap;
+    std::vector<Entry *> pool;
+    Cycle currentCycle = 0;
+    std::uint64_t nextId = 0;
+    std::uint64_t fired = 0;
+    std::size_t liveCount = 0;
+
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_EVENT_QUEUE_HH_

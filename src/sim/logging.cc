@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstdarg>
+#include <atomic>
+#include <vector>
+
+namespace oscar
+{
+
+namespace
+{
+
+std::string *captureSink = nullptr;
+std::atomic<std::uint64_t> warnCounter{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+/** Render one record and route it to the capture sink or stderr. */
+void
+emit(LogLevel level, const char *file, int line, const char *fmt,
+     va_list args)
+{
+    char body[1024];
+    std::vsnprintf(body, sizeof(body), fmt, args);
+
+    char record[1200];
+    if (level == LogLevel::Fatal || level == LogLevel::Panic) {
+        std::snprintf(record, sizeof(record), "%s: %s (%s:%d)\n",
+                      levelName(level), body, file, line);
+    } else {
+        std::snprintf(record, sizeof(record), "%s: %s\n",
+                      levelName(level), body);
+    }
+
+    if (level == LogLevel::Warn)
+        warnCounter.fetch_add(1, std::memory_order_relaxed);
+
+    if (captureSink != nullptr) {
+        captureSink->append(record);
+    } else {
+        std::fputs(record, stderr);
+    }
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+logAndTerminate(LogLevel level, const char *file, int line,
+                const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(level, file, line, fmt, args);
+    va_end(args);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt,
+           ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(level, file, line, fmt, args);
+    va_end(args);
+}
+
+} // namespace detail
+
+void
+setLogCapture(std::string *sink)
+{
+    captureSink = sink;
+}
+
+std::uint64_t
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+} // namespace oscar

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Implementation of the deterministic RNG and samplers.
+ */
+
+#include "sim/random.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // xoshiro must not start from the all-zero state; SplitMix64 output
+    // of any seed (including 0) avoids that.
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitMix64(s);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    oscar_assert(bound > 0);
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    oscar_assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next64());
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::nextLogNormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * nextGaussian());
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    oscar_assert(mean > 0.0);
+    double u = 0.0;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::nextBoundedPareto(double lo, double hi, double alpha)
+{
+    oscar_assert(lo > 0.0 && hi > lo && alpha > 0.0);
+    const double u = nextDouble();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    oscar_assert(!weights.empty());
+    const std::size_t n = weights.size();
+    double total = 0.0;
+    for (double w : weights) {
+        oscar_assert(w >= 0.0);
+        total += w;
+    }
+    oscar_assert(total > 0.0);
+
+    normalized.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        normalized[i] = weights[i] / total;
+
+    probability.assign(n, 0.0);
+    alias.assign(n, 0);
+
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = normalized[i] * static_cast<double>(n);
+
+    std::vector<std::size_t> small;
+    std::vector<std::size_t> large;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scaled[i] < 1.0)
+            small.push_back(i);
+        else
+            large.push_back(i);
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const std::size_t s = small.back();
+        small.pop_back();
+        const std::size_t l = large.back();
+        large.pop_back();
+        probability[s] = scaled[s];
+        alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    for (std::size_t l : large)
+        probability[l] = 1.0;
+    for (std::size_t s : small)
+        probability[s] = 1.0;
+}
+
+std::size_t
+AliasTable::sample(Rng &rng) const
+{
+    const std::size_t column = rng.nextBounded(probability.size());
+    return rng.nextDouble() < probability[column] ? column : alias[column];
+}
+
+double
+AliasTable::outcomeProbability(std::size_t i) const
+{
+    oscar_assert(i < normalized.size());
+    return normalized[i];
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s)
+{
+    oscar_assert(n > 0);
+    oscar_assert(s >= 0.0);
+    cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf[i] = sum;
+    }
+    for (double &c : cdf)
+        c /= sum;
+    cdf.back() = 1.0;
+}
+
+std::size_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    // First rank whose cumulative mass covers u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+ZipfDistribution::rankProbability(std::size_t rank) const
+{
+    oscar_assert(rank < cdf.size());
+    if (rank == 0)
+        return cdf[0];
+    return cdf[rank] - cdf[rank - 1];
+}
+
+} // namespace oscar

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the sampling
+ * distributions used by the workload models.
+ *
+ * All simulator randomness flows through Rng so that every experiment is
+ * reproducible from a single 64-bit seed. The generator is
+ * xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+ */
+
+#ifndef OSCAR_SIM_RANDOM_HH_
+#define OSCAR_SIM_RANDOM_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace oscar
+{
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; identical seeds give identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double nextGaussian();
+
+    /** Log-normally distributed value with the given underlying mu/sigma. */
+    double nextLogNormal(double mu, double sigma);
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExponential(double mean);
+
+    /** Bounded Pareto sample on [lo, hi] with shape alpha. */
+    double nextBoundedPareto(double lo, double hi, double alpha);
+
+    /**
+     * Fork an independent child stream.
+     *
+     * Used to give each core/workload its own decorrelated stream while
+     * retaining global determinism.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state;
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+};
+
+/**
+ * Discrete distribution over arbitrary weights, sampled in O(1) via the
+ * alias method (Vose).
+ */
+class AliasTable
+{
+  public:
+    /** Build from non-negative weights; at least one must be positive. */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Sample an index in [0, size()). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of outcomes. */
+    std::size_t size() const { return probability.size(); }
+
+    /** Normalized probability of outcome i (for tests). */
+    double outcomeProbability(std::size_t i) const;
+
+  private:
+    std::vector<double> probability;
+    std::vector<std::size_t> alias;
+    std::vector<double> normalized;
+};
+
+/**
+ * Zipf-distributed ranks over [0, n), precomputed for O(log n) sampling
+ * via inverse-CDF binary search.
+ *
+ * Used to model cache-line popularity inside working-set regions: a few
+ * hot lines absorb most references, producing realistic hit-rate curves.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of ranks.
+     * @param s Skew exponent; s = 0 degenerates to uniform.
+     */
+    ZipfDistribution(std::size_t n, double s);
+
+    /** Sample a rank in [0, n). Rank 0 is the most popular. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of ranks. */
+    std::size_t size() const { return cdf.size(); }
+
+    /** Probability mass of a given rank (for tests). */
+    double rankProbability(std::size_t rank) const;
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_RANDOM_HH_

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Implementation of the statistics helpers.
+ */
+
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        m = x;
+        s = 0.0;
+        lo = x;
+        hi = x;
+        return;
+    }
+    const double old_m = m;
+    m += (x - old_m) / static_cast<double>(n);
+    s += (x - old_m) * (x - m);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return s / static_cast<double>(n);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.m - m;
+    const auto na = static_cast<double>(n);
+    const auto nb = static_cast<double>(other.n);
+    const double combined = na + nb;
+    s += other.s + delta * delta * na * nb / combined;
+    m += delta * nb / combined;
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+void
+RatioStat::add(bool hit)
+{
+    ++totalCount;
+    if (hit)
+        ++hitCount;
+}
+
+void
+RatioStat::addMany(std::uint64_t hits_in, std::uint64_t total_in)
+{
+    oscar_assert(hits_in <= total_in);
+    hitCount += hits_in;
+    totalCount += total_in;
+}
+
+double
+RatioStat::ratio() const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(hitCount) / static_cast<double>(totalCount);
+}
+
+void
+RatioStat::reset()
+{
+    hitCount = 0;
+    totalCount = 0;
+}
+
+LogHistogram::LogHistogram(unsigned max_bucket)
+    : buckets(max_bucket, 0)
+{
+    oscar_assert(max_bucket >= 1);
+}
+
+void
+LogHistogram::add(std::uint64_t value)
+{
+    unsigned b = 0;
+    if (value > 0) {
+        b = 63u - static_cast<unsigned>(__builtin_clzll(value));
+    }
+    b = std::min(b, static_cast<unsigned>(buckets.size() - 1));
+    ++buckets[b];
+    ++samples;
+    valueSum += static_cast<double>(value);
+}
+
+std::uint64_t
+LogHistogram::bucketCount(unsigned b) const
+{
+    oscar_assert(b < buckets.size());
+    return buckets[b];
+}
+
+double
+LogHistogram::mean() const
+{
+    if (samples == 0)
+        return 0.0;
+    return valueSum / static_cast<double>(samples);
+}
+
+std::uint64_t
+LogHistogram::quantile(double q) const
+{
+    oscar_assert(q >= 0.0 && q <= 1.0);
+    if (samples == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen > target)
+            return (2ULL << b) - 1; // upper bound of bucket b
+    }
+    return (2ULL << (buckets.size() - 1)) - 1;
+}
+
+double
+LogHistogram::fractionAbove(std::uint64_t value) const
+{
+    if (samples == 0)
+        return 0.0;
+    // Conservative: count whole buckets whose lower bound exceeds value.
+    std::uint64_t above = 0;
+    for (unsigned b = 0; b < buckets.size(); ++b) {
+        const std::uint64_t lower = b == 0 ? 0 : (1ULL << b);
+        if (lower > value)
+            above += buckets[b];
+    }
+    return static_cast<double>(above) / static_cast<double>(samples);
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    samples = 0;
+    valueSum = 0.0;
+}
+
+std::string
+LogHistogram::toString() const
+{
+    std::string out;
+    char line[128];
+    for (unsigned b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const std::uint64_t lower = b == 0 ? 0 : (1ULL << b);
+        const std::uint64_t upper = (2ULL << b) - 1;
+        std::snprintf(line, sizeof(line), "[%8llu, %8llu] %llu\n",
+                      static_cast<unsigned long long>(lower),
+                      static_cast<unsigned long long>(upper),
+                      static_cast<unsigned long long>(buckets[b]));
+        out += line;
+    }
+    return out;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int pos = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (pos != 0 && pos % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++pos;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace oscar

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lightweight statistics: running means, ratios, and log-bucketed
+ * histograms, in the spirit of gem5's stats package but sized for this
+ * reproduction.
+ */
+
+#ifndef OSCAR_SIM_STATS_HH_
+#define OSCAR_SIM_STATS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oscar
+{
+
+/**
+ * Incremental mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return n; }
+
+    /** Mean of recorded samples; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t n = 0;
+    double m = 0.0;
+    double s = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Hit/miss style ratio counter.
+ */
+class RatioStat
+{
+  public:
+    /** Record one event; hit selects the numerator. */
+    void add(bool hit);
+
+    /** Record many events at once. */
+    void addMany(std::uint64_t hits_in, std::uint64_t total_in);
+
+    /** Numerator. */
+    std::uint64_t hits() const { return hitCount; }
+
+    /** Denominator. */
+    std::uint64_t total() const { return totalCount; }
+
+    /** hits()/total(); 0 when empty. */
+    double ratio() const;
+
+    /** Forget all events. */
+    void reset();
+
+  private:
+    std::uint64_t hitCount = 0;
+    std::uint64_t totalCount = 0;
+};
+
+/**
+ * Histogram with logarithmic (powers-of-two) buckets, suited to OS
+ * run-length distributions that span 10 to 100,000+ instructions.
+ */
+class LogHistogram
+{
+  public:
+    /** @param max_bucket Number of power-of-two buckets (default 2^0..2^31). */
+    explicit LogHistogram(unsigned max_bucket = 32);
+
+    /** Record one value. */
+    void add(std::uint64_t value);
+
+    /** Samples with value in [2^b, 2^(b+1)); bucket 0 also holds 0. */
+    std::uint64_t bucketCount(unsigned b) const;
+
+    /** Number of buckets. */
+    unsigned bucketCountTotal() const
+    {
+        return static_cast<unsigned>(buckets.size());
+    }
+
+    /** Total samples. */
+    std::uint64_t count() const { return samples; }
+
+    /** Mean of recorded values. */
+    double mean() const;
+
+    /**
+     * Approximate quantile (bucket upper bound containing quantile q).
+     *
+     * @param q Quantile in [0, 1].
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Fraction of samples strictly greater than the given value. */
+    double fractionAbove(std::uint64_t value) const;
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Render as a short text table (for reports and debugging). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t samples = 0;
+    double valueSum = 0.0;
+};
+
+/** Format a double as a fixed-width percentage string, e.g. "45.75%". */
+std::string formatPercent(double fraction, int decimals = 2);
+
+/** Format a large count with thousands separators, e.g. "1,234,567". */
+std::string formatCount(std::uint64_t value);
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_STATS_HH_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * Part of the oscar ("OS-Core Architecture Reproduction") library, a
+ * reproduction of Nellans et al., "Improving Server Performance on
+ * Multi-Cores via Selective Off-loading of OS Functionality"
+ * (WIOSCA 2010).
+ */
+
+#ifndef OSCAR_SIM_TYPES_HH_
+#define OSCAR_SIM_TYPES_HH_
+
+#include <cstdint>
+#include <limits>
+
+namespace oscar
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Retired-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core within the simulated CMP. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_TYPES_HH_

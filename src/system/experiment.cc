@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of the experiment helpers.
+ */
+
+#include "system/experiment.hh"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+SystemConfig
+ExperimentRunner::baselineConfig(WorkloadKind workload, std::uint64_t seed)
+{
+    SystemConfig config;
+    config.workload = workload;
+    config.userCores = 1;
+    config.offloadEnabled = false;
+    config.policy = PolicyKind::Baseline;
+    config.seed = seed;
+    return config;
+}
+
+SystemConfig
+ExperimentRunner::hardwareConfig(WorkloadKind workload, InstCount static_n,
+                                 Cycle migration_one_way,
+                                 std::uint64_t seed)
+{
+    SystemConfig config = baselineConfig(workload, seed);
+    config.offloadEnabled = true;
+    config.policy = PolicyKind::HardwarePredictor;
+    config.staticThreshold = static_n;
+    config.migrationOneWayCycles = migration_one_way;
+    return config;
+}
+
+SystemConfig
+ExperimentRunner::hardwareDynamicConfig(WorkloadKind workload,
+                                        Cycle migration_one_way,
+                                        std::uint64_t seed)
+{
+    SystemConfig config =
+        hardwareConfig(workload, 1000, migration_one_way, seed);
+    config.dynamicThreshold = true;
+    return config;
+}
+
+SystemConfig
+ExperimentRunner::dynamicInstrConfig(WorkloadKind workload,
+                                     Cycle migration_one_way,
+                                     Cycle di_cost, std::uint64_t seed)
+{
+    SystemConfig config =
+        hardwareConfig(workload, 1000, migration_one_way, seed);
+    config.policy = PolicyKind::DynamicInstrumentation;
+    config.diDecisionCost = di_cost;
+    config.dynamicThreshold = true;
+    return config;
+}
+
+SystemConfig
+ExperimentRunner::staticInstrConfig(
+    WorkloadKind workload, Cycle migration_one_way,
+    std::shared_ptr<const ServiceProfile> profile, std::uint64_t seed)
+{
+    SystemConfig config = baselineConfig(workload, seed);
+    config.offloadEnabled = true;
+    config.policy = PolicyKind::StaticInstrumentation;
+    config.migrationOneWayCycles = migration_one_way;
+    config.siProfile = std::move(profile);
+    return config;
+}
+
+std::shared_ptr<const ServiceProfile>
+ExperimentRunner::profileServices(WorkloadKind workload,
+                                  std::uint64_t seed)
+{
+    SystemConfig config = baselineConfig(workload, seed);
+    // A short pass suffices: only per-service means are consumed.
+    config.warmupInstructions = 100'000;
+    config.measureInstructions = 600'000;
+    System system(config);
+    (void)system.run();
+    return std::make_shared<ServiceProfile>(system.collectedProfile());
+}
+
+SimResults
+ExperimentRunner::run(const SystemConfig &config)
+{
+    System system(config);
+    return system.run();
+}
+
+namespace
+{
+
+using BaselineKey =
+    std::tuple<int, std::uint64_t, InstCount, InstCount>;
+std::map<BaselineKey, SimResults> baselineCache;
+
+} // namespace
+
+SimResults
+ExperimentRunner::baselineResults(WorkloadKind workload,
+                                  std::uint64_t seed,
+                                  InstCount measure_instructions,
+                                  InstCount warmup_instructions)
+{
+    const BaselineKey key{static_cast<int>(workload), seed,
+                          measure_instructions, warmup_instructions};
+    auto it = baselineCache.find(key);
+    if (it != baselineCache.end())
+        return it->second;
+    SystemConfig config = baselineConfig(workload, seed);
+    config.measureInstructions = measure_instructions;
+    config.warmupInstructions = warmup_instructions;
+    const SimResults results = run(config);
+    baselineCache.emplace(key, results);
+    return results;
+}
+
+void
+ExperimentRunner::clearBaselineCache()
+{
+    baselineCache.clear();
+}
+
+double
+ExperimentRunner::normalizedThroughput(const SystemConfig &config)
+{
+    const SimResults base =
+        baselineResults(config.workload, config.seed,
+                        config.measureInstructions,
+                        config.warmupInstructions);
+    const SimResults variant = run(config);
+    oscar_assert(base.throughput > 0.0);
+    return variant.throughput / base.throughput;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : columnHeaders(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != columnHeaders.size())
+        oscar_panic("table row has %zu cells, expected %zu",
+                    cells.size(), columnHeaders.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(columnHeaders.size());
+    for (std::size_t c = 0; c < columnHeaders.size(); ++c)
+        widths[c] = columnHeaders[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += cells[c];
+            line.append(widths[c] - cells[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(columnHeaders);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule.append(widths[c] + (c + 1 < widths.size() ? 2 : 0), '-');
+    out += rule + '\n';
+    for (const auto &row : rows)
+        out += render_row(row);
+    return out;
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace oscar

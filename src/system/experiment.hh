@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench harnesses and examples:
+ * canned configurations, off-line profiling for SI, normalized
+ * throughput comparisons, and plain-text table rendering.
+ */
+
+#ifndef OSCAR_SYSTEM_EXPERIMENT_HH_
+#define OSCAR_SYSTEM_EXPERIMENT_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace oscar
+{
+
+/**
+ * Canned configurations and comparison runs.
+ */
+class ExperimentRunner
+{
+  public:
+    /** Uni-processor baseline: one core, no off-loading (Figure 4/5). */
+    static SystemConfig baselineConfig(WorkloadKind workload,
+                                       std::uint64_t seed = 42);
+
+    /**
+     * Off-loading configuration with the HI policy and a fixed N.
+     *
+     * @param workload Benchmark.
+     * @param static_n Off-load trigger threshold.
+     * @param migration_one_way One-way migration latency in cycles.
+     * @param seed Root seed (match the baseline's for comparisons).
+     */
+    static SystemConfig hardwareConfig(WorkloadKind workload,
+                                       InstCount static_n,
+                                       Cycle migration_one_way,
+                                       std::uint64_t seed = 42);
+
+    /** Same as hardwareConfig but with the dynamic-N controller. */
+    static SystemConfig hardwareDynamicConfig(WorkloadKind workload,
+                                              Cycle migration_one_way,
+                                              std::uint64_t seed = 42);
+
+    /** DI: software instrumentation of every OS entry point. */
+    static SystemConfig dynamicInstrConfig(WorkloadKind workload,
+                                           Cycle migration_one_way,
+                                           Cycle di_cost,
+                                           std::uint64_t seed = 42);
+
+    /** SI: static instrumentation; profile collected automatically. */
+    static SystemConfig
+    staticInstrConfig(WorkloadKind workload, Cycle migration_one_way,
+                      std::shared_ptr<const ServiceProfile> profile,
+                      std::uint64_t seed = 42);
+
+    /**
+     * Run a short profiling pass (baseline policy) and return the
+     * per-service mean run lengths — the paper's "off-line profiling".
+     */
+    static std::shared_ptr<const ServiceProfile>
+    profileServices(WorkloadKind workload, std::uint64_t seed = 42);
+
+    /** Build and run a system. */
+    static SimResults run(const SystemConfig &config);
+
+    /**
+     * Run a configuration and its uni-processor baseline with the same
+     * seed, returning variant throughput / baseline throughput — the
+     * normalized IPC of Figures 4 and 5.
+     */
+    static double normalizedThroughput(const SystemConfig &config);
+
+    /**
+     * Baseline results are cached per (workload, seed, measure length,
+     * warmup length) so sweeps do not re-run the baseline for every
+     * point.
+     */
+    static SimResults baselineResults(WorkloadKind workload,
+                                      std::uint64_t seed,
+                                      InstCount measure_instructions,
+                                      InstCount warmup_instructions);
+
+    /** Reset the baseline cache (tests). */
+    static void clearBaselineCache();
+};
+
+/**
+ * Minimal fixed-width text table for bench output.
+ */
+class TextTable
+{
+  public:
+    /** @param headers Column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> columnHeaders;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with fixed decimals. */
+std::string formatDouble(double value, int decimals = 3);
+
+} // namespace oscar
+
+#endif // OSCAR_SYSTEM_EXPERIMENT_HH_

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Implementation of the simulated system.
+ */
+
+#include "system/system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+namespace
+{
+
+/** Apply feedback-dependent defaults to the controller config. */
+ThresholdConfig
+controllerConfig(const SystemConfig &config)
+{
+    ThresholdConfig tc = config.thresholdConfig;
+    if (config.thresholdFeedback ==
+        SystemConfig::ThresholdFeedback::WindowIpc) {
+        tc.relativeImprovement = true;
+    }
+    return tc;
+}
+
+} // namespace
+
+System::System(const SystemConfig &config)
+    : cfg(config),
+      migration(cfg.migrationOneWayCycles),
+      interrupts(cfg.interrupts, services, Rng(cfg.seed ^ 0xA5A5A5A5ULL)),
+      controller(controllerConfig(config)),
+      staticThreshold(cfg.staticThreshold),
+      dynamicThreshold(controller)
+{
+    cfg.validate();
+
+    WorkloadSpec spec = makeWorkloadSpec(cfg.workload);
+    spec.osCouplingScale = cfg.osCouplingScale;
+    pools = OsPools::build(space, services, spec);
+
+    mem = std::make_unique<MemorySystem>(cfg.totalCores(), cfg.geometry,
+                                         cfg.timings);
+
+    Rng root(cfg.seed);
+    cores.reserve(cfg.totalCores());
+    for (unsigned c = 0; c < cfg.userCores; ++c)
+        cores.emplace_back(c, CoreRole::User);
+    if (cfg.offloadEnabled)
+        cores.emplace_back(cfg.osCoreId(), CoreRole::Os);
+
+    threads.resize(cfg.userCores);
+    for (unsigned t = 0; t < cfg.userCores; ++t) {
+        Thread &thread = threads[t];
+        thread.id = t;
+        thread.core = t;
+        thread.rng = root.fork();
+        thread.workload = std::make_unique<Workload>(
+            spec, services, space, pools, cfg.geometry.l2.lineBytes);
+        buildPolicy(thread);
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildPolicy(Thread &thread)
+{
+    switch (cfg.policy) {
+      case PolicyKind::Baseline:
+        thread.policy = std::make_unique<BaselinePolicy>();
+        return;
+      case PolicyKind::StaticInstrumentation:
+        thread.policy = std::make_unique<StaticInstrumentationPolicy>(
+            *cfg.siProfile, cfg.migrationOneWayCycles,
+            cfg.siDecisionCost);
+        return;
+      case PolicyKind::DynamicInstrumentation:
+      case PolicyKind::HardwarePredictor: {
+        thread.predictor = makePredictor(cfg.predictor);
+        const ThresholdProvider &provider =
+            cfg.dynamicThreshold
+                ? static_cast<const ThresholdProvider &>(dynamicThreshold)
+                : static_cast<const ThresholdProvider &>(staticThreshold);
+        const Cycle cost =
+            cfg.policy == PolicyKind::DynamicInstrumentation
+                ? cfg.diDecisionCost
+                : cfg.hiDecisionCost;
+        auto policy = std::make_unique<PredictivePolicy>(
+            *thread.predictor, provider, cost, cfg.policy);
+        thread.predictive = policy.get();
+        thread.policy = std::move(policy);
+        return;
+      }
+    }
+    oscar_panic("unhandled policy kind");
+}
+
+void
+System::scheduleThread(std::uint32_t tid, Cycle when)
+{
+    events.schedule(when, [this, tid](Cycle) { threadStep(tid); });
+}
+
+InstCount
+System::extendedLength(const OsInvocation &inv)
+{
+    InstCount length = inv.trueLength;
+    if (inv.service->interruptible && interrupts.enabled()) {
+        // Approximate the occupancy window with a CPI of ~1.3.
+        const Cycle window = static_cast<Cycle>(length) * 13 / 10;
+        length += interrupts.preemptionExtension(window);
+    }
+    return length;
+}
+
+double
+SimResults::osShareAboveN(InstCount n) const
+{
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (kTailThresholds[i] == n)
+            return osShareAbove[i];
+    }
+    oscar_panic("untracked tail threshold %llu",
+                static_cast<unsigned long long>(n));
+}
+
+void
+System::recordInvocationLength(InstCount length)
+{
+    if (!measuring)
+        return;
+    invocationLength.add(static_cast<double>(length));
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (length > SimResults::kTailThresholds[i])
+            osInstrAboveTail[i] += length;
+    }
+}
+
+void
+System::retire(Thread &thread, InstCount count, bool privileged)
+{
+    if (measuring) {
+        thread.measuredRetired += count;
+        measuredRetiredAll += count;
+        if (privileged)
+            measuredOsRetired += count;
+
+        if (cfg.dynamicThreshold &&
+            measuredRetiredAll >= nextEpochBoundary) {
+            controller.onEpochEnd(epochFeedback());
+            mem->resetWindow();
+            windowStartInstr = measuredRetiredAll;
+            windowStartCycle = events.now();
+            nextEpochBoundary =
+                measuredRetiredAll + controller.epochLength();
+        }
+
+        if (!thread.quotaReached &&
+            thread.measuredRetired >= cfg.measureInstructions) {
+            thread.quotaReached = true;
+            thread.finishCycle = events.now();
+            ++finishedThreads;
+        }
+    } else {
+        warmupRetired += count;
+        if (privileged)
+            warmupOsRetired += count;
+        const InstCount target =
+            cfg.warmupInstructions * threads.size();
+        if (warmupRetired >= target)
+            enterMeasurement();
+    }
+}
+
+void
+System::enterMeasurement()
+{
+    measuring = true;
+    measureStart = events.now();
+    warmupPrivFraction =
+        warmupRetired
+            ? static_cast<double>(warmupOsRetired) /
+                  static_cast<double>(warmupRetired)
+            : 0.0;
+
+    mem->resetStats();
+    for (Core &core : cores)
+        core.resetStats();
+    queue.resetStats();
+    for (Thread &thread : threads) {
+        if (thread.predictive != nullptr)
+            thread.predictive->stats().reset();
+    }
+    invocationsMeasured = 0;
+    offloadedMeasured = 0;
+    invocationLength.reset();
+    for (InstCount &tail : osInstrAboveTail)
+        tail = 0;
+    invocationsByService.fill(0);
+    offloadsByService.fill(0);
+
+    if (cfg.dynamicThreshold) {
+        controller.begin(warmupPrivFraction);
+        nextEpochBoundary = measuredRetiredAll + controller.epochLength();
+        windowStartInstr = measuredRetiredAll;
+        windowStartCycle = events.now();
+    }
+}
+
+double
+System::epochFeedback()
+{
+    if (cfg.thresholdFeedback ==
+        SystemConfig::ThresholdFeedback::L2HitRate) {
+        return mem->windowL2HitRate();
+    }
+    const Cycle cycles = events.now() - windowStartCycle;
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(measuredRetiredAll - windowStartInstr) /
+           static_cast<double>(cycles);
+}
+
+void
+System::threadStep(std::uint32_t tid)
+{
+    Thread &thread = threads[tid];
+    if (finishedThreads >= threads.size())
+        return;
+
+    const WorkloadToken token = thread.workload->next(thread.rng,
+                                                      thread.arch);
+    const Cycle now = events.now();
+
+    if (token.kind == TokenKind::UserBurst) {
+        const ExecResult result = ExecEngine::execute(
+            *mem, thread.core, ExecContext::User, token.burstLength,
+            thread.workload->userProfile(), thread.rng);
+        cores[thread.core].cycles().user += result.cycles;
+        cores[thread.core].retireUser(token.burstLength);
+        retire(thread, token.burstLength, false);
+        scheduleThread(tid, now + result.cycles);
+        return;
+    }
+
+    handleInvocation(tid, token.invocation);
+}
+
+void
+System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
+{
+    Thread &thread = threads[tid];
+    const Cycle now = events.now();
+
+    const OffloadDecision decision = thread.policy->decide(inv);
+    cores[thread.core].cycles().decision += decision.cost;
+    if (measuring) {
+        ++invocationsMeasured;
+        ++invocationsByService[static_cast<std::size_t>(
+            inv.service->id)];
+    }
+
+    if (!cfg.offloadEnabled || !decision.offload) {
+        // Execute inline on the invoking core.
+        const InstCount length = extendedLength(inv);
+        const ExecResult result = ExecEngine::execute(
+            *mem, thread.core, ExecContext::Os, length,
+            thread.workload->serviceProfile(inv.service->id),
+            thread.rng);
+        cores[thread.core].cycles().os += result.cycles;
+        cores[thread.core].retireOs(length);
+        thread.policy->observe(inv, decision, length);
+        profile.observe(inv.service->id, length);
+        recordInvocationLength(length);
+        retire(thread, length, true);
+        scheduleThread(tid, now + decision.cost + result.cycles);
+        return;
+    }
+
+    // Off-load: migrate to the OS core.
+    if (measuring) {
+        ++offloadedMeasured;
+        ++offloadsByService[static_cast<std::size_t>(inv.service->id)];
+    }
+    const Cycle one_way = migration.oneWayLatency();
+    cores[thread.core].cycles().migration += one_way;
+    thread.pendingInv = inv;
+    thread.pendingDecision = decision;
+    thread.offloadArrival = now + decision.cost + one_way;
+    events.schedule(thread.offloadArrival,
+                    [this, tid](Cycle) { osCoreArrival(tid); });
+}
+
+void
+System::osCoreArrival(std::uint32_t tid)
+{
+    const Cycle now = events.now();
+    const OffloadRequest request{tid, now};
+    if (queue.offer(request, now))
+        startOsExecution(tid, now);
+}
+
+void
+System::startOsExecution(std::uint32_t tid, Cycle start)
+{
+    Thread &thread = threads[tid];
+    const CoreId os_core = cfg.osCoreId();
+
+    oscar_assert(start >= thread.offloadArrival);
+    const Cycle waited = start - thread.offloadArrival;
+    cores[thread.core].cycles().queueWait += waited;
+
+    const InstCount length = extendedLength(thread.pendingInv);
+    const ExecResult result = ExecEngine::execute(
+        *mem, os_core, ExecContext::Os, length,
+        thread.workload->serviceProfile(thread.pendingInv.service->id),
+        thread.rng);
+    cores[os_core].cycles().os += result.cycles;
+    cores[os_core].retireOs(length);
+
+    events.schedule(start + result.cycles, [this, tid, length](Cycle) {
+        osCoreComplete(tid, length);
+    });
+}
+
+void
+System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
+{
+    Thread &thread = threads[tid];
+    const Cycle now = events.now();
+
+    thread.policy->observe(thread.pendingInv, thread.pendingDecision,
+                           executed_length);
+    profile.observe(thread.pendingInv.service->id, executed_length);
+    recordInvocationLength(executed_length);
+    retire(thread, executed_length, true);
+
+    // Migrate back to the user core.
+    const Cycle one_way = migration.oneWayLatency();
+    cores[thread.core].cycles().migration += one_way;
+    scheduleThread(tid, now + one_way);
+
+    // Admit the next queued request, if any.
+    OffloadRequest next{};
+    if (queue.completeCurrent(now, next))
+        startOsExecution(next.threadId, now);
+}
+
+SimResults
+System::run()
+{
+    for (std::uint32_t t = 0; t < threads.size(); ++t)
+        scheduleThread(t, 0);
+
+    while (finishedThreads < threads.size()) {
+        if (events.empty())
+            oscar_panic("event queue drained before all threads finished");
+        events.runOne();
+    }
+    return collectResults();
+}
+
+SimResults
+System::collectResults() const
+{
+    SimResults results;
+    results.workload = makeWorkloadSpec(cfg.workload).name;
+    results.policy = policyShortName(cfg.policy);
+
+    Cycle last_finish = measureStart;
+    for (const Thread &thread : threads)
+        last_finish = std::max(last_finish, thread.finishCycle);
+    results.makespan = last_finish - measureStart;
+    results.retired = measuredRetiredAll;
+    results.throughput =
+        results.makespan
+            ? static_cast<double>(results.retired) /
+                  static_cast<double>(results.makespan)
+            : 0.0;
+    results.privFraction =
+        measuredRetiredAll
+            ? static_cast<double>(measuredOsRetired) /
+                  static_cast<double>(measuredRetiredAll)
+            : 0.0;
+
+    double user_l2 = 0.0;
+    std::uint64_t c2c = 0;
+    std::uint64_t invalidations = 0;
+    for (unsigned c = 0; c < cfg.userCores; ++c) {
+        user_l2 += mem->stats(c).l2HitRate();
+        c2c += mem->stats(c).c2cTransfers;
+        invalidations += mem->stats(c).invalidationsReceived;
+    }
+    results.userL2HitRate = user_l2 / cfg.userCores;
+    double combined = user_l2;
+    if (cfg.offloadEnabled) {
+        const CoreMemStats &os_stats = mem->stats(cfg.osCoreId());
+        results.osL2HitRate = os_stats.l2HitRate();
+        combined += results.osL2HitRate;
+        c2c += os_stats.c2cTransfers;
+        invalidations += os_stats.invalidationsReceived;
+    }
+    results.combinedL2HitRate = combined / cfg.totalCores();
+    results.c2cTransfers = c2c;
+    results.invalidations = invalidations;
+
+    results.invocations = invocationsMeasured;
+    results.offloaded = offloadedMeasured;
+    results.offloadFraction =
+        invocationsMeasured
+            ? static_cast<double>(offloadedMeasured) / invocationsMeasured
+            : 0.0;
+    results.meanInvocationLength = invocationLength.mean();
+
+    if (cfg.offloadEnabled) {
+        const Core &os_core = cores[cfg.osCoreId()];
+        results.osCoreUtilization = os_core.utilization(results.makespan);
+        results.meanQueueDelay = queue.queueDelay().mean();
+        results.maxQueueDelay = queue.queueDelay().max();
+    }
+
+    for (const Core &core : cores) {
+        results.decisionCycles += core.cycles().decision;
+        results.migrationCycles += core.cycles().migration;
+        results.queueWaitCycles += core.cycles().queueWait;
+    }
+
+    for (const Thread &thread : threads) {
+        if (thread.predictive != nullptr)
+            results.accuracy.merge(thread.predictive->stats());
+    }
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        results.osShareAbove[i] =
+            measuredRetiredAll
+                ? static_cast<double>(osInstrAboveTail[i]) /
+                      static_cast<double>(measuredRetiredAll)
+                : 0.0;
+    }
+
+    results.invocationsByService = invocationsByService;
+    results.offloadsByService = offloadsByService;
+
+    results.finalThreshold = cfg.dynamicThreshold
+                                 ? controller.currentThreshold()
+                                 : cfg.staticThreshold;
+    results.thresholdSwitches = controller.switches();
+    results.warmupPrivFraction = warmupPrivFraction;
+    return results;
+}
+
+} // namespace oscar

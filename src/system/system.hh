@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The simulated system: user cores running workload threads, an
+ * optional dedicated OS core, the coherent memory hierarchy, the
+ * off-load decision machinery, and the event-driven execution loop
+ * that ties them together.
+ */
+
+#ifndef OSCAR_SYSTEM_SYSTEM_HH_
+#define OSCAR_SYSTEM_SYSTEM_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/offload_policy.hh"
+#include "core/predictor_stats.hh"
+#include "core/run_length_predictor.hh"
+#include "core/threshold_controller.hh"
+#include "cpu/arch_state.hh"
+#include "cpu/core.hh"
+#include "cpu/exec_engine.hh"
+#include "mem/memory_system.hh"
+#include "os/interrupts.hh"
+#include "os/invocation.hh"
+#include "os/migration.hh"
+#include "os/os_core_queue.hh"
+#include "os/os_service.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "system/system_config.hh"
+#include "workload/address_space.hh"
+#include "workload/workload.hh"
+
+namespace oscar
+{
+
+/**
+ * Everything a run produced, measured over the post-warmup region.
+ */
+struct SimResults
+{
+    std::string workload;
+    std::string policy;
+
+    /** Cycles from measurement start to the last thread's quota. */
+    Cycle makespan = 0;
+    /** Instructions (user + OS) retired in the measured region. */
+    InstCount retired = 0;
+    /** retired / makespan — the paper's throughput metric. */
+    double throughput = 0.0;
+    /** Fraction of measured instructions retired in privileged mode. */
+    double privFraction = 0.0;
+
+    /** Mean L2 hit rate across user cores. */
+    double userL2HitRate = 0.0;
+    /** OS core L2 hit rate (0 without an OS core). */
+    double osL2HitRate = 0.0;
+    /** Average across all cores — the dynamic-N feedback metric. */
+    double combinedL2HitRate = 0.0;
+
+    /** OS invocations in the measured region. */
+    std::uint64_t invocations = 0;
+    /** Of which were migrated to the OS core. */
+    std::uint64_t offloaded = 0;
+    /** offloaded / invocations. */
+    double offloadFraction = 0.0;
+    /** Mean observed OS run length (instructions). */
+    double meanInvocationLength = 0.0;
+
+    /** Busy fraction of the OS core (Table III metric). */
+    double osCoreUtilization = 0.0;
+    /** Mean cycles off-loads waited for the OS core (Section V-C). */
+    double meanQueueDelay = 0.0;
+    /** Largest observed queue delay. */
+    double maxQueueDelay = 0.0;
+
+    /** Cycles burned in decision code across user cores. */
+    Cycle decisionCycles = 0;
+    /** Cycles burned migrating threads. */
+    Cycle migrationCycles = 0;
+    /** Cycles threads waited in the OS-core queue. */
+    Cycle queueWaitCycles = 0;
+
+    /** Coherence traffic: cache-to-cache transfers (all cores). */
+    std::uint64_t c2cTransfers = 0;
+    /** Coherence traffic: invalidations received (all cores). */
+    std::uint64_t invalidations = 0;
+
+    /** Predictor accuracy, merged across user cores (DI/HI only). */
+    PredictorStats accuracy;
+
+    /** N in force when the run ended. */
+    InstCount finalThreshold = 0;
+    /** Times the dynamic controller changed N. */
+    std::uint64_t thresholdSwitches = 0;
+
+    /** Privileged fraction observed during warmup (controller input). */
+    double warmupPrivFraction = 0.0;
+
+    /** Thresholds used by the tail accounting below. */
+    static constexpr InstCount kTailThresholds[4] = {100, 1000, 5000,
+                                                     10000};
+    /**
+     * Share of *measured instructions* retired inside OS invocations
+     * longer than each kTailThresholds entry — the upper bound on the
+     * Table III OS-core utilization at that N.
+     */
+    double osShareAbove[4] = {0.0, 0.0, 0.0, 0.0};
+
+    /** Share of total instructions for invocations above a given N. */
+    double osShareAboveN(InstCount n) const;
+
+    /** Measured invocation count per service. */
+    std::array<std::uint64_t, kNumServices> invocationsByService{};
+    /** Measured off-load count per service. */
+    std::array<std::uint64_t, kNumServices> offloadsByService{};
+};
+
+/**
+ * One simulated CMP running one benchmark.
+ */
+class System
+{
+  public:
+    /** Build the system; the configuration is validated here. */
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run warmup + measurement and return the results. */
+    SimResults run();
+
+    /** The configuration in force. */
+    const SystemConfig &config() const { return cfg; }
+
+    /** Memory hierarchy (inspection). */
+    const MemorySystem &memory() const { return *mem; }
+
+    /** Dynamic-N controller (inspection). */
+    const ThresholdController &thresholdController() const
+    {
+        return controller;
+    }
+
+    /** OS-core queue (inspection). */
+    const OsCoreQueue &osQueue() const { return queue; }
+
+    /** Off-line profile collected when running with a Baseline policy. */
+    const ServiceProfile &collectedProfile() const { return profile; }
+
+  private:
+    struct Thread
+    {
+        std::uint32_t id = 0;
+        CoreId core = 0;
+        std::unique_ptr<Workload> workload;
+        ArchState arch;
+        Rng rng;
+        std::unique_ptr<RunLengthPredictor> predictor;
+        std::unique_ptr<OffloadPolicy> policy;
+        PredictivePolicy *predictive = nullptr; ///< non-owning view
+
+        InstCount measuredRetired = 0;
+        bool quotaReached = false;
+        Cycle finishCycle = 0;
+
+        /** In-flight off-loaded invocation. */
+        OsInvocation pendingInv;
+        OffloadDecision pendingDecision;
+        Cycle offloadArrival = 0;
+    };
+
+    /** Advance one thread by one workload token. */
+    void threadStep(std::uint32_t tid);
+
+    /** Process one OS invocation (decide, execute inline or off-load). */
+    void handleInvocation(std::uint32_t tid, const OsInvocation &inv);
+
+    /** The off-loaded request reached the OS core. */
+    void osCoreArrival(std::uint32_t tid);
+
+    /** The OS core starts executing a request. */
+    void startOsExecution(std::uint32_t tid, Cycle start);
+
+    /** The OS core finished a request. */
+    void osCoreComplete(std::uint32_t tid, InstCount executed_length);
+
+    /** Charge retired instructions and drive phase/epoch machinery. */
+    void retire(Thread &thread, InstCount count, bool privileged);
+
+    /** True length of an invocation with interrupt extension applied. */
+    InstCount extendedLength(const OsInvocation &inv);
+
+    /** Switch from warmup to the measured region. */
+    void enterMeasurement();
+
+    /** Schedule the next threadStep. */
+    void scheduleThread(std::uint32_t tid, Cycle when);
+
+    /** Build one thread's policy objects. */
+    void buildPolicy(Thread &thread);
+
+    /** Gather results after the run. */
+    SimResults collectResults() const;
+
+    SystemConfig cfg;
+    ServiceTable services;
+    AddressSpace space;
+    OsPools pools;
+    std::unique_ptr<MemorySystem> mem;
+    EventQueue events;
+    MigrationModel migration;
+    InterruptSource interrupts;
+    ThresholdController controller;
+    StaticThreshold staticThreshold;
+    DynamicThreshold dynamicThreshold;
+    OsCoreQueue queue;
+
+    std::vector<Core> cores;
+    std::vector<Thread> threads;
+    ServiceProfile profile; ///< filled continuously; used for SI profiling
+
+    // Phase machinery.
+    bool measuring = false;
+    InstCount warmupRetired = 0;
+    InstCount warmupOsRetired = 0;
+    InstCount measuredRetiredAll = 0;
+    InstCount measuredOsRetired = 0;
+    double warmupPrivFraction = 0.0;
+    Cycle measureStart = 0;
+    unsigned finishedThreads = 0;
+    InstCount nextEpochBoundary = 0;
+    InstCount windowStartInstr = 0;
+    Cycle windowStartCycle = 0;
+
+    /** The configured dynamic-N feedback value for the ending epoch. */
+    double epochFeedback();
+
+    // Measured-region invocation stats.
+    std::uint64_t invocationsMeasured = 0;
+    std::uint64_t offloadedMeasured = 0;
+    RunningStat invocationLength;
+    InstCount osInstrAboveTail[4] = {0, 0, 0, 0};
+    std::array<std::uint64_t, kNumServices> invocationsByService{};
+    std::array<std::uint64_t, kNumServices> offloadsByService{};
+
+    /** Tail accounting for one completed invocation. */
+    void recordInvocationLength(InstCount length);
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SYSTEM_SYSTEM_HH_

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Configuration validation.
+ */
+
+#include "system/system_config.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+void
+SystemConfig::validate() const
+{
+    if (userCores == 0)
+        oscar_fatal("at least one user core is required");
+    if (totalCores() > 64)
+        oscar_fatal("at most 64 cores are supported");
+    if (policy != PolicyKind::Baseline && !offloadEnabled) {
+        oscar_fatal("policy %s requires offloadEnabled",
+                    policyShortName(policy));
+    }
+    if (policy == PolicyKind::StaticInstrumentation && !siProfile) {
+        oscar_fatal("the SI policy needs an off-line service profile; "
+                    "run ExperimentRunner::profileServices first");
+    }
+    if (measureInstructions == 0)
+        oscar_fatal("measureInstructions must be positive");
+    if (geometry.l1i.lineBytes != geometry.l2.lineBytes ||
+        geometry.l1d.lineBytes != geometry.l2.lineBytes) {
+        oscar_fatal("L1/L2 line sizes must match");
+    }
+}
+
+} // namespace oscar

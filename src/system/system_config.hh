@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Complete configuration of one simulated system (Table II defaults).
+ */
+
+#ifndef OSCAR_SYSTEM_SYSTEM_CONFIG_HH_
+#define OSCAR_SYSTEM_SYSTEM_CONFIG_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/offload_policy.hh"
+#include "core/run_length_predictor.hh"
+#include "core/threshold_controller.hh"
+#include "mem/memory_system.hh"
+#include "os/interrupts.hh"
+#include "os/migration.hh"
+#include "workload/profiles.hh"
+
+namespace oscar
+{
+
+/**
+ * Everything needed to build and run a System.
+ */
+struct SystemConfig
+{
+    /** Benchmark to run on every user core. */
+    WorkloadKind workload = WorkloadKind::Apache;
+
+    /** Number of user cores, one thread each. */
+    unsigned userCores = 1;
+
+    /** True to provision a dedicated OS core. */
+    bool offloadEnabled = false;
+
+    /** Decision policy. */
+    PolicyKind policy = PolicyKind::Baseline;
+
+    /** Predictor organization for DI/HI. */
+    PredictorKind predictor = PredictorKind::Cam;
+
+    /** True to drive N with the Section III-B controller. */
+    bool dynamicThreshold = false;
+
+    /** Feedback metric driving the dynamic-N controller. */
+    enum class ThresholdFeedback : std::uint8_t
+    {
+        /** The paper's metric: pooled L2 hit rate of all cores. */
+        L2HitRate,
+        /**
+         * Windowed IPC. Deviation from the paper, on by default: in
+         * this reproduction the hit-rate metric is not monotone with
+         * performance at high migration latencies (migration stalls
+         * are invisible to it), which drives the controller to
+         * aggressively low N at the conservative design point. See
+         * EXPERIMENTS.md.
+         */
+        WindowIpc,
+    };
+
+    /** Which feedback signal the controller consumes. */
+    ThresholdFeedback thresholdFeedback = ThresholdFeedback::WindowIpc;
+
+    /** Fixed N when dynamicThreshold is false. */
+    InstCount staticThreshold = 1000;
+
+    /** Dynamic-N tuning (epochScale is applied to the paper's epochs). */
+    ThresholdConfig thresholdConfig = scaledThresholdConfig();
+
+    /** One-way migration latency in cycles. */
+    Cycle migrationOneWayCycles = 5000;
+
+    /** Per-invocation decision cost of instrumented SI entries. */
+    Cycle siDecisionCost = 30;
+
+    /** Per-invocation decision cost of DI (all entries). */
+    Cycle diDecisionCost = 100;
+
+    /** Per-invocation decision cost of HI (single cycle). */
+    Cycle hiDecisionCost = 1;
+
+    /** Cache geometry (Table II). */
+    HierarchyGeometry geometry;
+
+    /** Latency parameters (Table II + coherence costs). */
+    MemTimings timings;
+
+    /** Device-interrupt stream; mean interarrival in cycles. */
+    InterruptConfig interrupts{320'000.0};
+
+    /** Off-line service profile required by the SI policy. */
+    std::shared_ptr<const ServiceProfile> siProfile;
+
+    /**
+     * Scale on OS services' user-side/shared-buffer access weights
+     * (coherence-coupling ablation; 1 = calibrated).
+     */
+    double osCouplingScale = 1.0;
+
+    /** Root RNG seed. */
+    std::uint64_t seed = 42;
+
+    /** Per-thread instructions of cache/predictor warmup. */
+    InstCount warmupInstructions = 400'000;
+
+    /** Per-thread instructions of the measured region. */
+    InstCount measureInstructions = 2'000'000;
+
+    /**
+     * Threshold config with epochs scaled for simulation-sized runs
+     * (1/100 of the paper's 25 M / 100 M instruction epochs).
+     */
+    static ThresholdConfig
+    scaledThresholdConfig()
+    {
+        ThresholdConfig cfg;
+        // 1/200 of the paper's 25 M / 100 M instruction epochs: the
+        // controller completes several sampling rounds within the
+        // few-million-instruction runs these experiments use.
+        cfg.epochScale = 0.005;
+        return cfg;
+    }
+
+    /** Total cores, including the OS core if present. */
+    unsigned
+    totalCores() const
+    {
+        return userCores + (offloadEnabled ? 1u : 0u);
+    }
+
+    /** Core id of the dedicated OS core; offload must be enabled. */
+    CoreId osCoreId() const { return userCores; }
+
+    /** Sanity-check the configuration; fatal on user error. */
+    void validate() const;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SYSTEM_SYSTEM_CONFIG_HH_

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of working-set regions.
+ */
+
+#include "workload/address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+AddressRegion::AddressRegion(Addr base, const RegionParams &params_in)
+    : baseAddr(base), params(params_in),
+      lines(std::max<std::uint64_t>(1,
+                                    params_in.sizeBytes /
+                                        params_in.lineBytes)),
+      zipf(std::max<std::uint64_t>(1, params_in.sizeBytes /
+                                          params_in.lineBytes),
+           params_in.zipfSkew)
+{
+    oscar_assert(params.lineBytes > 0);
+    oscar_assert(base % params.lineBytes == 0);
+    if (params.sizeBytes < params.lineBytes) {
+        oscar_fatal("region %s smaller than one cache line",
+                    params.name.c_str());
+    }
+    oscar_assert(params.sequentialFraction >= 0.0 &&
+                 params.sequentialFraction <= 1.0);
+    oscar_assert(params.reuseFraction >= 0.0 &&
+                 params.reuseFraction < 1.0);
+    if (params.reuseWindow > 0)
+        reuseRing.assign(params.reuseWindow, 0);
+}
+
+void
+AddressRegion::remember(std::uint64_t line)
+{
+    if (reuseRing.empty())
+        return;
+    reuseRing[ringCursor] = line;
+    ringCursor = (ringCursor + 1) % reuseRing.size();
+    if (ringFilled < reuseRing.size())
+        ++ringFilled;
+}
+
+std::uint64_t
+AddressRegion::scatter(std::uint64_t rank) const
+{
+    // Spread popular ranks across cache sets with a multiplicative
+    // permutation; without this, the hottest lines would be contiguous
+    // and artificially conflict-free.
+    return (rank * 0x9E3779B97F4A7C15ULL) % lines;
+}
+
+Addr
+AddressRegion::nextAccess(Rng &rng)
+{
+    std::uint64_t line;
+    if (ringFilled > 0 && rng.nextBool(params.reuseFraction)) {
+        // Short-term reuse: re-touch a recently referenced line.
+        line = reuseRing[rng.nextBounded(ringFilled)];
+    } else if (params.sequentialFraction > 0.0 &&
+               rng.nextBool(params.sequentialFraction)) {
+        // Streaming: dwell on a line for several references (word
+        // granularity) before advancing to the next line.
+        if (++streamDwell >= params.sequentialRepeats) {
+            streamDwell = 0;
+            streamCursor = (streamCursor + 1) % lines;
+        }
+        line = streamCursor;
+        remember(line);
+    } else {
+        const std::uint64_t rank = zipf.sample(rng);
+        line = scatter(rank);
+        remember(line);
+    }
+    const std::uint64_t offset = rng.nextBounded(params.lineBytes);
+    return baseAddr + line * params.lineBytes + offset;
+}
+
+bool
+AddressRegion::contains(Addr addr) const
+{
+    return addr >= baseAddr && addr < baseAddr + params.sizeBytes;
+}
+
+AddressSpace::AddressSpace()
+    : cursor(kBase)
+{
+}
+
+AddressRegion *
+AddressSpace::allocate(const RegionParams &params)
+{
+    auto region = std::make_unique<AddressRegion>(cursor, params);
+    AddressRegion *ptr = region.get();
+    cursor += params.sizeBytes + kGap;
+    // Keep the cursor line-aligned for the next region.
+    cursor -= cursor % params.lineBytes;
+    regions.push_back(std::move(region));
+    return ptr;
+}
+
+const AddressRegion &
+AddressSpace::region(std::size_t index) const
+{
+    oscar_assert(index < regions.size());
+    return *regions[index];
+}
+
+} // namespace oscar

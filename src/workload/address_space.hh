@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Working-set regions and reference-stream generation.
+ *
+ * Each workload's footprint is a set of AddressRegions (user code, user
+ * heap, user stack, OS code, OS data, shared I/O buffers). A region
+ * generates line-granular references with Zipf popularity — a few hot
+ * lines absorb most references — optionally mixed with sequential
+ * streaming, which is what produces realistic cache hit-rate curves
+ * without simulating real programs.
+ */
+
+#ifndef OSCAR_WORKLOAD_ADDRESS_SPACE_HH_
+#define OSCAR_WORKLOAD_ADDRESS_SPACE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Parameters of one working-set region. */
+struct RegionParams
+{
+    /** Human-readable name for reports. */
+    std::string name;
+    /** Footprint in bytes. */
+    std::uint64_t sizeBytes = 64 * 1024;
+    /** Zipf skew of line popularity; 0 = uniform. */
+    double zipfSkew = 0.8;
+    /**
+     * Fraction of references that continue a sequential stream instead
+     * of sampling the popularity distribution (models array scans and
+     * straight-line code).
+     */
+    double sequentialFraction = 0.0;
+    /** Line size in bytes (must match the cache hierarchy). */
+    unsigned lineBytes = 64;
+    /**
+     * Fraction of references that re-touch one of the most recently
+     * referenced lines (short-term temporal locality — what keeps real
+     * L1 hit rates above 90 % even for multi-MB footprints).
+     */
+    double reuseFraction = 0.55;
+    /** Number of recent distinct lines eligible for reuse. */
+    unsigned reuseWindow = 16;
+    /** References spent on a line before a sequential stream advances. */
+    unsigned sequentialRepeats = 8;
+};
+
+/**
+ * One contiguous region of the simulated physical address space.
+ */
+class AddressRegion
+{
+  public:
+    /**
+     * @param base First byte address; must be line-aligned.
+     * @param params Size/locality parameters.
+     */
+    AddressRegion(Addr base, const RegionParams &params);
+
+    /** Draw the next referenced byte address. */
+    Addr nextAccess(Rng &rng);
+
+    /** First byte address. */
+    Addr base() const { return baseAddr; }
+
+    /** Size in bytes. */
+    std::uint64_t sizeBytes() const { return params.sizeBytes; }
+
+    /** Number of cache lines spanned. */
+    std::uint64_t lineCount() const { return lines; }
+
+    /** True when the byte address falls inside this region. */
+    bool contains(Addr addr) const;
+
+    /** Region parameters. */
+    const RegionParams &parameters() const { return params; }
+
+  private:
+    /** Map a popularity rank to a line index spread across sets. */
+    std::uint64_t scatter(std::uint64_t rank) const;
+
+    /** Remember a line in the reuse ring. */
+    void remember(std::uint64_t line);
+
+    Addr baseAddr;
+    RegionParams params;
+    std::uint64_t lines;
+    ZipfDistribution zipf;
+    std::uint64_t streamCursor = 0;
+    unsigned streamDwell = 0;
+    std::vector<std::uint64_t> reuseRing;
+    unsigned ringCursor = 0;
+    unsigned ringFilled = 0;
+};
+
+/**
+ * Allocates regions bump-pointer style so they never overlap, and owns
+ * them for the lifetime of a simulated system.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace();
+
+    /**
+     * Carve a new region out of the simulated physical address space.
+     *
+     * @return Stable pointer, owned by this AddressSpace.
+     */
+    AddressRegion *allocate(const RegionParams &params);
+
+    /** Total bytes allocated so far. */
+    std::uint64_t allocatedBytes() const { return cursor - kBase; }
+
+    /** Number of regions allocated. */
+    std::size_t regionCount() const { return regions.size(); }
+
+    /** Access a region by allocation order (tests/inspection). */
+    const AddressRegion &region(std::size_t index) const;
+
+  private:
+    /** Regions start above the zero page. */
+    static constexpr Addr kBase = 1ULL << 20;
+    /** Guard gap between regions, in bytes. */
+    static constexpr Addr kGap = 1ULL << 16;
+
+    Addr cursor;
+    std::vector<std::unique_ptr<AddressRegion>> regions;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_WORKLOAD_ADDRESS_SPACE_HH_

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Calibrated workload specifications.
+ *
+ * Calibration targets (from the paper):
+ *  - Apache: OS-dominated; Table III shows ~46 % of time in sequences
+ *    longer than 100 instructions, with a fat >10k tail (~18 %) from
+ *    sendfile of large responses and fork/exec of CGI children.
+ *  - SPECjbb2005: moderate OS share (~35 % above N=100) with a long
+ *    tail (~15 % above 10k) from heap-growth mmaps; off-loading at a
+ *    5,000-cycle latency is not profitable.
+ *  - Derby: light OS share (8.2 % above N=100, 0.2 % above 10k),
+ *    journal fsyncs providing the only mid-size tail.
+ *  - Compute group: a few percent privileged time, dominated by
+ *    register-window traps with rare brk/mmap/faults.
+ */
+
+#include "workload/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+namespace profiles
+{
+
+namespace
+{
+
+/** Shorthand for a mix entry. */
+ServiceMixEntry
+mix(ServiceId id, double weight,
+    std::vector<std::uint64_t> args = {0}, double arg_skew = 0.8,
+    std::uint64_t fd = 3, double fd_variation = 0.0)
+{
+    ServiceMixEntry entry;
+    entry.id = id;
+    entry.weight = weight;
+    entry.argValues = std::move(args);
+    entry.argZipfSkew = arg_skew;
+    entry.secondaryArg = fd;
+    entry.secondaryVariation = fd_variation;
+    return entry;
+}
+
+} // namespace
+
+WorkloadSpec
+apache()
+{
+    WorkloadSpec spec;
+    spec.name = "apache";
+    spec.meanBurst = 520;
+    spec.burstSigma = 0.8;
+    spec.windowTrapFraction = 0.42;
+    spec.mix = {
+        // Request parsing and response I/O; arguments are the common
+        // static-page sizes the CGI selector serves.
+        mix(ServiceId::Read, 18, {512, 1460, 4096, 8192}, 0.7, 4, 0.03),
+        mix(ServiceId::Write, 10, {512, 2048, 4096, 8192}, 0.7, 5, 0.03),
+        mix(ServiceId::Writev, 6, {1460, 4096, 8192}, 0.7, 5, 0.02),
+        mix(ServiceId::SendFile, 4.2, {16384, 32768, 65536, 131072}, 0.5,
+            6),
+        mix(ServiceId::Accept, 5),
+        mix(ServiceId::Poll, 14, {2, 8}, 0.8),
+        mix(ServiceId::Open, 6, {0}, 0.8, 7, 0.05),
+        mix(ServiceId::Close, 8, {0}, 0.8, 7, 0.05),
+        mix(ServiceId::Stat, 10, {0}, 0.8, 0, 0.03),
+        mix(ServiceId::GetTimeOfDay, 28),
+        mix(ServiceId::GetPid, 8),
+        mix(ServiceId::SendTo, 4, {576, 1460}, 0.7, 6),
+        mix(ServiceId::RecvFrom, 6, {576, 1460}, 0.7, 6),
+        mix(ServiceId::SocketSetup, 1.5),
+        // CGI children.
+        mix(ServiceId::Fork, 0.08),
+        mix(ServiceId::Exec, 0.08),
+        // Kernel background activity.
+        mix(ServiceId::PageFault, 3),
+        mix(ServiceId::TlbMiss, 20),
+        mix(ServiceId::ContextSwitch, 2),
+        mix(ServiceId::Futex, 6),
+        mix(ServiceId::NetRxIrq, 4),
+        mix(ServiceId::TimerIrq, 1.5),
+        mix(ServiceId::DiskIrq, 1),
+    };
+    spec.userCodeBytes = 192 * 1024;
+    spec.userDataBytes = 1536 * 1024;
+    spec.userStackBytes = 32 * 1024;
+    spec.userDataZipf = 1.02;
+    spec.userSequentialFraction = 0.10;
+    spec.userInstrPerData = 4.5;
+    spec.userInstrPerFetch = 11.0;
+    spec.userWriteFraction = 0.30;
+    spec.userSharedWeight = 0.12;
+    spec.userStackWeight = 0.15;
+    spec.osCommonBytes = 64 * 1024;
+    spec.osFileIoBytes = 320 * 1024;
+    spec.osNetBytes = 288 * 1024;
+    spec.osVmBytes = 96 * 1024;
+    spec.osPageCacheBytes = 640 * 1024;
+    spec.osDataZipf = 0.95;
+    spec.sharedIoBytes = 256 * 1024;
+    spec.sharedIoZipf = 0.95;
+    return spec;
+}
+
+WorkloadSpec
+specJbb()
+{
+    WorkloadSpec spec;
+    spec.name = "specjbb2005";
+    spec.meanBurst = 900;
+    spec.burstSigma = 0.7;
+    spec.windowTrapFraction = 0.60;
+    spec.mix = {
+        // JVM synchronization and time queries dominate the short end.
+        mix(ServiceId::Futex, 12, {0}, 0.8, 11, 0.06),
+        mix(ServiceId::FutexWait, 5, {0}, 0.8, 11, 0.06),
+        mix(ServiceId::ClockGetTime, 20),
+        mix(ServiceId::GetTimeOfDay, 4),
+        mix(ServiceId::SchedYield, 4),
+        // Heap management: large mmaps give the >10k tail
+        // (0.02 instr/byte * 1 MB ~ 21k instructions).
+        mix(ServiceId::Mmap, 4.5, {262144, 1048576, 2097152, 4194304}, 0.7),
+        mix(ServiceId::Brk, 3),
+        mix(ServiceId::PageFault, 10),
+        mix(ServiceId::TlbMiss, 8),
+        mix(ServiceId::ContextSwitch, 5),
+        mix(ServiceId::Read, 2, {512, 4096}, 0.7, 8),
+        mix(ServiceId::Write, 3, {512, 4096}, 0.7, 8),
+        mix(ServiceId::Fsync, 0.3),
+        mix(ServiceId::TimerIrq, 2),
+        mix(ServiceId::NetRxIrq, 1),
+    };
+    spec.userCodeBytes = 384 * 1024;
+    spec.userDataBytes = 1792 * 1024;
+    spec.userStackBytes = 64 * 1024;
+    spec.userDataZipf = 1.00;
+    spec.userSequentialFraction = 0.15;
+    spec.userInstrPerData = 4.0;
+    spec.userInstrPerFetch = 10.0;
+    spec.userWriteFraction = 0.35;
+    spec.userSharedWeight = 0.06;
+    spec.userStackWeight = 0.18;
+    spec.osCommonBytes = 96 * 1024;
+    spec.osFileIoBytes = 96 * 1024;
+    spec.osNetBytes = 48 * 1024;
+    spec.osVmBytes = 448 * 1024;
+    spec.osPageCacheBytes = 64 * 1024;
+    spec.osDataZipf = 0.95;
+    spec.sharedIoBytes = 128 * 1024;
+    spec.sharedIoZipf = 0.95;
+    return spec;
+}
+
+WorkloadSpec
+derby()
+{
+    WorkloadSpec spec;
+    spec.name = "derby";
+    spec.meanBurst = 9000;
+    spec.burstSigma = 0.7;
+    spec.windowTrapFraction = 0.50;
+    spec.mix = {
+        // Buffer-pool I/O and journal commits.
+        mix(ServiceId::Read, 7, {4096, 8192}, 0.7, 9, 0.03),
+        mix(ServiceId::Write, 6, {4096, 8192}, 0.7, 9, 0.03),
+        mix(ServiceId::Fsync, 0.5, {0}, 0.8, 9),
+        mix(ServiceId::Fork, 0.02),
+        mix(ServiceId::Futex, 8, {0}, 0.8, 12, 0.05),
+        mix(ServiceId::Stat, 3),
+        mix(ServiceId::ClockGetTime, 6),
+        mix(ServiceId::PageFault, 4),
+        mix(ServiceId::TlbMiss, 5),
+        mix(ServiceId::Mmap, 1, {262144}, 0.8),
+        mix(ServiceId::Poll, 4, {2, 4}, 0.8),
+        mix(ServiceId::ContextSwitch, 3),
+        mix(ServiceId::TimerIrq, 1.5),
+        mix(ServiceId::DiskIrq, 2.5),
+    };
+    spec.userCodeBytes = 320 * 1024;
+    spec.userDataBytes = 1600 * 1024;
+    spec.userStackBytes = 48 * 1024;
+    spec.userDataZipf = 1.02;
+    spec.userSequentialFraction = 0.12;
+    spec.userInstrPerData = 4.5;
+    spec.userInstrPerFetch = 11.0;
+    spec.userWriteFraction = 0.30;
+    spec.userSharedWeight = 0.08;
+    spec.userStackWeight = 0.15;
+    spec.osCommonBytes = 48 * 1024;
+    spec.osFileIoBytes = 128 * 1024;
+    spec.osFileIoSeq = 0.20;
+    spec.osPageCacheSeq = 0.25;
+    spec.osNetBytes = 32 * 1024;
+    spec.osVmBytes = 64 * 1024;
+    spec.osPageCacheBytes = 192 * 1024;
+    spec.osDataZipf = 0.95;
+    spec.sharedIoBytes = 128 * 1024;
+    spec.sharedIoZipf = 0.95;
+    return spec;
+}
+
+namespace
+{
+
+/**
+ * Common structure of the compute-bound group: rare syscalls, window
+ * traps dominating privileged entries, negligible shared I/O.
+ */
+WorkloadSpec
+computeBase(std::string name)
+{
+    WorkloadSpec spec;
+    spec.name = std::move(name);
+    spec.meanBurst = 4000;
+    spec.burstSigma = 0.5;
+    spec.windowTrapFraction = 0.94;
+    spec.mix = {
+        mix(ServiceId::Brk, 0.8),
+        mix(ServiceId::Mmap, 0.2, {262144}, 0.8),
+        mix(ServiceId::GetTimeOfDay, 0.5),
+        mix(ServiceId::Read, 0.2, {4096}, 0.8, 3),
+        mix(ServiceId::PageFault, 1.0),
+        mix(ServiceId::TlbMiss, 2.0),
+        mix(ServiceId::TimerIrq, 0.7),
+    };
+    spec.userStackBytes = 32 * 1024;
+    spec.userInstrPerData = 4.0;
+    spec.userInstrPerFetch = 14.0;
+    spec.userWriteFraction = 0.25;
+    spec.userSharedWeight = 0.01;
+    spec.userStackWeight = 0.12;
+    spec.osCommonBytes = 32 * 1024;
+    spec.osFileIoBytes = 32 * 1024;
+    spec.osNetBytes = 16 * 1024;
+    spec.osVmBytes = 64 * 1024;
+    spec.osPageCacheBytes = 32 * 1024;
+    spec.osDataZipf = 0.95;
+    spec.sharedIoBytes = 64 * 1024;
+    spec.sharedIoZipf = 0.95;
+    return spec;
+}
+
+} // namespace
+
+WorkloadSpec
+blackscholes()
+{
+    WorkloadSpec spec = computeBase("blackscholes");
+    spec.meanBurst = 5000;
+    spec.userCodeBytes = 64 * 1024;
+    spec.userDataBytes = 320 * 1024;
+    spec.userDataZipf = 0.9;
+    spec.userSequentialFraction = 0.55;
+    return spec;
+}
+
+WorkloadSpec
+canneal()
+{
+    WorkloadSpec spec = computeBase("canneal");
+    spec.meanBurst = 3500;
+    spec.userCodeBytes = 96 * 1024;
+    spec.userDataBytes = 1920 * 1024;
+    spec.userDataZipf = 0.85;
+    spec.userSequentialFraction = 0.05;
+    return spec;
+}
+
+WorkloadSpec
+fastaProtein()
+{
+    WorkloadSpec spec = computeBase("fasta_protein");
+    spec.meanBurst = 4500;
+    spec.userCodeBytes = 96 * 1024;
+    spec.userDataBytes = 896 * 1024;
+    spec.userDataZipf = 1.0;
+    spec.userSequentialFraction = 0.40;
+    return spec;
+}
+
+WorkloadSpec
+mummer()
+{
+    WorkloadSpec spec = computeBase("mummer");
+    spec.meanBurst = 3800;
+    spec.userCodeBytes = 128 * 1024;
+    spec.userDataBytes = 1408 * 1024;
+    spec.userDataZipf = 0.95;
+    spec.userSequentialFraction = 0.15;
+    return spec;
+}
+
+WorkloadSpec
+mcf()
+{
+    WorkloadSpec spec = computeBase("mcf");
+    spec.meanBurst = 3000;
+    spec.userCodeBytes = 64 * 1024;
+    spec.userDataBytes = 2176 * 1024;
+    spec.userDataZipf = 0.80;
+    spec.userSequentialFraction = 0.05;
+    return spec;
+}
+
+WorkloadSpec
+hmmer()
+{
+    WorkloadSpec spec = computeBase("hmmer");
+    spec.meanBurst = 5500;
+    spec.userCodeBytes = 96 * 1024;
+    spec.userDataBytes = 704 * 1024;
+    spec.userDataZipf = 1.0;
+    spec.userSequentialFraction = 0.35;
+    return spec;
+}
+
+} // namespace profiles
+
+WorkloadSpec
+makeWorkloadSpec(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Apache: return profiles::apache();
+      case WorkloadKind::SpecJbb: return profiles::specJbb();
+      case WorkloadKind::Derby: return profiles::derby();
+      case WorkloadKind::Blackscholes: return profiles::blackscholes();
+      case WorkloadKind::Canneal: return profiles::canneal();
+      case WorkloadKind::FastaProtein: return profiles::fastaProtein();
+      case WorkloadKind::Mummer: return profiles::mummer();
+      case WorkloadKind::Mcf: return profiles::mcf();
+      case WorkloadKind::Hmmer: return profiles::hmmer();
+    }
+    oscar_panic("unknown workload kind");
+}
+
+std::string
+workloadName(WorkloadKind kind)
+{
+    return makeWorkloadSpec(kind).name;
+}
+
+const std::vector<WorkloadKind> &
+serverWorkloads()
+{
+    static const std::vector<WorkloadKind> kServer = {
+        WorkloadKind::Apache,
+        WorkloadKind::SpecJbb,
+        WorkloadKind::Derby,
+    };
+    return kServer;
+}
+
+const std::vector<WorkloadKind> &
+computeWorkloads()
+{
+    static const std::vector<WorkloadKind> kCompute = {
+        WorkloadKind::Blackscholes, WorkloadKind::Canneal,
+        WorkloadKind::FastaProtein, WorkloadKind::Mummer,
+        WorkloadKind::Mcf,          WorkloadKind::Hmmer,
+    };
+    return kCompute;
+}
+
+bool
+isServerWorkload(WorkloadKind kind)
+{
+    for (WorkloadKind k : serverWorkloads()) {
+        if (k == kind)
+            return true;
+    }
+    return false;
+}
+
+} // namespace oscar

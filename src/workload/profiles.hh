@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Calibrated workload specifications for the paper's benchmark set:
+ * Apache 2.2.6 (static pages + CGI), SPECjbb2005 (middleware), Derby
+ * (SPECjvm2008 database), and six compute-bound programs from PARSEC
+ * (blackscholes, canneal), BioBench (fasta_protein, mummer) and
+ * SPEC-CPU-2006 (mcf, hmmer).
+ */
+
+#ifndef OSCAR_WORKLOAD_PROFILES_HH_
+#define OSCAR_WORKLOAD_PROFILES_HH_
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace oscar
+{
+
+/** The paper's benchmarks. */
+enum class WorkloadKind : std::uint8_t
+{
+    Apache,
+    SpecJbb,
+    Derby,
+    Blackscholes,
+    Canneal,
+    FastaProtein,
+    Mummer,
+    Mcf,
+    Hmmer,
+};
+
+/** Workload specs, one builder per benchmark. */
+namespace profiles
+{
+
+WorkloadSpec apache();
+WorkloadSpec specJbb();
+WorkloadSpec derby();
+WorkloadSpec blackscholes();
+WorkloadSpec canneal();
+WorkloadSpec fastaProtein();
+WorkloadSpec mummer();
+WorkloadSpec mcf();
+WorkloadSpec hmmer();
+
+} // namespace profiles
+
+/** Build the spec for a benchmark. */
+WorkloadSpec makeWorkloadSpec(WorkloadKind kind);
+
+/** Display name of a benchmark. */
+std::string workloadName(WorkloadKind kind);
+
+/** The three server benchmarks. */
+const std::vector<WorkloadKind> &serverWorkloads();
+
+/** The six compute-bound benchmarks (reported as a group). */
+const std::vector<WorkloadKind> &computeWorkloads();
+
+/** True for the server group. */
+bool isServerWorkload(WorkloadKind kind);
+
+} // namespace oscar
+
+#endif // OSCAR_WORKLOAD_PROFILES_HH_

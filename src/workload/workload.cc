@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Implementation of the synthetic workload generator.
+ */
+
+#include "workload/workload.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+OsPools
+OsPools::build(AddressSpace &space, const ServiceTable &table,
+               const WorkloadSpec &spec)
+{
+    OsPools pools;
+    // The common set is small and very hot; the subsystem pools carry
+    // streaming copies (file/net payloads) and metadata walks.
+    pools.kernelData[static_cast<std::size_t>(OsDataPool::Common)] =
+        space.allocate(RegionParams{"os-common", spec.osCommonBytes,
+                                    1.1, 0.05, 64, 0.72, 16, 8});
+    pools.kernelData[static_cast<std::size_t>(OsDataPool::FileIo)] =
+        space.allocate(RegionParams{"os-fileio", spec.osFileIoBytes,
+                                    spec.osDataZipf, spec.osFileIoSeq,
+                                    64, 0.50, 16, 8});
+    pools.kernelData[static_cast<std::size_t>(OsDataPool::Net)] =
+        space.allocate(RegionParams{"os-net", spec.osNetBytes,
+                                    spec.osDataZipf, 0.25, 64, 0.65, 16,
+                                    8});
+    pools.kernelData[static_cast<std::size_t>(OsDataPool::Vm)] =
+        space.allocate(RegionParams{"os-vm", spec.osVmBytes,
+                                    spec.osDataZipf, 0.10, 64, 0.65, 16,
+                                    8});
+    // Bulk pages: moderately skewed file popularity, heavy streaming.
+    pools.kernelData[static_cast<std::size_t>(OsDataPool::PageCache)] =
+        space.allocate(RegionParams{"os-pagecache",
+                                    spec.osPageCacheBytes, 0.90,
+                                    spec.osPageCacheSeq, 64, 0.45, 16,
+                                    8});
+    pools.sharedIo = space.allocate(RegionParams{
+        "shared-io", spec.sharedIoBytes, spec.sharedIoZipf, 0.55, 64,
+        0.40, 12, 8});
+    for (const OsService &svc : table.all()) {
+        pools.serviceCode[static_cast<std::size_t>(svc.id)] =
+            space.allocate(RegionParams{
+                "code-" + svc.name, svc.codeBytes, 1.15, 0.5, 64, 0.78,
+                12, 8});
+    }
+    return pools;
+}
+
+Workload::Workload(const WorkloadSpec &spec, const ServiceTable &table,
+                   AddressSpace &space, const OsPools &pools,
+                   unsigned lineBytes)
+    : spec_(spec), services(table), osPools(pools)
+{
+    if (spec_.mix.empty())
+        oscar_fatal("workload %s has an empty OS mix",
+                    spec_.name.c_str());
+    oscar_assert(spec_.windowTrapFraction >= 0.0 &&
+                 spec_.windowTrapFraction <= 1.0);
+
+    userCode = space.allocate(RegionParams{
+        spec_.name + "-code", spec_.userCodeBytes, 1.25, 0.4, lineBytes,
+        0.80, 12, 8});
+    userData = space.allocate(RegionParams{
+        spec_.name + "-data", spec_.userDataBytes, spec_.userDataZipf,
+        spec_.userSequentialFraction, lineBytes, 0.70, 48, 8});
+    userStack = space.allocate(RegionParams{
+        spec_.name + "-stack", spec_.userStackBytes, 1.1, 0.2,
+        lineBytes, 0.80, 8, 8});
+    // I/O buffers are streamed: copy loops touch each line once and
+    // move on, so cross-core producer/consumer traffic is a single
+    // cache-to-cache transfer per line instead of a ping-pong.
+    userIo = space.allocate(RegionParams{
+        spec_.name + "-iobuf", spec_.userIoBytes, spec_.userIoZipf,
+        0.80, lineBytes, 0.30, 8, 8});
+
+    // User-mode segment profile: private data and stack, plus a slice
+    // of the shared I/O pool (the application consuming what the OS
+    // produced on its behalf — the coherence coupling of Section V-A).
+    userSegment = std::make_unique<SegmentProfile>(
+        userCode, spec_.userInstrPerData, spec_.userInstrPerFetch);
+    const double private_weight =
+        std::max(0.0, 1.0 - spec_.userSharedWeight -
+                          spec_.userStackWeight - spec_.userIoWeight);
+    userSegment->addData(userData, private_weight,
+                         spec_.userWriteFraction);
+    userSegment->addData(userStack, spec_.userStackWeight, 0.5);
+    if (spec_.userIoWeight > 0.0)
+        userSegment->addData(userIo, spec_.userIoWeight, 0.25);
+    if (spec_.userSharedWeight > 0.0) {
+        userSegment->addData(osPools.sharedIo, spec_.userSharedWeight,
+                             0.35);
+    }
+    userSegment->finalize();
+
+    // Per-service segment profiles: window traps hammer the *user
+    // stack*; everything else splits between the thread's user data,
+    // the kernel's own pool, and the shared I/O pool.
+    for (const OsService &svc : services.all()) {
+        const auto index = static_cast<std::size_t>(svc.id);
+        auto segment = std::make_unique<SegmentProfile>(
+            osPools.serviceCode[index], svc.instrPerData,
+            svc.instrPerFetch);
+        // Window traps spill to the stack; faults walk real user
+        // pages; syscalls and interrupt handlers move data through
+        // the I/O buffers.
+        AddressRegion *user_pool = userIo;
+        if (svc.isWindowTrap())
+            user_pool = userStack;
+        else if (svc.kind == ServiceKind::Fault)
+            user_pool = userData;
+        const double user_w =
+            svc.userDataWeight * spec_.osCouplingScale;
+        const double shared_w =
+            svc.sharedDataWeight * spec_.osCouplingScale;
+        if (user_w > 0.0) {
+            segment->addData(user_pool, user_w,
+                             svc.userWriteFraction);
+        }
+        if (svc.osDataWeight > 0.0) {
+            // Split kernel references between the service's subsystem
+            // pool and the common hot set.
+            const double common_w = svc.osDataWeight * svc.commonShare;
+            const double pool_w = svc.osDataWeight - common_w;
+            AddressRegion *common =
+                osPools.pool(OsDataPool::Common);
+            AddressRegion *subsystem = osPools.pool(svc.pool);
+            if (common_w > 0.0) {
+                segment->addData(common, common_w,
+                                 svc.commonWriteFraction);
+            }
+            if (pool_w > 0.0 && subsystem != common) {
+                segment->addData(subsystem, pool_w,
+                                 svc.osWriteFraction);
+            } else if (pool_w > 0.0) {
+                segment->addData(common, pool_w, svc.osWriteFraction);
+            }
+        }
+        if (shared_w > 0.0) {
+            segment->addData(osPools.sharedIo, shared_w,
+                             svc.sharedWriteFraction);
+        }
+        segment->finalize();
+        serviceSegments[index] = std::move(segment);
+    }
+
+    // Sampling tables for the OS mix and each entry's argument set.
+    std::vector<double> mix_weights;
+    mix_weights.reserve(spec_.mix.size());
+    for (const ServiceMixEntry &entry : spec_.mix) {
+        oscar_assert(!entry.argValues.empty());
+        mix_weights.push_back(entry.weight);
+        std::vector<double> arg_weights;
+        arg_weights.reserve(entry.argValues.size());
+        for (std::size_t rank = 0; rank < entry.argValues.size(); ++rank) {
+            arg_weights.push_back(
+                1.0 / std::pow(static_cast<double>(rank + 1),
+                               entry.argZipfSkew));
+        }
+        argAliases.push_back(std::make_unique<AliasTable>(arg_weights));
+    }
+    mixAlias = std::make_unique<AliasTable>(mix_weights);
+}
+
+const SegmentProfile &
+Workload::serviceProfile(ServiceId id) const
+{
+    const auto index = static_cast<std::size_t>(id);
+    oscar_assert(index < serviceSegments.size());
+    return *serviceSegments[index];
+}
+
+WorkloadToken
+Workload::next(Rng &rng, ArchState &arch)
+{
+    WorkloadToken token;
+    if (burstPending) {
+        burstPending = false;
+        token.kind = TokenKind::UserBurst;
+        const double sigma = spec_.burstSigma;
+        const double mu = std::log(spec_.meanBurst) - 0.5 * sigma * sigma;
+        double length = rng.nextLogNormal(mu, sigma);
+        if (length < 10.0)
+            length = 10.0;
+        token.burstLength = static_cast<InstCount>(length);
+        // The burst runs in user mode.
+        arch.setPrivileged(false);
+        return token;
+    }
+
+    burstPending = true;
+    token.kind = TokenKind::OsCall;
+    if (rng.nextBool(spec_.windowTrapFraction)) {
+        token.invocation = makeWindowTrap(rng, arch);
+    } else {
+        token.invocation = makeInvocation(mixAlias->sample(rng), rng,
+                                          arch);
+    }
+    return token;
+}
+
+OsInvocation
+Workload::makeInvocation(std::size_t entry_index, Rng &rng,
+                         ArchState &arch)
+{
+    const ServiceMixEntry &entry = spec_.mix[entry_index];
+    const OsService &svc = services.service(entry.id);
+    const std::uint64_t arg =
+        entry.argValues[argAliases[entry_index]->sample(rng)];
+    std::uint64_t arg1 = entry.secondaryArg;
+    if (entry.secondaryVariation > 0.0 &&
+        rng.nextBool(entry.secondaryVariation)) {
+        arg1 += 1 + rng.nextBounded(4);
+    }
+
+    OsInvocation inv;
+    inv.service = &svc;
+    inv.arg = arg;
+    inv.trueLength = svc.sampleLength(arg, rng);
+    setupEntryRegisters(arch, svc, arg, arg1);
+    inv.regs = captureRegisters(arch);
+    return inv;
+}
+
+OsInvocation
+Workload::makeWindowTrap(Rng &rng, ArchState &arch)
+{
+    // Calls deepen the window file (spill traps), returns unwind it
+    // (fill traps); keep the depth random-walking so the AState the
+    // trap handler sees varies the way real window pressure does.
+    const bool spill = rng.nextBool(0.55);
+    if (spill)
+        arch.onCall();
+    else
+        arch.onReturn();
+    const ServiceId id = spill ? ServiceId::SpillTrap : ServiceId::FillTrap;
+    const OsService &svc = services.service(id);
+
+    OsInvocation inv;
+    inv.service = &svc;
+    inv.arg = 0;
+    inv.trueLength = svc.sampleLength(0, rng);
+    setupEntryRegisters(arch, svc, arch.windowDepth(), 0);
+    inv.regs = captureRegisters(arch);
+    return inv;
+}
+
+} // namespace oscar

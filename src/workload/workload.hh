@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Statistical workload models.
+ *
+ * A workload is a generator of tokens: user-mode execution bursts
+ * interleaved with OS invocations (system calls, faults, SPARC
+ * register-window traps, and device-interrupt handlers). Each model is
+ * described by a WorkloadSpec whose parameters were calibrated so the
+ * simulated Apache / SPECjbb2005 / Derby / compute-bound workloads
+ * reproduce the observable structure the paper reports: privileged
+ * instruction fraction, the run-length mixture that drives Table III,
+ * the argument-dependent lengths the predictor exploits, and the
+ * user/OS/shared working-set interference that drives Figures 4 and 5.
+ */
+
+#ifndef OSCAR_WORKLOAD_WORKLOAD_HH_
+#define OSCAR_WORKLOAD_WORKLOAD_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/arch_state.hh"
+#include "cpu/exec_engine.hh"
+#include "os/invocation.hh"
+#include "os/os_service.hh"
+#include "sim/random.hh"
+#include "workload/address_space.hh"
+
+namespace oscar
+{
+
+/** Kind of token a workload emits. */
+enum class TokenKind : std::uint8_t
+{
+    UserBurst,
+    OsCall,
+};
+
+/** One unit of thread activity. */
+struct WorkloadToken
+{
+    TokenKind kind = TokenKind::UserBurst;
+    /** Instructions of the burst (UserBurst only). */
+    InstCount burstLength = 0;
+    /** The invocation (OsCall only). */
+    OsInvocation invocation;
+};
+
+/** One service in a workload's OS mix. */
+struct ServiceMixEntry
+{
+    ServiceId id;
+    /** Relative invocation frequency. */
+    double weight = 1.0;
+    /** Hot set of primary-argument values (bytes, fd counts, ...). */
+    std::vector<std::uint64_t> argValues = {0};
+    /** Zipf skew over the hot argument set. */
+    double argZipfSkew = 0.8;
+    /** Secondary argument (e.g. a file descriptor); part of AState. */
+    std::uint64_t secondaryArg = 3;
+    /** Probability the secondary argument deviates from its default. */
+    double secondaryVariation = 0.0;
+};
+
+/** Full statistical description of a workload. */
+struct WorkloadSpec
+{
+    std::string name;
+
+    // --- OS interaction structure -----------------------------------
+    /** Mean user instructions between privileged entries. */
+    double meanBurst = 1000.0;
+    /** Log-normal sigma of the burst length. */
+    double burstSigma = 0.6;
+    /** Probability a privileged entry is a register-window trap. */
+    double windowTrapFraction = 0.5;
+    /** The system-call / fault / interrupt mix. */
+    std::vector<ServiceMixEntry> mix;
+
+    // --- User memory behaviour ---------------------------------------
+    std::uint64_t userCodeBytes = 256 * 1024;
+    std::uint64_t userDataBytes = 1024 * 1024;
+    std::uint64_t userStackBytes = 32 * 1024;
+    double userDataZipf = 0.7;
+    double userSequentialFraction = 0.1;
+    double userInstrPerData = 4.5;
+    double userInstrPerFetch = 11.0;
+    double userWriteFraction = 0.3;
+    /** Weight of user references landing in the shared I/O pool. */
+    double userSharedWeight = 0.10;
+    /** Weight of user references landing on the stack. */
+    double userStackWeight = 0.15;
+    /**
+     * Per-thread user I/O buffers: the pages syscalls copy into/out of
+     * (read/write/recv payloads). OS services touch *these* on the
+     * user side rather than the application's hot working set, which
+     * bounds user/OS coherence ping-pong to a buffer-sized region —
+     * matching how real kernels move I/O data.
+     */
+    std::uint64_t userIoBytes = 96 * 1024;
+    double userIoZipf = 0.8;
+    /** Weight of user references that consume the I/O buffers. */
+    double userIoWeight = 0.08;
+
+    // --- OS memory pools (shared by all threads of the system) ------
+    /** Hot common kernel structures (task structs, run queues). */
+    std::uint64_t osCommonBytes = 64 * 1024;
+    /** Page/buffer cache + VFS metadata. */
+    std::uint64_t osFileIoBytes = 256 * 1024;
+    /** Socket buffers and protocol state. */
+    std::uint64_t osNetBytes = 64 * 1024;
+    /** Page tables and VMA metadata. */
+    std::uint64_t osVmBytes = 96 * 1024;
+    /** Bulk payload pages of large transfers (sendfile, journals). */
+    std::uint64_t osPageCacheBytes = 128 * 1024;
+    /** Zipf skew of the subsystem pools. */
+    double osDataZipf = 0.95;
+    /** Streaming fraction of the VFS/file pool (copy loops). */
+    double osFileIoSeq = 0.60;
+    /** Streaming fraction of the bulk page pool. */
+    double osPageCacheSeq = 0.50;
+    /** Buffers shared between the OS and the application (I/O). */
+    std::uint64_t sharedIoBytes = 256 * 1024;
+    double sharedIoZipf = 0.6;
+
+    /**
+     * Scale factor on the user-side and shared-buffer weights of OS
+     * services (1 = calibrated coupling, 0 = OS sequences touch only
+     * kernel pools). Exposed for the coherence-sensitivity ablation.
+     */
+    double osCouplingScale = 1.0;
+};
+
+/**
+ * System-wide pools every thread's OS activity touches: the kernel's
+ * own data, the shared I/O buffers, and per-service kernel code.
+ * Created once per simulated system; this sharing is what gives the
+ * dedicated OS core its constructive cache locality across threads.
+ */
+struct OsPools
+{
+    /** Kernel data pools indexed by OsDataPool. */
+    std::array<AddressRegion *, kNumOsPools> kernelData{};
+    AddressRegion *sharedIo = nullptr;
+    std::array<AddressRegion *, kNumServices> serviceCode{};
+
+    /** The pool region for a subsystem. */
+    AddressRegion *
+    pool(OsDataPool p) const
+    {
+        return kernelData[static_cast<std::size_t>(p)];
+    }
+
+    /** Allocate the pools for a spec. */
+    static OsPools build(AddressSpace &space, const ServiceTable &table,
+                         const WorkloadSpec &spec);
+};
+
+/**
+ * A thread's workload instance: private user regions plus references
+ * to the shared OS pools.
+ */
+class Workload
+{
+  public:
+    /**
+     * @param spec Statistical description.
+     * @param table Service table.
+     * @param space Allocator for this thread's private regions.
+     * @param pools System-wide OS pools.
+     * @param lineBytes Cache line size (region granularity).
+     */
+    Workload(const WorkloadSpec &spec, const ServiceTable &table,
+             AddressSpace &space, const OsPools &pools,
+             unsigned lineBytes);
+
+    /**
+     * Emit the next token.
+     *
+     * @param rng The owning thread's deterministic stream.
+     * @param arch The owning thread's architected state; privileged
+     *        entries populate its registers the way the OS-entry stub
+     *        would, so the AState hash sees realistic values.
+     */
+    WorkloadToken next(Rng &rng, ArchState &arch);
+
+    /** Memory profile of user-mode bursts. */
+    const SegmentProfile &userProfile() const { return *userSegment; }
+
+    /** Memory profile of one OS service (thread-specific pools). */
+    const SegmentProfile &serviceProfile(ServiceId id) const;
+
+    /** The spec this instance was built from. */
+    const WorkloadSpec &spec() const { return spec_; }
+
+    /** Display name. */
+    const std::string &name() const { return spec_.name; }
+
+  private:
+    /** Build an OS invocation for the mix entry at the given index. */
+    OsInvocation makeInvocation(std::size_t entry_index, Rng &rng,
+                                ArchState &arch);
+
+    /** Build a spill or fill trap invocation. */
+    OsInvocation makeWindowTrap(Rng &rng, ArchState &arch);
+
+    WorkloadSpec spec_;
+    const ServiceTable &services;
+
+    // Private user regions.
+    AddressRegion *userCode;
+    AddressRegion *userData;
+    AddressRegion *userStack;
+    AddressRegion *userIo;
+    OsPools osPools;
+
+    std::unique_ptr<SegmentProfile> userSegment;
+    std::array<std::unique_ptr<SegmentProfile>, kNumServices>
+        serviceSegments;
+
+    std::unique_ptr<AliasTable> mixAlias;
+    std::vector<std::unique_ptr<AliasTable>> argAliases;
+    /** Pending OS call after a burst (tokens alternate). */
+    bool burstPending = true;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_WORKLOAD_WORKLOAD_HH_

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for working-set regions and reference generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "workload/address_space.hh"
+
+namespace oscar
+{
+namespace
+{
+
+RegionParams
+params(std::uint64_t bytes, double zipf = 0.8, double seq = 0.0)
+{
+    RegionParams p;
+    p.name = "test";
+    p.sizeBytes = bytes;
+    p.zipfSkew = zipf;
+    p.sequentialFraction = seq;
+    return p;
+}
+
+TEST(AddressRegion, AccessesStayInBounds)
+{
+    AddressRegion region(1 << 20, params(64 * 1024));
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = region.nextAccess(rng);
+        EXPECT_TRUE(region.contains(addr));
+        EXPECT_GE(addr, region.base());
+        EXPECT_LT(addr, region.base() + region.sizeBytes());
+    }
+}
+
+TEST(AddressRegion, LineCount)
+{
+    AddressRegion region(1 << 20, params(64 * 1024));
+    EXPECT_EQ(region.lineCount(), 1024u);
+}
+
+TEST(AddressRegion, ContainsBoundaries)
+{
+    AddressRegion region(1 << 20, params(4096));
+    EXPECT_TRUE(region.contains(1 << 20));
+    EXPECT_TRUE(region.contains((1 << 20) + 4095));
+    EXPECT_FALSE(region.contains((1 << 20) + 4096));
+    EXPECT_FALSE(region.contains((1 << 20) - 1));
+}
+
+TEST(AddressRegion, SkewConcentratesReferences)
+{
+    RegionParams p = params(256 * 1024, 1.2);
+    p.reuseFraction = 0.0; // isolate the popularity distribution
+    AddressRegion region(1 << 20, p);
+    Rng rng(2);
+    std::unordered_map<Addr, unsigned> counts;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[region.nextAccess(rng) >> 6];
+    // The 64 hottest lines should absorb a large share.
+    std::vector<unsigned> sorted;
+    for (const auto &[line, count] : counts)
+        sorted.push_back(count);
+    std::sort(sorted.rbegin(), sorted.rend());
+    unsigned top64 = 0;
+    for (std::size_t i = 0; i < 64 && i < sorted.size(); ++i)
+        top64 += sorted[i];
+    EXPECT_GT(top64, kSamples / 2);
+}
+
+TEST(AddressRegion, ReuseRingCreatesTemporalLocality)
+{
+    RegionParams with_reuse = params(1024 * 1024, 0.2);
+    with_reuse.reuseFraction = 0.8;
+    with_reuse.reuseWindow = 8;
+    AddressRegion region(1 << 20, with_reuse);
+    Rng rng(3);
+    // Count re-references within a short window.
+    std::vector<Addr> recent;
+    unsigned rerefs = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+        const Addr line = region.nextAccess(rng) >> 6;
+        for (Addr r : recent) {
+            if (r == line) {
+                ++rerefs;
+                break;
+            }
+        }
+        recent.push_back(line);
+        if (recent.size() > 16)
+            recent.erase(recent.begin());
+    }
+    EXPECT_GT(rerefs, kSamples / 2);
+}
+
+TEST(AddressRegion, SequentialStreamDwellsOnLines)
+{
+    RegionParams p = params(1024 * 1024, 0.0, 1.0);
+    p.reuseFraction = 0.0;
+    p.sequentialRepeats = 8;
+    AddressRegion region(1 << 20, p);
+    Rng rng(4);
+    // With pure streaming, consecutive accesses repeat a line 8 times.
+    Addr last = region.nextAccess(rng) >> 6;
+    unsigned advances = 0;
+    constexpr int kSamples = 800;
+    for (int i = 0; i < kSamples; ++i) {
+        const Addr line = region.nextAccess(rng) >> 6;
+        if (line != last)
+            ++advances;
+        last = line;
+    }
+    EXPECT_NEAR(advances, kSamples / 8, kSamples / 16);
+}
+
+TEST(AddressRegionDeath, TooSmallRegionIsFatal)
+{
+    EXPECT_EXIT(AddressRegion(0, params(32)),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap)
+{
+    AddressSpace space;
+    std::vector<AddressRegion *> regions;
+    for (int i = 0; i < 10; ++i)
+        regions.push_back(space.allocate(params(128 * 1024)));
+    for (std::size_t a = 0; a < regions.size(); ++a) {
+        for (std::size_t b = a + 1; b < regions.size(); ++b) {
+            const Addr a_end =
+                regions[a]->base() + regions[a]->sizeBytes();
+            const Addr b_start = regions[b]->base();
+            EXPECT_LE(a_end, b_start);
+        }
+    }
+    EXPECT_EQ(space.regionCount(), 10u);
+}
+
+TEST(AddressSpace, RegionsAreLineAligned)
+{
+    AddressSpace space;
+    for (int i = 0; i < 5; ++i) {
+        AddressRegion *region = space.allocate(params(4096 + 64 * i));
+        EXPECT_EQ(region->base() % 64, 0u);
+    }
+}
+
+TEST(AddressSpace, AllocatedBytesGrow)
+{
+    AddressSpace space;
+    EXPECT_EQ(space.allocatedBytes(), 0u);
+    space.allocate(params(4096));
+    EXPECT_GE(space.allocatedBytes(), 4096u);
+}
+
+TEST(AddressSpace, RegionAccessByIndex)
+{
+    AddressSpace space;
+    AddressRegion *first = space.allocate(params(4096));
+    EXPECT_EQ(&space.region(0), first);
+}
+
+} // namespace
+} // namespace oscar

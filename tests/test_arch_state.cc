@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the SPARC-flavoured architected state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/arch_state.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(ArchState, StartsUserModeInterruptsOn)
+{
+    ArchState arch;
+    EXPECT_FALSE(arch.privileged());
+    EXPECT_TRUE(arch.interruptsEnabled());
+}
+
+TEST(ArchState, PrivilegedBitToggles)
+{
+    ArchState arch;
+    arch.setPrivileged(true);
+    EXPECT_TRUE(arch.privileged());
+    EXPECT_TRUE(arch.pstate() & pstate::kPriv);
+    arch.setPrivileged(false);
+    EXPECT_FALSE(arch.privileged());
+}
+
+TEST(ArchState, InterruptBitToggles)
+{
+    ArchState arch;
+    arch.setInterruptsEnabled(false);
+    EXPECT_FALSE(arch.interruptsEnabled());
+    arch.setInterruptsEnabled(true);
+    EXPECT_TRUE(arch.interruptsEnabled());
+}
+
+TEST(ArchState, TogglingOneBitPreservesOthers)
+{
+    ArchState arch;
+    arch.setPrivileged(true);
+    arch.setInterruptsEnabled(false);
+    EXPECT_TRUE(arch.privileged());
+    arch.setInterruptsEnabled(true);
+    EXPECT_TRUE(arch.privileged());
+}
+
+TEST(ArchState, GlobalsReadBack)
+{
+    ArchState arch;
+    arch.setGlobal(0, 0xDEAD);
+    arch.setGlobal(7, 0xBEEF);
+    EXPECT_EQ(arch.global(0), 0xDEADu);
+    EXPECT_EQ(arch.global(7), 0xBEEFu);
+    EXPECT_EQ(arch.global(1), 0u);
+}
+
+TEST(ArchState, InputsReadBack)
+{
+    ArchState arch;
+    arch.setInput(0, 4096);
+    arch.setInput(1, 3);
+    EXPECT_EQ(arch.input(0), 4096u);
+    EXPECT_EQ(arch.input(1), 3u);
+}
+
+TEST(ArchState, SetPstateWholesale)
+{
+    ArchState arch;
+    arch.setPstate(pstate::kPriv | pstate::kAm);
+    EXPECT_TRUE(arch.privileged());
+    EXPECT_FALSE(arch.interruptsEnabled());
+}
+
+TEST(ArchState, CallsDeepenUntilSpill)
+{
+    ArchState arch;
+    int spills = 0;
+    for (unsigned i = 0; i < ArchState::kNumWindows + 3; ++i) {
+        if (arch.onCall())
+            ++spills;
+    }
+    EXPECT_EQ(spills, 4); // depth saturates at kNumWindows-1
+    EXPECT_EQ(arch.windowDepth(), ArchState::kNumWindows - 1);
+}
+
+TEST(ArchState, ReturnsUnwindUntilFill)
+{
+    ArchState arch;
+    for (int i = 0; i < 3; ++i)
+        arch.onCall();
+    EXPECT_FALSE(arch.onReturn());
+    EXPECT_FALSE(arch.onReturn());
+    EXPECT_FALSE(arch.onReturn());
+    // Depth 0: the next return needs a fill.
+    EXPECT_TRUE(arch.onReturn());
+    EXPECT_EQ(arch.windowDepth(), 0u);
+}
+
+TEST(ArchState, CallReturnBalancedNeverTraps)
+{
+    ArchState arch;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(arch.onCall());
+        EXPECT_FALSE(arch.onReturn());
+    }
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtCycleZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.nextEventCycle(), kNoCycle);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Cycle) { order.push_back(3); });
+    q.schedule(10, [&](Cycle) { order.push_back(1); });
+    q.schedule(20, [&](Cycle) { order.push_back(2); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&](Cycle) { order.push_back(1); });
+    q.schedule(5, [&](Cycle) { order.push_back(2); });
+    q.schedule(5, [&](Cycle) { order.push_back(3); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CallbackReceivesFiringCycle)
+{
+    EventQueue q;
+    Cycle seen = 0;
+    q.schedule(17, [&](Cycle when) { seen = when; });
+    q.runOne();
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&](Cycle when) {
+        ++fired;
+        q.schedule(when + 1, [&](Cycle) { ++fired; });
+    });
+    q.runUntil(100);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Cycle) { ++fired; });
+    q.schedule(20, [&](Cycle) { ++fired; });
+    q.schedule(30, [&](Cycle) { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.nextEventCycle(), 30u);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto id = q.schedule(10, [&](Cycle) { ++fired; });
+    q.schedule(20, [&](Cycle) { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    q.runUntil(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    const auto id = q.schedule(10, [](Cycle) {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue q;
+    const auto a = q.schedule(10, [](Cycle) {});
+    q.schedule(20, [](Cycle) {});
+    EXPECT_EQ(q.pendingCount(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.runOne();
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, NextEventCycleSkipsCancelled)
+{
+    EventQueue q;
+    const auto a = q.schedule(10, [](Cycle) {});
+    q.schedule(20, [](Cycle) {});
+    q.cancel(a);
+    EXPECT_EQ(q.nextEventCycle(), 20u);
+}
+
+TEST(EventQueue, SchedulingAtCurrentCycleIsAllowed)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&](Cycle when) {
+        q.schedule(when, [&](Cycle) { ++fired; });
+    });
+    q.runUntil(5);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, FiredCountAccumulates)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i + 1, [](Cycle) {});
+    q.runUntil(100);
+    EXPECT_EQ(q.firedCount(), 7u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Cycle last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 1000; ++i) {
+        const Cycle when = static_cast<Cycle>((i * 7919) % 5000) + 1;
+        q.schedule(when, [&, when](Cycle) {
+            if (when < last)
+                monotone = false;
+            last = when;
+        });
+    }
+    while (!q.empty())
+        q.runOne();
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the segment execution engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/exec_engine.hh"
+#include "workload/address_space.hh"
+
+namespace oscar
+{
+namespace
+{
+
+class ExecEngineTest : public ::testing::Test
+{
+  protected:
+    ExecEngineTest()
+        : mem(1, HierarchyGeometry{}, MemTimings{}), rng(13)
+    {
+        RegionParams code_params;
+        code_params.name = "code";
+        code_params.sizeBytes = 16 * 1024;
+        code = space.allocate(code_params);
+        RegionParams data_params;
+        data_params.name = "data";
+        data_params.sizeBytes = 64 * 1024;
+        data = space.allocate(data_params);
+    }
+
+    AddressSpace space;
+    AddressRegion *code;
+    AddressRegion *data;
+    MemorySystem mem;
+    Rng rng;
+};
+
+TEST_F(ExecEngineTest, ZeroInstructionsCostNothing)
+{
+    SegmentProfile profile(code, 4.0, 12.0);
+    profile.finalize();
+    const ExecResult r = ExecEngine::execute(
+        mem, 0, ExecContext::User, 0, profile, rng);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.dataAccesses, 0u);
+}
+
+TEST_F(ExecEngineTest, CyclesAtLeastInstructions)
+{
+    SegmentProfile profile(code, 4.0, 12.0);
+    profile.addData(data, 1.0, 0.3);
+    profile.finalize();
+    const ExecResult r = ExecEngine::execute(
+        mem, 0, ExecContext::User, 10000, profile, rng);
+    EXPECT_GE(r.cycles, 10000u);
+}
+
+TEST_F(ExecEngineTest, DataAccessRateMatchesProfile)
+{
+    SegmentProfile profile(code, 4.0, 1000000.0);
+    profile.addData(data, 1.0, 0.0);
+    profile.finalize();
+    const ExecResult r = ExecEngine::execute(
+        mem, 0, ExecContext::User, 100000, profile, rng);
+    // Mean instructions per access is 4 => ~25k accesses (+/-20%).
+    EXPECT_NEAR(static_cast<double>(r.dataAccesses), 25000.0, 5000.0);
+}
+
+TEST_F(ExecEngineTest, FetchRateMatchesProfile)
+{
+    SegmentProfile profile(code, 1000000.0, 10.0);
+    profile.finalize();
+    const ExecResult r = ExecEngine::execute(
+        mem, 0, ExecContext::User, 100000, profile, rng);
+    EXPECT_NEAR(static_cast<double>(r.fetches), 10000.0, 1500.0);
+}
+
+TEST_F(ExecEngineTest, NoDataProfileNeverAccessesData)
+{
+    SegmentProfile profile(code, 4.0, 12.0);
+    profile.finalize();
+    const ExecResult r = ExecEngine::execute(
+        mem, 0, ExecContext::User, 5000, profile, rng);
+    EXPECT_EQ(r.dataAccesses, 0u);
+    EXPECT_GT(r.fetches, 0u);
+}
+
+TEST_F(ExecEngineTest, WarmCacheRunsFaster)
+{
+    SegmentProfile profile(code, 3.0, 10.0);
+    profile.addData(data, 1.0, 0.2);
+    profile.finalize();
+    const ExecResult cold = ExecEngine::execute(
+        mem, 0, ExecContext::User, 20000, profile, rng);
+    const ExecResult warm = ExecEngine::execute(
+        mem, 0, ExecContext::User, 20000, profile, rng);
+    EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST_F(ExecEngineTest, AccessesStayInsideRegions)
+{
+    SegmentProfile profile(code, 3.0, 10.0);
+    profile.addData(data, 1.0, 0.5);
+    profile.finalize();
+    ExecEngine::execute(mem, 0, ExecContext::User, 20000, profile, rng);
+    // Every resident L2 line must belong to one of the two regions.
+    const Addr code_first = code->base() >> 6;
+    const Addr code_last = (code->base() + code->sizeBytes() - 1) >> 6;
+    const Addr data_first = data->base() >> 6;
+    const Addr data_last = (data->base() + data->sizeBytes() - 1) >> 6;
+    for (Addr line = 0; line < (1 << 20); ++line) {
+        if (mem.l2(0).probe(line) == MesiState::Invalid)
+            continue;
+        const bool in_code = line >= code_first && line <= code_last;
+        const bool in_data = line >= data_first && line <= data_last;
+        ASSERT_TRUE(in_code || in_data) << "stray line " << line;
+    }
+}
+
+TEST_F(ExecEngineTest, StatsAttributedToRequestedContext)
+{
+    SegmentProfile profile(code, 3.0, 10.0);
+    profile.addData(data, 1.0, 0.2);
+    profile.finalize();
+    ExecEngine::execute(mem, 0, ExecContext::Os, 5000, profile, rng);
+    EXPECT_GT(mem.stats(0).l2Os.total(), 0u);
+    EXPECT_EQ(mem.stats(0).l2User.total(), 0u);
+}
+
+TEST_F(ExecEngineTest, MultiRegionWeightsRespected)
+{
+    RegionParams other_params;
+    other_params.name = "other";
+    other_params.sizeBytes = 64 * 1024;
+    AddressRegion *other = space.allocate(other_params);
+
+    SegmentProfile profile(code, 2.0, 1000000.0);
+    profile.addData(data, 9.0, 0.0);
+    profile.addData(other, 1.0, 0.0);
+    profile.finalize();
+    ExecEngine::execute(mem, 0, ExecContext::User, 50000, profile, rng);
+    // ~90% of accesses to 'data': its L2 footprint should dominate.
+    std::uint64_t data_lines = 0;
+    std::uint64_t other_lines = 0;
+    const Addr data_first = data->base() >> 6;
+    const Addr data_last = (data->base() + data->sizeBytes() - 1) >> 6;
+    const Addr other_first = other->base() >> 6;
+    const Addr other_last =
+        (other->base() + other->sizeBytes() - 1) >> 6;
+    for (Addr line = data_first; line <= data_last; ++line) {
+        if (mem.l2(0).probe(line) != MesiState::Invalid)
+            ++data_lines;
+    }
+    for (Addr line = other_first; line <= other_last; ++line) {
+        if (mem.l2(0).probe(line) != MesiState::Invalid)
+            ++other_lines;
+    }
+    EXPECT_GT(data_lines, other_lines);
+}
+
+TEST_F(ExecEngineTest, DeterministicGivenSeed)
+{
+    // Two completely fresh worlds with identical seeds must agree
+    // cycle for cycle.
+    auto run_once = [] {
+        AddressSpace space;
+        RegionParams code_params;
+        code_params.name = "code";
+        code_params.sizeBytes = 16 * 1024;
+        AddressRegion *code = space.allocate(code_params);
+        RegionParams data_params;
+        data_params.name = "data";
+        data_params.sizeBytes = 64 * 1024;
+        AddressRegion *data = space.allocate(data_params);
+        SegmentProfile profile(code, 3.0, 10.0);
+        profile.addData(data, 1.0, 0.3);
+        profile.finalize();
+        MemorySystem mem(1, HierarchyGeometry{}, MemTimings{});
+        Rng rng(7);
+        return ExecEngine::execute(mem, 0, ExecContext::User, 10000,
+                                   profile, rng);
+    };
+    const ExecResult a = run_once();
+    const ExecResult b = run_once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dataAccesses, b.dataAccesses);
+    EXPECT_EQ(a.fetches, b.fetches);
+}
+
+} // namespace
+} // namespace oscar

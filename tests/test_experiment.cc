@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the experiment runner and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(ExperimentConfigs, BaselineIsUniProcessor)
+{
+    const SystemConfig config =
+        ExperimentRunner::baselineConfig(WorkloadKind::Derby, 7);
+    EXPECT_EQ(config.userCores, 1u);
+    EXPECT_FALSE(config.offloadEnabled);
+    EXPECT_EQ(config.policy, PolicyKind::Baseline);
+    EXPECT_EQ(config.seed, 7u);
+    config.validate();
+}
+
+TEST(ExperimentConfigs, HardwareConfigSetsThresholdAndLatency)
+{
+    const SystemConfig config = ExperimentRunner::hardwareConfig(
+        WorkloadKind::Apache, 500, 1000);
+    EXPECT_TRUE(config.offloadEnabled);
+    EXPECT_EQ(config.policy, PolicyKind::HardwarePredictor);
+    EXPECT_EQ(config.staticThreshold, 500u);
+    EXPECT_EQ(config.migrationOneWayCycles, 1000u);
+    EXPECT_FALSE(config.dynamicThreshold);
+    config.validate();
+}
+
+TEST(ExperimentConfigs, DynamicVariantsEnableController)
+{
+    EXPECT_TRUE(ExperimentRunner::hardwareDynamicConfig(
+                    WorkloadKind::Apache, 100)
+                    .dynamicThreshold);
+    const SystemConfig di = ExperimentRunner::dynamicInstrConfig(
+        WorkloadKind::Apache, 100, 250);
+    EXPECT_TRUE(di.dynamicThreshold);
+    EXPECT_EQ(di.policy, PolicyKind::DynamicInstrumentation);
+    EXPECT_EQ(di.diDecisionCost, 250u);
+}
+
+TEST(ExperimentConfigs, SiConfigCarriesProfile)
+{
+    auto profile = std::make_shared<ServiceProfile>();
+    profile->observe(ServiceId::Exec, 52000);
+    const SystemConfig config = ExperimentRunner::staticInstrConfig(
+        WorkloadKind::Apache, 5000, profile);
+    EXPECT_EQ(config.policy, PolicyKind::StaticInstrumentation);
+    EXPECT_EQ(config.siProfile.get(), profile.get());
+    config.validate();
+}
+
+TEST(ExperimentRunner, ProfileServicesSeesTheMix)
+{
+    const auto profile =
+        ExperimentRunner::profileServices(WorkloadKind::Apache);
+    EXPECT_GT(profile->totalObservations(), 0u);
+    // Apache's hottest services must have been observed.
+    EXPECT_GT(profile->invocations(ServiceId::Read), 0u);
+    EXPECT_GT(profile->invocations(ServiceId::GetTimeOfDay), 0u);
+    // Mean lengths reflect the models (read of a few KB ~ 1k+).
+    EXPECT_GT(profile->meanLength(ServiceId::Read), 300.0);
+}
+
+TEST(ExperimentRunner, BaselineCacheReturnsSameResults)
+{
+    ExperimentRunner::clearBaselineCache();
+    const SimResults a = ExperimentRunner::baselineResults(
+        WorkloadKind::Derby, 3, 200'000, 100'000);
+    const SimResults b = ExperimentRunner::baselineResults(
+        WorkloadKind::Derby, 3, 200'000, 100'000);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.retired, b.retired);
+}
+
+TEST(ExperimentRunner, NormalizedThroughputOfBaselineIsUnity)
+{
+    ExperimentRunner::clearBaselineCache();
+    SystemConfig config =
+        ExperimentRunner::baselineConfig(WorkloadKind::Derby, 11);
+    config.measureInstructions = 200'000;
+    EXPECT_NEAR(ExperimentRunner::normalizedThroughput(config), 1.0,
+                1e-9);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "2"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Column alignment: both value cells start at the same offset.
+    const auto line_of = [&](const std::string &needle) {
+        const auto pos = out.find(needle);
+        const auto start = out.rfind('\n', pos);
+        return pos - (start == std::string::npos ? 0 : start + 1);
+    };
+    EXPECT_EQ(line_of("1"), line_of("2"));
+}
+
+TEST(TextTableDeath, WrongArityPanics)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "");
+}
+
+TEST(Formatting, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 3), "1.000");
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the asynchronous interrupt source.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/interrupts.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(Interrupts, DisabledSourceNeverExtends)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{0.0}, table, Rng(1));
+    EXPECT_FALSE(source.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(source.preemptionExtension(1000000), 0u);
+}
+
+TEST(Interrupts, ZeroWindowNeverExtends)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{1000.0}, table, Rng(1));
+    EXPECT_EQ(source.preemptionExtension(0), 0u);
+}
+
+TEST(Interrupts, ShortWindowsRarelyExtend)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{100000.0}, table, Rng(2));
+    unsigned extended = 0;
+    constexpr int kTrials = 2000;
+    for (int i = 0; i < kTrials; ++i) {
+        if (source.preemptionExtension(100) > 0)
+            ++extended;
+    }
+    // P(arrival in 100 cycles) ~ 0.1%.
+    EXPECT_LT(extended, kTrials / 50);
+}
+
+TEST(Interrupts, LongWindowsUsuallyExtend)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{1000.0}, table, Rng(3));
+    unsigned extended = 0;
+    constexpr int kTrials = 500;
+    for (int i = 0; i < kTrials; ++i) {
+        if (source.preemptionExtension(10000) > 0)
+            ++extended;
+    }
+    EXPECT_GT(extended, kTrials * 9 / 10);
+}
+
+TEST(Interrupts, ExtensionRateMatchesPoisson)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{50000.0}, table, Rng(4));
+    unsigned extended = 0;
+    constexpr int kTrials = 20000;
+    for (int i = 0; i < kTrials; ++i) {
+        if (source.preemptionExtension(5000) > 0)
+            ++extended;
+    }
+    // P(at least one arrival) = 1 - exp(-0.1) ~ 9.5%.
+    EXPECT_NEAR(static_cast<double>(extended) / kTrials, 0.095, 0.02);
+}
+
+TEST(Interrupts, ExtensionsOnlyAdd)
+{
+    // The paper: preemption "almost never" shortens a sequence; in the
+    // model it never does.
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{2000.0}, table, Rng(5));
+    for (int i = 0; i < 1000; ++i) {
+        const InstCount ext = source.preemptionExtension(5000);
+        EXPECT_GE(ext, 0u);
+    }
+}
+
+TEST(Interrupts, ExtensionLengthsLookLikeHandlers)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{500.0}, table, Rng(6));
+    // With a very hot source, a long window picks up many handlers.
+    const InstCount ext = source.preemptionExtension(100000);
+    EXPECT_GT(ext, 0u);
+    EXPECT_LE(ext, 200000u + 3000u); // bounded by the flood guard
+}
+
+TEST(Interrupts, CountsExtensions)
+{
+    ServiceTable table;
+    InterruptSource source(InterruptConfig{1000.0}, table, Rng(7));
+    const auto before = source.extensionCount();
+    source.preemptionExtension(100000);
+    EXPECT_GT(source.extensionCount(), before);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for AState computation and OS-entry register setup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/invocation.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(AState, IsXorOfRegisters)
+{
+    AStateRegisters regs;
+    regs.pstate = 0x6;
+    regs.g0 = 0x1111;
+    regs.g1 = 0x2222;
+    regs.i0 = 0x4444;
+    regs.i1 = 0x8888;
+    EXPECT_EQ(computeAState(regs), 0x6ULL ^ 0x1111 ^ 0x2222 ^ 0x4444 ^
+                                       0x8888);
+}
+
+TEST(AState, SensitiveToEveryRegister)
+{
+    AStateRegisters regs;
+    regs.pstate = 1;
+    regs.g0 = 2;
+    regs.g1 = 4;
+    regs.i0 = 8;
+    regs.i1 = 16;
+    const std::uint64_t base = computeAState(regs);
+    AStateRegisters changed = regs;
+    changed.pstate ^= 0x100;
+    EXPECT_NE(computeAState(changed), base);
+    changed = regs;
+    changed.g0 ^= 0x100;
+    EXPECT_NE(computeAState(changed), base);
+    changed = regs;
+    changed.g1 ^= 0x100;
+    EXPECT_NE(computeAState(changed), base);
+    changed = regs;
+    changed.i0 ^= 0x100;
+    EXPECT_NE(computeAState(changed), base);
+    changed = regs;
+    changed.i1 ^= 0x100;
+    EXPECT_NE(computeAState(changed), base);
+}
+
+TEST(EntryRegisters, SetsPrivAndServiceIdentity)
+{
+    ServiceTable table;
+    ArchState arch;
+    const OsService &read = table.service(ServiceId::Read);
+    setupEntryRegisters(arch, read, 4096, 3);
+    EXPECT_TRUE(arch.privileged());
+    EXPECT_EQ(arch.global(1),
+              static_cast<std::uint64_t>(ServiceId::Read));
+    EXPECT_EQ(arch.input(0), 4096u);
+    EXPECT_EQ(arch.input(1), 3u);
+    EXPECT_NE(arch.global(0), 0u); // entry vector
+}
+
+TEST(EntryRegisters, InterruptMaskFollowsService)
+{
+    ServiceTable table;
+    ArchState arch;
+    setupEntryRegisters(arch, table.service(ServiceId::SpillTrap), 0, 0);
+    EXPECT_FALSE(arch.interruptsEnabled());
+    setupEntryRegisters(arch, table.service(ServiceId::Read), 64, 3);
+    EXPECT_TRUE(arch.interruptsEnabled());
+}
+
+TEST(EntryRegisters, DistinctServicesGetDistinctAStates)
+{
+    ServiceTable table;
+    ArchState arch;
+    setupEntryRegisters(arch, table.service(ServiceId::Read), 4096, 3);
+    const std::uint64_t read_state =
+        computeAState(captureRegisters(arch));
+    setupEntryRegisters(arch, table.service(ServiceId::Write), 4096, 3);
+    const std::uint64_t write_state =
+        computeAState(captureRegisters(arch));
+    EXPECT_NE(read_state, write_state);
+}
+
+TEST(EntryRegisters, SameServiceSameArgsSameAState)
+{
+    ServiceTable table;
+    ArchState arch_a;
+    ArchState arch_b;
+    setupEntryRegisters(arch_a, table.service(ServiceId::Read), 4096, 3);
+    setupEntryRegisters(arch_b, table.service(ServiceId::Read), 4096, 3);
+    EXPECT_EQ(computeAState(captureRegisters(arch_a)),
+              computeAState(captureRegisters(arch_b)));
+}
+
+TEST(EntryRegisters, ArgumentsDistinguishAStates)
+{
+    ServiceTable table;
+    ArchState arch;
+    setupEntryRegisters(arch, table.service(ServiceId::Read), 512, 3);
+    const std::uint64_t small = computeAState(captureRegisters(arch));
+    setupEntryRegisters(arch, table.service(ServiceId::Read), 8192, 3);
+    const std::uint64_t large = computeAState(captureRegisters(arch));
+    EXPECT_NE(small, large);
+}
+
+TEST(Invocation, WindowTrapFlag)
+{
+    ServiceTable table;
+    OsInvocation inv;
+    inv.service = &table.service(ServiceId::SpillTrap);
+    EXPECT_TRUE(inv.isWindowTrap());
+    inv.service = &table.service(ServiceId::Poll);
+    EXPECT_FALSE(inv.isWindowTrap());
+    OsInvocation empty;
+    EXPECT_FALSE(empty.isWindowTrap());
+}
+
+TEST(Invocation, AStateUsesCapturedRegisters)
+{
+    ServiceTable table;
+    ArchState arch;
+    setupEntryRegisters(arch, table.service(ServiceId::Poll), 8, 0);
+    OsInvocation inv;
+    inv.service = &table.service(ServiceId::Poll);
+    inv.regs = captureRegisters(arch);
+    EXPECT_EQ(inv.astate(), computeAState(inv.regs));
+}
+
+} // namespace
+} // namespace oscar

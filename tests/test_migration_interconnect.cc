@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the migration models, the interconnect, and the
+ * per-core bookkeeping record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "mem/interconnect.hh"
+#include "os/migration.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(Migration, PresetsMatchThePaper)
+{
+    EXPECT_EQ(MigrationModel::conservative().oneWayLatency(), 5000u);
+    EXPECT_EQ(MigrationModel::improvedSoftware().oneWayLatency(), 3000u);
+    EXPECT_EQ(MigrationModel::aggressive().oneWayLatency(), 100u);
+}
+
+TEST(Migration, RoundTripIsTwiceOneWay)
+{
+    const MigrationModel model(1234);
+    EXPECT_EQ(model.roundTripLatency(), 2468u);
+}
+
+TEST(Migration, NamesAreStable)
+{
+    EXPECT_EQ(MigrationModel::conservative().name(), "conservative");
+    EXPECT_EQ(MigrationModel::aggressive().name(), "aggressive");
+    EXPECT_EQ(MigrationModel(7).name(), "custom");
+}
+
+TEST(Migration, ZeroLatencyAllowed)
+{
+    // Figure 4 sweeps a zero-overhead design point.
+    const MigrationModel model(0);
+    EXPECT_EQ(model.roundTripLatency(), 0u);
+}
+
+TEST(Interconnect, LatencyComposition)
+{
+    Interconnect fabric(10);
+    EXPECT_EQ(fabric.coreToDirectory(), 10u);
+    EXPECT_EQ(fabric.directoryToCore(), 10u);
+    EXPECT_EQ(fabric.coreToCore(), 20u);
+    EXPECT_EQ(fabric.requestResponse(), 20u);
+    EXPECT_EQ(fabric.hopLatency(), 10u);
+}
+
+TEST(Interconnect, MessageCounting)
+{
+    Interconnect fabric;
+    EXPECT_EQ(fabric.messageCount(), 0u);
+    fabric.countMessage();
+    fabric.countMessage();
+    EXPECT_EQ(fabric.messageCount(), 2u);
+}
+
+TEST(Core, RolesAndIds)
+{
+    Core user(0, CoreRole::User);
+    Core os(1, CoreRole::Os);
+    EXPECT_EQ(user.id(), 0u);
+    EXPECT_EQ(user.role(), CoreRole::User);
+    EXPECT_EQ(os.role(), CoreRole::Os);
+}
+
+TEST(Core, CycleBreakdownTotals)
+{
+    Core core(0, CoreRole::User);
+    core.cycles().user = 100;
+    core.cycles().os = 50;
+    core.cycles().decision = 5;
+    core.cycles().migration = 20;
+    core.cycles().queueWait = 25;
+    EXPECT_EQ(core.cycles().total(), 200u);
+}
+
+TEST(Core, UtilizationFraction)
+{
+    Core core(0, CoreRole::Os);
+    core.cycles().os = 250;
+    EXPECT_DOUBLE_EQ(core.utilization(1000), 0.25);
+    EXPECT_DOUBLE_EQ(core.utilization(0), 0.0);
+}
+
+TEST(Core, RetirementAttribution)
+{
+    Core core(0, CoreRole::User);
+    core.retireUser(100);
+    core.retireOs(30);
+    EXPECT_EQ(core.userInstructions(), 100u);
+    EXPECT_EQ(core.osInstructions(), 30u);
+    EXPECT_EQ(core.totalInstructions(), 130u);
+}
+
+TEST(Core, ResetClearsEverything)
+{
+    Core core(0, CoreRole::User);
+    core.retireUser(10);
+    core.cycles().user = 99;
+    core.resetStats();
+    EXPECT_EQ(core.totalInstructions(), 0u);
+    EXPECT_EQ(core.cycles().total(), 0u);
+}
+
+} // namespace
+} // namespace oscar

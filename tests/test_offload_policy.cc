@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the off-load decision policies (Baseline, SI, DI, HI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/offload_policy.hh"
+
+namespace oscar
+{
+namespace
+{
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    OsInvocation
+    invocationFor(ServiceId id, std::uint64_t arg = 0)
+    {
+        const OsService &svc = table.service(id);
+        ArchState arch;
+        setupEntryRegisters(arch, svc, arg, 3);
+        OsInvocation inv;
+        inv.service = &svc;
+        inv.arg = arg;
+        inv.regs = captureRegisters(arch);
+        Rng rng(1);
+        inv.trueLength = svc.sampleLength(arg, rng);
+        return inv;
+    }
+
+    ServiceTable table;
+};
+
+TEST_F(PolicyTest, BaselineNeverOffloadsAndIsFree)
+{
+    BaselinePolicy policy;
+    const OffloadDecision d =
+        policy.decide(invocationFor(ServiceId::Exec));
+    EXPECT_FALSE(d.offload);
+    EXPECT_EQ(d.cost, 0u);
+    EXPECT_FALSE(d.predictorUsed);
+    EXPECT_EQ(policy.name(), "base");
+}
+
+TEST_F(PolicyTest, ServiceProfileAccumulatesMeans)
+{
+    ServiceProfile profile;
+    profile.observe(ServiceId::Read, 1000);
+    profile.observe(ServiceId::Read, 2000);
+    EXPECT_DOUBLE_EQ(profile.meanLength(ServiceId::Read), 1500.0);
+    EXPECT_EQ(profile.invocations(ServiceId::Read), 2u);
+    EXPECT_EQ(profile.totalObservations(), 2u);
+    EXPECT_DOUBLE_EQ(profile.meanLength(ServiceId::Write), 0.0);
+}
+
+TEST_F(PolicyTest, SiInstrumentsOnlyLongServices)
+{
+    ServiceProfile profile;
+    profile.observe(ServiceId::GetPid, 17);
+    profile.observe(ServiceId::Read, 1200);
+    profile.observe(ServiceId::Exec, 52000);
+    // Migration 5000 -> cutoff 10000: only exec qualifies.
+    StaticInstrumentationPolicy policy(profile, 5000, 30);
+    EXPECT_TRUE(policy.instrumented(ServiceId::Exec));
+    EXPECT_FALSE(policy.instrumented(ServiceId::Read));
+    EXPECT_FALSE(policy.instrumented(ServiceId::GetPid));
+    EXPECT_EQ(policy.instrumentedCount(), 1u);
+}
+
+TEST_F(PolicyTest, SiCutoffScalesWithMigrationLatency)
+{
+    ServiceProfile profile;
+    profile.observe(ServiceId::Read, 1200);
+    profile.observe(ServiceId::Exec, 52000);
+    // Migration 100 -> cutoff 200: both qualify.
+    StaticInstrumentationPolicy policy(profile, 100, 30);
+    EXPECT_TRUE(policy.instrumented(ServiceId::Read));
+    EXPECT_TRUE(policy.instrumented(ServiceId::Exec));
+}
+
+TEST_F(PolicyTest, SiChargesOnlyInstrumentedEntries)
+{
+    ServiceProfile profile;
+    profile.observe(ServiceId::Exec, 52000);
+    profile.observe(ServiceId::GetPid, 17);
+    StaticInstrumentationPolicy policy(profile, 5000, 30);
+
+    const OffloadDecision exec_d =
+        policy.decide(invocationFor(ServiceId::Exec));
+    EXPECT_TRUE(exec_d.offload);
+    EXPECT_EQ(exec_d.cost, 30u);
+
+    const OffloadDecision pid_d =
+        policy.decide(invocationFor(ServiceId::GetPid));
+    EXPECT_FALSE(pid_d.offload);
+    EXPECT_EQ(pid_d.cost, 0u);
+}
+
+TEST_F(PolicyTest, SiNeverSeenServiceNotInstrumented)
+{
+    ServiceProfile profile;
+    StaticInstrumentationPolicy policy(profile, 100, 30);
+    EXPECT_EQ(policy.instrumentedCount(), 0u);
+}
+
+TEST_F(PolicyTest, PredictivePolicyComparesAgainstThreshold)
+{
+    CamPredictor predictor;
+    StaticThreshold threshold(500);
+    PredictivePolicy policy(predictor, threshold, 1,
+                            PolicyKind::HardwarePredictor);
+
+    const OsInvocation big = invocationFor(ServiceId::Read, 8192);
+    // Train the predictor for this AState.
+    OffloadDecision d = policy.decide(big);
+    policy.observe(big, d, 2400);
+    policy.observe(big, policy.decide(big), 2400);
+
+    d = policy.decide(big);
+    EXPECT_TRUE(d.predictorUsed);
+    EXPECT_EQ(d.predictedLength, 2400u);
+    EXPECT_TRUE(d.offload); // 2400 > 500
+    EXPECT_EQ(d.cost, 1u);
+}
+
+TEST_F(PolicyTest, PredictivePolicyRespectsThresholdChanges)
+{
+    CamPredictor predictor;
+    StaticThreshold threshold(500);
+    PredictivePolicy policy(predictor, threshold, 1,
+                            PolicyKind::HardwarePredictor);
+    const OsInvocation inv = invocationFor(ServiceId::Stat);
+    policy.observe(inv, policy.decide(inv), 700);
+    policy.observe(inv, policy.decide(inv), 700);
+    EXPECT_TRUE(policy.decide(inv).offload); // 700 > 500
+    threshold.set(1000);
+    EXPECT_FALSE(policy.decide(inv).offload); // 700 <= 1000
+}
+
+TEST_F(PolicyTest, DiAndHiDifferOnlyInCost)
+{
+    CamPredictor pred_di;
+    CamPredictor pred_hi;
+    StaticThreshold threshold(500);
+    PredictivePolicy di(pred_di, threshold, 100,
+                        PolicyKind::DynamicInstrumentation);
+    PredictivePolicy hi(pred_hi, threshold, 1,
+                        PolicyKind::HardwarePredictor);
+    const OsInvocation inv = invocationFor(ServiceId::Poll, 8);
+    const OffloadDecision d_di = di.decide(inv);
+    const OffloadDecision d_hi = hi.decide(inv);
+    EXPECT_EQ(d_di.offload, d_hi.offload);
+    EXPECT_EQ(d_di.cost, 100u);
+    EXPECT_EQ(d_hi.cost, 1u);
+    EXPECT_EQ(di.name(), "DI");
+    EXPECT_EQ(hi.name(), "HI");
+}
+
+TEST_F(PolicyTest, ObserveTrainsPredictorAndStats)
+{
+    CamPredictor predictor;
+    StaticThreshold threshold(500);
+    PredictivePolicy policy(predictor, threshold, 1,
+                            PolicyKind::HardwarePredictor);
+    const OsInvocation inv = invocationFor(ServiceId::Accept);
+    const OffloadDecision d = policy.decide(inv);
+    policy.observe(inv, d, 1200);
+    EXPECT_EQ(policy.stats().samples(), 1u);
+    // Second time around the predictor knows the length.
+    const OffloadDecision d2 = policy.decide(inv);
+    policy.observe(inv, d2, 1200);
+    EXPECT_EQ(policy.decide(inv).predictedLength, 1200u);
+}
+
+TEST_F(PolicyTest, WindowTrapsExcludedFromPolicyStats)
+{
+    CamPredictor predictor;
+    StaticThreshold threshold(500);
+    PredictivePolicy policy(predictor, threshold, 1,
+                            PolicyKind::HardwarePredictor);
+    const OsInvocation trap = invocationFor(ServiceId::SpillTrap);
+    policy.observe(trap, policy.decide(trap), 18);
+    EXPECT_EQ(policy.stats().samples(), 0u);
+}
+
+TEST_F(PolicyTest, DynamicThresholdDelegatesToController)
+{
+    ThresholdConfig cfg;
+    cfg.ladder = {100, 1000};
+    ThresholdController controller(cfg);
+    controller.begin(0.5);
+    DynamicThreshold threshold(controller);
+    EXPECT_EQ(threshold.threshold(), controller.currentThreshold());
+}
+
+TEST_F(PolicyTest, PolicyNames)
+{
+    EXPECT_STREQ(policyShortName(PolicyKind::Baseline), "base");
+    EXPECT_STREQ(policyShortName(PolicyKind::StaticInstrumentation),
+                 "SI");
+    EXPECT_STREQ(policyShortName(PolicyKind::DynamicInstrumentation),
+                 "DI");
+    EXPECT_STREQ(policyShortName(PolicyKind::HardwarePredictor), "HI");
+}
+
+} // namespace
+} // namespace oscar

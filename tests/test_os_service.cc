@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the OS service table and run-length models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/os_service.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(ServiceTable, HasAllServicesInIdOrder)
+{
+    ServiceTable table;
+    EXPECT_EQ(table.size(), kNumServices);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        EXPECT_EQ(static_cast<std::size_t>(table.all()[i].id), i);
+}
+
+TEST(ServiceTable, LookupByIdReturnsRightService)
+{
+    ServiceTable table;
+    EXPECT_EQ(table.service(ServiceId::Read).name, "read");
+    EXPECT_EQ(table.service(ServiceId::SpillTrap).name, "spill_trap");
+    EXPECT_EQ(table.service(ServiceId::Exec).name, "execve");
+}
+
+TEST(ServiceTable, WindowTrapsAreMarked)
+{
+    ServiceTable table;
+    EXPECT_TRUE(table.service(ServiceId::SpillTrap).isWindowTrap());
+    EXPECT_TRUE(table.service(ServiceId::FillTrap).isWindowTrap());
+    EXPECT_FALSE(table.service(ServiceId::Read).isWindowTrap());
+}
+
+TEST(ServiceTable, WindowTrapsAreTiny)
+{
+    ServiceTable table;
+    EXPECT_LT(table.service(ServiceId::SpillTrap).baseLength, 25.0);
+    EXPECT_LT(table.service(ServiceId::FillTrap).baseLength, 25.0);
+}
+
+TEST(ServiceTable, TrapHandlersMaskInterrupts)
+{
+    ServiceTable table;
+    EXPECT_FALSE(table.service(ServiceId::SpillTrap).interruptible);
+    EXPECT_FALSE(table.service(ServiceId::TlbMiss).interruptible);
+    EXPECT_TRUE(table.service(ServiceId::Read).interruptible);
+}
+
+TEST(ServiceTable, DataWeightsNormalizable)
+{
+    ServiceTable table;
+    for (const OsService &svc : table.all()) {
+        const double total = svc.userDataWeight + svc.osDataWeight +
+                             svc.sharedDataWeight;
+        EXPECT_GT(total, 0.0) << svc.name;
+        EXPECT_GE(svc.commonShare, 0.0) << svc.name;
+        EXPECT_LE(svc.commonShare, 1.0) << svc.name;
+    }
+}
+
+TEST(OsService, MeanLengthScalesWithArgument)
+{
+    ServiceTable table;
+    const OsService &read = table.service(ServiceId::Read);
+    EXPECT_LT(read.meanLength(512), read.meanLength(8192));
+    EXPECT_DOUBLE_EQ(read.meanLength(0), read.baseLength);
+}
+
+TEST(OsService, DeterministicServicesSampleExactly)
+{
+    ServiceTable table;
+    const OsService &read = table.service(ServiceId::Read);
+    ASSERT_EQ(read.lengthSigma, 0.0);
+    Rng rng(1);
+    const InstCount first = read.sampleLength(4096, rng);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(read.sampleLength(4096, rng), first);
+}
+
+TEST(OsService, NoisyServicesVary)
+{
+    ServiceTable table;
+    const OsService &fsync = table.service(ServiceId::Fsync);
+    ASSERT_GT(fsync.lengthSigma, 0.0);
+    Rng rng(1);
+    bool varied = false;
+    const InstCount first = fsync.sampleLength(0, rng);
+    for (int i = 0; i < 50 && !varied; ++i)
+        varied = fsync.sampleLength(0, rng) != first;
+    EXPECT_TRUE(varied);
+}
+
+TEST(OsService, NoiseCentredOnMean)
+{
+    ServiceTable table;
+    const OsService &fault = table.service(ServiceId::PageFault);
+    Rng rng(5);
+    double sum = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += static_cast<double>(fault.sampleLength(0, rng));
+    EXPECT_NEAR(sum / kSamples, fault.meanLength(0),
+                fault.meanLength(0) * 0.02);
+}
+
+TEST(OsService, LengthNeverBelowFloor)
+{
+    ServiceTable table;
+    Rng rng(3);
+    for (const OsService &svc : table.all()) {
+        for (int i = 0; i < 100; ++i)
+            EXPECT_GE(svc.sampleLength(0, rng), 5u) << svc.name;
+    }
+}
+
+TEST(OsService, FatTailServicesExist)
+{
+    // The Table III structure needs services whose mean exceeds 10k.
+    ServiceTable table;
+    Rng rng(3);
+    unsigned giants = 0;
+    for (const OsService &svc : table.all()) {
+        if (svc.meanLength(0) > 10000)
+            ++giants;
+    }
+    EXPECT_GE(giants, 2u); // fork, execve at minimum
+}
+
+TEST(OsService, PoolAssignmentsCoverSubsystems)
+{
+    ServiceTable table;
+    bool has_fileio = false;
+    bool has_net = false;
+    bool has_vm = false;
+    bool has_pagecache = false;
+    for (const OsService &svc : table.all()) {
+        has_fileio |= svc.pool == OsDataPool::FileIo;
+        has_net |= svc.pool == OsDataPool::Net;
+        has_vm |= svc.pool == OsDataPool::Vm;
+        has_pagecache |= svc.pool == OsDataPool::PageCache;
+    }
+    EXPECT_TRUE(has_fileio);
+    EXPECT_TRUE(has_net);
+    EXPECT_TRUE(has_vm);
+    EXPECT_TRUE(has_pagecache);
+}
+
+} // namespace
+} // namespace oscar

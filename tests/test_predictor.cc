@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit and property tests for the run-length predictors — the paper's
+ * core hardware contribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/run_length_predictor.hh"
+#include "sim/random.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(Tolerance, WithinFivePercent)
+{
+    EXPECT_TRUE(withinTolerance(100, 100));
+    EXPECT_TRUE(withinTolerance(95, 100));
+    EXPECT_TRUE(withinTolerance(105, 100));
+    EXPECT_FALSE(withinTolerance(94, 100));
+    EXPECT_FALSE(withinTolerance(106, 100));
+    EXPECT_TRUE(withinTolerance(0, 0));
+    EXPECT_FALSE(withinTolerance(10, 0));
+}
+
+TEST(GlobalHistory, EmptyPredictsZero)
+{
+    GlobalRunLengthHistory history;
+    EXPECT_EQ(history.prediction(), 0u);
+    EXPECT_EQ(history.depth(), 0u);
+}
+
+TEST(GlobalHistory, AveragesLastThree)
+{
+    GlobalRunLengthHistory history;
+    history.observe(100);
+    EXPECT_EQ(history.prediction(), 100u);
+    history.observe(200);
+    EXPECT_EQ(history.prediction(), 150u);
+    history.observe(300);
+    EXPECT_EQ(history.prediction(), 200u);
+    // Fourth observation evicts the first.
+    history.observe(400);
+    EXPECT_EQ(history.prediction(), 300u);
+}
+
+TEST(GlobalHistory, DepthSaturatesAtThree)
+{
+    GlobalRunLengthHistory history;
+    for (int i = 0; i < 10; ++i)
+        history.observe(50);
+    EXPECT_EQ(history.depth(), 3u);
+}
+
+TEST(Confidence, SaturatingCounters)
+{
+    EXPECT_EQ(confidence::up(0), 1);
+    EXPECT_EQ(confidence::up(3), 3);
+    EXPECT_EQ(confidence::down(1), 0);
+    EXPECT_EQ(confidence::down(0), 0);
+}
+
+// Shared behavioural tests across organizations.
+class PredictorParamTest
+    : public ::testing::TestWithParam<PredictorKind>
+{
+  protected:
+    std::unique_ptr<RunLengthPredictor> predictor =
+        makePredictor(GetParam());
+};
+
+TEST_P(PredictorParamTest, ColdLookupFallsBackToGlobal)
+{
+    const RunLengthPrediction p = predictor->predict(0x1234);
+    EXPECT_TRUE(p.fromGlobal);
+    EXPECT_EQ(p.length, 0u);
+}
+
+TEST_P(PredictorParamTest, LearnsAfterTwoConsistentObservations)
+{
+    predictor->update(0x42, 500);
+    predictor->update(0x42, 500); // trains confidence to 1
+    const RunLengthPrediction p = predictor->predict(0x42);
+    EXPECT_FALSE(p.fromGlobal);
+    EXPECT_EQ(p.length, 500u);
+}
+
+TEST_P(PredictorParamTest, TracksChangedLength)
+{
+    predictor->update(0x42, 500);
+    predictor->update(0x42, 500);
+    predictor->update(0x42, 900); // confidence drops but length updates
+    predictor->update(0x42, 900);
+    const RunLengthPrediction p = predictor->predict(0x42);
+    EXPECT_EQ(p.length, 900u);
+}
+
+TEST_P(PredictorParamTest, LowConfidenceUsesGlobal)
+{
+    // Alternate wildly so confidence never rises.
+    predictor->update(0x42, 100);
+    predictor->update(0x42, 10000);
+    predictor->update(0x42, 100);
+    predictor->update(0x42, 10000);
+    const RunLengthPrediction p = predictor->predict(0x42);
+    EXPECT_TRUE(p.fromGlobal);
+    // Global = mean of last three: (10000+100+10000)/3.
+    EXPECT_EQ(p.length, (10000u + 100u + 10000u) / 3u);
+}
+
+TEST_P(PredictorParamTest, DistinctAStatesIndependent)
+{
+    // Use AStates that do not alias in the 1500-entry direct-mapped
+    // table (indices differ).
+    predictor->update(10, 100);
+    predictor->update(10, 100);
+    predictor->update(20, 9000);
+    predictor->update(20, 9000);
+    EXPECT_EQ(predictor->predict(10).length, 100u);
+    EXPECT_EQ(predictor->predict(20).length, 9000u);
+}
+
+TEST_P(PredictorParamTest, StorageIsReported)
+{
+    EXPECT_GE(predictor->storageBits(), 0u);
+    EXPECT_FALSE(predictor->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrganizations, PredictorParamTest,
+                         ::testing::Values(PredictorKind::Cam,
+                                           PredictorKind::DirectMapped,
+                                           PredictorKind::Infinite),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case PredictorKind::Cam:
+                                 return "Cam";
+                               case PredictorKind::DirectMapped:
+                                 return "DirectMapped";
+                               default:
+                                 return "Infinite";
+                             }
+                         });
+
+TEST(CamPredictor, CapacityBoundsOccupancy)
+{
+    CamPredictor cam(8);
+    for (std::uint64_t a = 0; a < 100; ++a)
+        cam.update(a, 100);
+    EXPECT_EQ(cam.occupancy(), 8u);
+    EXPECT_EQ(cam.capacity(), 8u);
+}
+
+TEST(CamPredictor, LruVictimSelection)
+{
+    CamPredictor cam(2);
+    cam.update(1, 100);
+    cam.update(2, 200);
+    cam.update(2, 200); // 2 gains confidence and recency
+    cam.predict(1);     // 1 is now most recently used
+    cam.update(3, 300); // evicts 2 (LRU)
+    cam.update(1, 100);
+    cam.update(3, 300);
+    EXPECT_FALSE(cam.predict(1).fromGlobal);
+    EXPECT_TRUE(cam.predict(2).fromGlobal); // evicted: global fallback
+}
+
+TEST(CamPredictor, PaperStorageBudget)
+{
+    CamPredictor cam;
+    // The paper quotes ~2 KB for the 200-entry CAM.
+    EXPECT_NEAR(static_cast<double>(cam.storageBits()) / 8.0 / 1024.0,
+                2.0, 0.2);
+}
+
+TEST(DirectMappedPredictor, PaperStorageBudget)
+{
+    DirectMappedPredictor dm;
+    // The paper quotes 3.3 KB for 1500 tag-less entries.
+    EXPECT_NEAR(static_cast<double>(dm.storageBits()) / 8.0 / 1024.0,
+                3.3, 0.3);
+}
+
+TEST(DirectMappedPredictor, AliasingSharesEntries)
+{
+    DirectMappedPredictor dm(10);
+    // 5 and 15 alias (index = astate % 10).
+    dm.update(5, 100);
+    dm.update(5, 100);
+    dm.update(15, 100);
+    EXPECT_FALSE(dm.predict(15).fromGlobal); // inherits the alias entry
+}
+
+TEST(InfinitePredictor, NeverEvicts)
+{
+    InfinitePredictor inf;
+    for (std::uint64_t a = 0; a < 5000; ++a) {
+        inf.update(a, 100 + a);
+        inf.update(a, 100 + a);
+    }
+    EXPECT_EQ(inf.occupancy(), 5000u);
+    EXPECT_EQ(inf.predict(4321).length, 100u + 4321u);
+}
+
+// Property: for a repeating deterministic AState stream, a
+// sufficiently large CAM converges to ~100% exact prediction, and its
+// accuracy matches the infinite table.
+TEST(PredictorProperty, CamMatchesInfiniteOnHotSet)
+{
+    CamPredictor cam(200);
+    InfinitePredictor inf;
+    Rng rng(17);
+    std::vector<std::uint64_t> hot(80);
+    for (auto &astate : hot)
+        astate = rng.next64();
+    ZipfDistribution zipf(hot.size(), 0.9);
+
+    unsigned cam_exact = 0;
+    unsigned inf_exact = 0;
+    constexpr int kWarmup = 2000;
+    constexpr int kMeasure = 20000;
+    for (int i = 0; i < kWarmup + kMeasure; ++i) {
+        const std::uint64_t astate = hot[zipf.sample(rng)];
+        const InstCount actual = 100 + (astate & 0xFFF);
+        if (i >= kWarmup) {
+            if (cam.predict(astate).length == actual)
+                ++cam_exact;
+            if (inf.predict(astate).length == actual)
+                ++inf_exact;
+        }
+        cam.update(astate, actual);
+        inf.update(astate, actual);
+    }
+    EXPECT_GT(cam_exact, kMeasure * 95 / 100);
+    EXPECT_NEAR(static_cast<double>(cam_exact),
+                static_cast<double>(inf_exact), kMeasure * 0.01);
+}
+
+// Property: the factory returns the organization asked for.
+TEST(PredictorFactory, ReturnsRequestedKind)
+{
+    EXPECT_EQ(makePredictor(PredictorKind::Cam)->name(), "cam");
+    EXPECT_EQ(makePredictor(PredictorKind::DirectMapped)->name(),
+              "direct-mapped");
+    EXPECT_EQ(makePredictor(PredictorKind::Infinite)->name(),
+              "infinite");
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for predictor accuracy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_stats.hh"
+
+namespace oscar
+{
+namespace
+{
+
+RunLengthPrediction
+prediction(InstCount length, bool from_global = false)
+{
+    RunLengthPrediction p;
+    p.length = length;
+    p.fromGlobal = from_global;
+    return p;
+}
+
+TEST(PredictorStats, EmptyRatesAreZero)
+{
+    PredictorStats stats;
+    EXPECT_EQ(stats.samples(), 0u);
+    EXPECT_DOUBLE_EQ(stats.exactRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.withinToleranceRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.0);
+}
+
+TEST(PredictorStats, ClassifiesExactWithinAndMiss)
+{
+    PredictorStats stats;
+    stats.record(prediction(100), 100, false); // exact
+    stats.record(prediction(98), 100, false);  // within 5%
+    stats.record(prediction(50), 100, false);  // miss (under)
+    stats.record(prediction(200), 100, false); // miss (over)
+    EXPECT_EQ(stats.samples(), 4u);
+    EXPECT_DOUBLE_EQ(stats.exactRate(), 0.25);
+    EXPECT_DOUBLE_EQ(stats.withinToleranceRate(), 0.25);
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.underestimateShare(), 0.5);
+}
+
+TEST(PredictorStats, WindowTrapsExcludedByDefault)
+{
+    PredictorStats stats;
+    stats.record(prediction(100), 100, true);
+    EXPECT_EQ(stats.samples(), 0u);
+}
+
+TEST(PredictorStats, WindowTrapsIncludedOnRequest)
+{
+    PredictorStats stats(PredictorStats::defaultThresholds(), false);
+    stats.record(prediction(100), 100, true);
+    EXPECT_EQ(stats.samples(), 1u);
+}
+
+TEST(PredictorStats, GlobalFallbackRate)
+{
+    PredictorStats stats;
+    stats.record(prediction(100, true), 100, false);
+    stats.record(prediction(100, false), 100, false);
+    EXPECT_DOUBLE_EQ(stats.globalFallbackRate(), 0.5);
+}
+
+TEST(PredictorStats, BinaryAccuracyPerThreshold)
+{
+    PredictorStats stats({500});
+    // Correct: both sides above.
+    stats.record(prediction(1000), 2000, false);
+    // Correct: both sides below.
+    stats.record(prediction(100), 400, false);
+    // Wrong: predicted below, actually above.
+    stats.record(prediction(400), 600, false);
+    // Wrong: predicted above, actually below.
+    stats.record(prediction(600), 400, false);
+    EXPECT_DOUBLE_EQ(stats.binaryAccuracy(0), 0.5);
+    EXPECT_DOUBLE_EQ(stats.binaryAccuracyFor(500), 0.5);
+}
+
+TEST(PredictorStats, BoundaryIsStrictlyGreater)
+{
+    PredictorStats stats({500});
+    // Exactly N is "not above": predicted 500 vs actual 501 flips.
+    stats.record(prediction(500), 501, false);
+    EXPECT_DOUBLE_EQ(stats.binaryAccuracy(0), 0.0);
+    stats.reset();
+    stats.record(prediction(500), 500, false);
+    EXPECT_DOUBLE_EQ(stats.binaryAccuracy(0), 1.0);
+}
+
+TEST(PredictorStatsDeath, UntrackedThresholdPanics)
+{
+    PredictorStats stats({500});
+    EXPECT_DEATH((void)stats.binaryAccuracyFor(123), "");
+}
+
+TEST(PredictorStats, ResetClearsEverything)
+{
+    PredictorStats stats;
+    stats.record(prediction(100), 100, false);
+    stats.reset();
+    EXPECT_EQ(stats.samples(), 0u);
+    EXPECT_DOUBLE_EQ(stats.binaryAccuracy(0), 0.0);
+}
+
+TEST(PredictorStats, MergeAddsCounters)
+{
+    PredictorStats a;
+    PredictorStats b;
+    a.record(prediction(100), 100, false);
+    b.record(prediction(50), 100, false);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 2u);
+    EXPECT_DOUBLE_EQ(a.exactRate(), 0.5);
+    EXPECT_DOUBLE_EQ(a.missRate(), 0.5);
+}
+
+TEST(PredictorStatsDeath, MergeRequiresSameThresholds)
+{
+    PredictorStats a({100});
+    PredictorStats b({200});
+    EXPECT_DEATH(a.merge(b), "");
+}
+
+TEST(PredictorStats, DefaultThresholdsMatchFigure3)
+{
+    const auto &ns = PredictorStats::defaultThresholds();
+    ASSERT_EQ(ns.size(), 6u);
+    EXPECT_EQ(ns.front(), 25u);
+    EXPECT_EQ(ns.back(), 10000u);
+}
+
+} // namespace
+} // namespace oscar

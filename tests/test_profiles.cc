@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the calibrated workload profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "workload/profiles.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(Profiles, AllKindsBuild)
+{
+    for (WorkloadKind kind :
+         {WorkloadKind::Apache, WorkloadKind::SpecJbb,
+          WorkloadKind::Derby, WorkloadKind::Blackscholes,
+          WorkloadKind::Canneal, WorkloadKind::FastaProtein,
+          WorkloadKind::Mummer, WorkloadKind::Mcf,
+          WorkloadKind::Hmmer}) {
+        const WorkloadSpec spec = makeWorkloadSpec(kind);
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_FALSE(spec.mix.empty());
+        EXPECT_GT(spec.meanBurst, 0.0);
+    }
+}
+
+TEST(Profiles, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (WorkloadKind kind :
+         {WorkloadKind::Apache, WorkloadKind::SpecJbb,
+          WorkloadKind::Derby, WorkloadKind::Blackscholes,
+          WorkloadKind::Canneal, WorkloadKind::FastaProtein,
+          WorkloadKind::Mummer, WorkloadKind::Mcf,
+          WorkloadKind::Hmmer}) {
+        names.insert(workloadName(kind));
+    }
+    EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Profiles, GroupsPartitionTheBenchmarks)
+{
+    EXPECT_EQ(serverWorkloads().size(), 3u);
+    EXPECT_EQ(computeWorkloads().size(), 6u);
+    for (WorkloadKind kind : serverWorkloads())
+        EXPECT_TRUE(isServerWorkload(kind));
+    for (WorkloadKind kind : computeWorkloads())
+        EXPECT_FALSE(isServerWorkload(kind));
+}
+
+TEST(Profiles, ServerWorkloadsAreOsIntensive)
+{
+    // Server specs interleave OS calls far more densely than compute
+    // specs (smaller user bursts).
+    const double apache_burst = profiles::apache().meanBurst;
+    const double compute_burst = profiles::mcf().meanBurst;
+    EXPECT_LT(apache_burst, compute_burst);
+}
+
+TEST(Profiles, ComputeGroupIsTrapDominated)
+{
+    for (WorkloadKind kind : computeWorkloads()) {
+        const WorkloadSpec spec = makeWorkloadSpec(kind);
+        EXPECT_GT(spec.windowTrapFraction, 0.85) << spec.name;
+    }
+}
+
+TEST(Profiles, ApacheHasTheSendfileTail)
+{
+    const WorkloadSpec spec = profiles::apache();
+    bool has_sendfile = false;
+    for (const ServiceMixEntry &entry : spec.mix) {
+        if (entry.id == ServiceId::SendFile) {
+            has_sendfile = true;
+            // Served files span small CGI responses to large static
+            // pages; the large end supplies the >10k-instruction tail.
+            std::uint64_t largest = 0;
+            for (std::uint64_t arg : entry.argValues)
+                largest = std::max(largest, arg);
+            EXPECT_GE(largest, 65536u);
+        }
+    }
+    EXPECT_TRUE(has_sendfile);
+}
+
+TEST(Profiles, DerbyHasJournalFsync)
+{
+    const WorkloadSpec spec = profiles::derby();
+    bool has_fsync = false;
+    for (const ServiceMixEntry &entry : spec.mix)
+        has_fsync = has_fsync || entry.id == ServiceId::Fsync;
+    EXPECT_TRUE(has_fsync);
+}
+
+TEST(Profiles, JbbHasHeapGrowthMmaps)
+{
+    const WorkloadSpec spec = profiles::specJbb();
+    bool has_large_mmap = false;
+    for (const ServiceMixEntry &entry : spec.mix) {
+        if (entry.id == ServiceId::Mmap) {
+            for (std::uint64_t arg : entry.argValues)
+                has_large_mmap = has_large_mmap || arg >= 1048576;
+        }
+    }
+    EXPECT_TRUE(has_large_mmap);
+}
+
+TEST(Profiles, MixArgumentsNonEmpty)
+{
+    for (WorkloadKind kind : serverWorkloads()) {
+        const WorkloadSpec spec = makeWorkloadSpec(kind);
+        for (const ServiceMixEntry &entry : spec.mix) {
+            EXPECT_FALSE(entry.argValues.empty());
+            EXPECT_GT(entry.weight, 0.0);
+        }
+    }
+}
+
+TEST(Profiles, WorkingSetsPressureTheL2)
+{
+    // The server workloads' combined user + kernel footprints must
+    // exceed the 1 MB L2 — that pressure is where off-loading benefit
+    // comes from.
+    for (WorkloadKind kind : serverWorkloads()) {
+        const WorkloadSpec spec = makeWorkloadSpec(kind);
+        const std::uint64_t total =
+            spec.userDataBytes + spec.osCommonBytes +
+            spec.osFileIoBytes + spec.osNetBytes + spec.osVmBytes +
+            spec.osPageCacheBytes;
+        EXPECT_GT(total, 1024u * 1024u) << spec.name;
+    }
+}
+
+TEST(Profiles, CouplingDefaultsToCalibrated)
+{
+    EXPECT_DOUBLE_EQ(profiles::apache().osCouplingScale, 1.0);
+}
+
+} // namespace
+} // namespace oscar

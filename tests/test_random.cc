@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/random.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next64() == b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 100; ++i)
+        values.insert(rng.next64());
+    EXPECT_GT(values.size(), 95u);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int kBuckets = 8;
+    constexpr int kSamples = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.nextBounded(kBuckets)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) {
+        if (rng.nextBool(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+    EXPECT_NEAR(sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalMean)
+{
+    Rng rng(19);
+    // Mean of lognormal(mu, sigma) is exp(mu + sigma^2/2).
+    const double mu = 1.0;
+    const double sigma = 0.5;
+    double sum = 0.0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.nextLogNormal(mu, sigma);
+    const double expected = std::exp(mu + sigma * sigma / 2.0);
+    EXPECT_NEAR(sum / kSamples, expected, expected * 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.nextExponential(40.0);
+    EXPECT_NEAR(sum / kSamples, 40.0, 1.5);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng rng(29);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.nextBoundedPareto(10.0, 1000.0, 1.2);
+        EXPECT_GE(v, 10.0 * 0.999);
+        EXPECT_LE(v, 1000.0 * 1.001);
+    }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next64() == child.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(AliasTable, SingleOutcome)
+{
+    AliasTable table({5.0});
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, MatchesWeights)
+{
+    AliasTable table({1.0, 2.0, 7.0});
+    Rng rng(37);
+    int counts[3] = {};
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[table.sample(rng)];
+    EXPECT_NEAR(counts[0] / double(kSamples), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(kSamples), 0.2, 0.015);
+    EXPECT_NEAR(counts[2] / double(kSamples), 0.7, 0.015);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled)
+{
+    AliasTable table({1.0, 0.0, 1.0});
+    Rng rng(41);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, NormalizedProbabilities)
+{
+    AliasTable table({2.0, 6.0});
+    EXPECT_DOUBLE_EQ(table.outcomeProbability(0), 0.25);
+    EXPECT_DOUBLE_EQ(table.outcomeProbability(1), 0.75);
+}
+
+TEST(Zipf, UniformWhenSkewZero)
+{
+    ZipfDistribution zipf(4, 0.0);
+    for (std::size_t r = 0; r < 4; ++r)
+        EXPECT_NEAR(zipf.rankProbability(r), 0.25, 1e-12);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfDistribution zipf(100, 0.9);
+    EXPECT_GT(zipf.rankProbability(0), zipf.rankProbability(1));
+    EXPECT_GT(zipf.rankProbability(1), zipf.rankProbability(50));
+}
+
+TEST(Zipf, SamplesMatchMass)
+{
+    ZipfDistribution zipf(16, 1.0);
+    Rng rng(43);
+    std::vector<int> counts(16, 0);
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t r = 0; r < 16; ++r) {
+        EXPECT_NEAR(counts[r] / double(kSamples), zipf.rankProbability(r),
+                    0.01);
+    }
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfDistribution zipf(64, 0.8);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < 64; ++r)
+        sum += zipf.rankProbability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, SingleRank)
+{
+    ZipfDistribution zipf(1, 0.8);
+    Rng rng(47);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+} // namespace
+} // namespace oscar

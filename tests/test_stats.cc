@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, ResetForgets)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a;
+    RunningStat b;
+    RunningStat combined;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i);
+        combined.add(i);
+    }
+    for (int i = 50; i < 70; ++i) {
+        b.add(i);
+        combined.add(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a;
+    a.add(3.0);
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RatioStat, EmptyRatioIsZero)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+TEST(RatioStat, CountsHitsAndTotal)
+{
+    RatioStat r;
+    r.add(true);
+    r.add(false);
+    r.add(true);
+    r.add(true);
+    EXPECT_EQ(r.hits(), 3u);
+    EXPECT_EQ(r.total(), 4u);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.75);
+}
+
+TEST(RatioStat, AddMany)
+{
+    RatioStat r;
+    r.addMany(30, 100);
+    r.addMany(20, 100);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.25);
+}
+
+TEST(RatioStat, ResetForgets)
+{
+    RatioStat r;
+    r.add(true);
+    r.reset();
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(LogHistogram, BucketBoundaries)
+{
+    LogHistogram h;
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    // 0 and 1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2.
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(LogHistogram, Mean)
+{
+    LogHistogram h;
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, Quantile)
+{
+    LogHistogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(8); // bucket 3: [8, 15]
+    for (int i = 0; i < 10; ++i)
+        h.add(1024); // bucket 10
+    EXPECT_LE(h.quantile(0.5), 15u);
+    EXPECT_GE(h.quantile(0.99), 1024u);
+}
+
+TEST(LogHistogram, FractionAbove)
+{
+    LogHistogram h;
+    for (int i = 0; i < 50; ++i)
+        h.add(10);
+    for (int i = 0; i < 50; ++i)
+        h.add(10000);
+    EXPECT_NEAR(h.fractionAbove(1000), 0.5, 1e-9);
+    EXPECT_NEAR(h.fractionAbove(100000), 0.0, 1e-9);
+}
+
+TEST(LogHistogram, LargeValuesClampToLastBucket)
+{
+    LogHistogram h(8);
+    h.add(1ULL << 60);
+    EXPECT_EQ(h.bucketCount(7), 1u);
+}
+
+TEST(LogHistogram, ToStringMentionsBuckets)
+{
+    LogHistogram h;
+    h.add(100);
+    EXPECT_NE(h.toString().find("1"), std::string::npos);
+}
+
+TEST(Formatting, Percent)
+{
+    EXPECT_EQ(formatPercent(0.4575), "45.75%");
+    EXPECT_EQ(formatPercent(0.082, 1), "8.2%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(Formatting, CountSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace oscar

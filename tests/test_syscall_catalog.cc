@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the Table I syscall catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/syscall_catalog.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(SyscallCatalog, HasFourteenRows)
+{
+    SyscallCatalog catalog;
+    EXPECT_EQ(catalog.rows().size(), 14u);
+}
+
+TEST(SyscallCatalog, PaperValuesPresent)
+{
+    SyscallCatalog catalog;
+    EXPECT_EQ(catalog.countFor("Linux 2.6.30"), 344u);
+    EXPECT_EQ(catalog.countFor("FreeBSD Current"), 513u);
+    EXPECT_EQ(catalog.countFor("OpenSolaris"), 255u);
+    EXPECT_EQ(catalog.countFor("Windows Vista"), 360u);
+    EXPECT_EQ(catalog.countFor("Linux 0.01"), 67u);
+}
+
+TEST(SyscallCatalog, MinAndMax)
+{
+    SyscallCatalog catalog;
+    EXPECT_EQ(catalog.minCount(), 67u);
+    EXPECT_EQ(catalog.maxCount(), 513u);
+}
+
+TEST(SyscallCatalog, SyscallCountsGrowAcrossLinuxHistory)
+{
+    SyscallCatalog catalog;
+    EXPECT_LT(catalog.countFor("Linux 0.01"),
+              catalog.countFor("Linux 1.0"));
+    EXPECT_LT(catalog.countFor("Linux 1.0"),
+              catalog.countFor("Linux 2.2"));
+    EXPECT_LT(catalog.countFor("Linux 2.2"),
+              catalog.countFor("Linux 2.4.29"));
+    EXPECT_LT(catalog.countFor("Linux 2.4.29"),
+              catalog.countFor("Linux 2.6.16"));
+    EXPECT_LT(catalog.countFor("Linux 2.6.16"),
+              catalog.countFor("Linux 2.6.30"));
+}
+
+TEST(SyscallCatalog, TotalInstrumentationPointsIsSum)
+{
+    SyscallCatalog catalog;
+    std::uint64_t sum = 0;
+    for (const OsSyscallCount &row : catalog.rows())
+        sum += row.syscallCount;
+    EXPECT_EQ(catalog.totalInstrumentationPoints(), sum);
+    EXPECT_GT(sum, 3000u);
+}
+
+TEST(SyscallCatalogDeath, UnknownOsIsFatal)
+{
+    SyscallCatalog catalog;
+    EXPECT_EXIT((void)catalog.countFor("TempleOS"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the dynamic-N threshold controller (Section III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/threshold_controller.hh"
+
+namespace oscar
+{
+namespace
+{
+
+ThresholdConfig
+testConfig()
+{
+    ThresholdConfig cfg;
+    cfg.ladder = {0, 100, 1000, 10000};
+    cfg.sampleEpoch = 100;
+    cfg.runEpoch = 400;
+    cfg.maxRunEpoch = 1600;
+    cfg.epochScale = 1.0;
+    return cfg;
+}
+
+TEST(ThresholdController, InitialNFollowsPrivFraction)
+{
+    ThresholdController high(testConfig());
+    high.begin(0.5); // > 10% privileged -> N = 1000
+    EXPECT_EQ(high.currentThreshold(), 1000u);
+
+    ThresholdController low(testConfig());
+    low.begin(0.02); // <= 10% -> N = 10000
+    EXPECT_EQ(low.currentThreshold(), 10000u);
+}
+
+TEST(ThresholdController, BoundaryIsStrict)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.10); // exactly 10% is NOT "more than 10%"
+    EXPECT_EQ(ctrl.currentThreshold(), 10000u);
+}
+
+TEST(ThresholdController, SamplingVisitsNeighbours)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleCurrent);
+    EXPECT_EQ(ctrl.currentThreshold(), 1000u);
+    ctrl.onEpochEnd(0.80);
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleLower);
+    EXPECT_EQ(ctrl.currentThreshold(), 100u);
+    ctrl.onEpochEnd(0.80);
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleUpper);
+    EXPECT_EQ(ctrl.currentThreshold(), 10000u);
+    ctrl.onEpochEnd(0.80);
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+}
+
+TEST(ThresholdController, KeepsIncumbentWithoutClearWinner)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    ctrl.onEpochEnd(0.80); // current
+    ctrl.onEpochEnd(0.805); // lower: only +0.5%, below the 1% delta
+    ctrl.onEpochEnd(0.805); // upper: same
+    EXPECT_EQ(ctrl.currentThreshold(), 1000u);
+    EXPECT_EQ(ctrl.switches(), 0u);
+}
+
+TEST(ThresholdController, SwitchesToClearlyBetterNeighbour)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    ctrl.onEpochEnd(0.80); // current (1000)
+    ctrl.onEpochEnd(0.85); // lower (100): +5% -> winner
+    ctrl.onEpochEnd(0.70); // upper (10000)
+    EXPECT_EQ(ctrl.currentThreshold(), 100u);
+    EXPECT_EQ(ctrl.switches(), 1u);
+}
+
+TEST(ThresholdController, UpperCanWinToo)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.70);
+    ctrl.onEpochEnd(0.90);
+    EXPECT_EQ(ctrl.currentThreshold(), 10000u);
+}
+
+TEST(ThresholdController, RunLengthDoublesWhileStable)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    // Round 1: incumbent confirmed.
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.70);
+    ctrl.onEpochEnd(0.70);
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+    EXPECT_EQ(ctrl.epochLength(), 800u); // doubled from 400
+    // End of run -> sample again; confirm again.
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.70);
+    ctrl.onEpochEnd(0.70);
+    EXPECT_EQ(ctrl.epochLength(), 1600u); // doubled again, capped
+    // One more confirmation: stays at the cap.
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.70);
+    ctrl.onEpochEnd(0.70);
+    EXPECT_EQ(ctrl.epochLength(), 1600u);
+}
+
+TEST(ThresholdController, RunLengthResetsOnSwitch)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    // Confirm once (run doubles to 800).
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.70);
+    ctrl.onEpochEnd(0.70);
+    EXPECT_EQ(ctrl.epochLength(), 800u);
+    // Next round: lower wins -> run resets to base.
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.80);
+    ctrl.onEpochEnd(0.95);
+    ctrl.onEpochEnd(0.70);
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+    EXPECT_EQ(ctrl.epochLength(), 400u);
+}
+
+TEST(ThresholdController, LadderEdgesSkipMissingNeighbours)
+{
+    ThresholdConfig cfg = testConfig();
+    ThresholdController ctrl(cfg);
+    ctrl.begin(0.02); // starts at 10000, the top of the ladder
+    ctrl.onEpochEnd(0.80); // current
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleLower);
+    ctrl.onEpochEnd(0.95); // lower (1000) wins
+    // No upper neighbour: round concludes immediately.
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+    EXPECT_EQ(ctrl.currentThreshold(), 1000u);
+}
+
+TEST(ThresholdController, EpochScaleShrinksEpochs)
+{
+    ThresholdConfig cfg = testConfig();
+    cfg.epochScale = 0.5;
+    ThresholdController ctrl(cfg);
+    ctrl.begin(0.5);
+    EXPECT_EQ(ctrl.epochLength(), 50u); // half of sampleEpoch
+}
+
+TEST(ThresholdController, RoundsAreCounted)
+{
+    ThresholdController ctrl(testConfig());
+    ctrl.begin(0.5);
+    EXPECT_EQ(ctrl.rounds(), 0u);
+    ctrl.onEpochEnd(0.8);
+    ctrl.onEpochEnd(0.7);
+    ctrl.onEpochEnd(0.7);
+    EXPECT_EQ(ctrl.rounds(), 1u);
+}
+
+TEST(ThresholdControllerDeath, BadLadderRejected)
+{
+    ThresholdConfig cfg = testConfig();
+    cfg.ladder = {100, 100};
+    EXPECT_EXIT(ThresholdController ctrl(cfg),
+                ::testing::ExitedWithCode(1), "");
+    cfg.ladder = {};
+    EXPECT_EXIT(ThresholdController ctrl2(cfg),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ThresholdControllerDeath, EpochLengthBeforeBeginPanics)
+{
+    ThresholdController ctrl(testConfig());
+    EXPECT_DEATH((void)ctrl.epochLength(), "");
+}
+
+TEST(ThresholdController, PhaseNames)
+{
+    EXPECT_EQ(ThresholdController::phaseName(
+                  ThresholdController::Phase::Run),
+              "run");
+    EXPECT_EQ(ThresholdController::phaseName(
+                  ThresholdController::Phase::SampleLower),
+              "sample-lower");
+}
+
+} // namespace
+} // namespace oscar
