@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_n.dir/ablation_dynamic_n.cc.o"
+  "CMakeFiles/ablation_dynamic_n.dir/ablation_dynamic_n.cc.o.d"
+  "ablation_dynamic_n"
+  "ablation_dynamic_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_instrumentation_overhead.dir/fig1_instrumentation_overhead.cc.o"
+  "CMakeFiles/fig1_instrumentation_overhead.dir/fig1_instrumentation_overhead.cc.o.d"
+  "fig1_instrumentation_overhead"
+  "fig1_instrumentation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_instrumentation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

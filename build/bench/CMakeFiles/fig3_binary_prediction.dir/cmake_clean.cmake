@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_binary_prediction.dir/fig3_binary_prediction.cc.o"
+  "CMakeFiles/fig3_binary_prediction.dir/fig3_binary_prediction.cc.o.d"
+  "fig3_binary_prediction"
+  "fig3_binary_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_binary_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

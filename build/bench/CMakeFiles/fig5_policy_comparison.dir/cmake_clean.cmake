@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_policy_comparison.dir/fig5_policy_comparison.cc.o"
+  "CMakeFiles/fig5_policy_comparison.dir/fig5_policy_comparison.cc.o.d"
+  "fig5_policy_comparison"
+  "fig5_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_syscall_counts.dir/table1_syscall_counts.cc.o"
+  "CMakeFiles/table1_syscall_counts.dir/table1_syscall_counts.cc.o.d"
+  "table1_syscall_counts"
+  "table1_syscall_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_syscall_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_oscore_utilization.dir/table3_oscore_utilization.cc.o"
+  "CMakeFiles/table3_oscore_utilization.dir/table3_oscore_utilization.cc.o.d"
+  "table3_oscore_utilization"
+  "table3_oscore_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_oscore_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

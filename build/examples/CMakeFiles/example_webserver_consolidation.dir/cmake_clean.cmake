@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_webserver_consolidation.dir/webserver_consolidation.cpp.o"
+  "CMakeFiles/example_webserver_consolidation.dir/webserver_consolidation.cpp.o.d"
+  "example_webserver_consolidation"
+  "example_webserver_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_webserver_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

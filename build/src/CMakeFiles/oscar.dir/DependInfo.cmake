@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/offload_policy.cc" "src/CMakeFiles/oscar.dir/core/offload_policy.cc.o" "gcc" "src/CMakeFiles/oscar.dir/core/offload_policy.cc.o.d"
+  "/root/repo/src/core/predictor_stats.cc" "src/CMakeFiles/oscar.dir/core/predictor_stats.cc.o" "gcc" "src/CMakeFiles/oscar.dir/core/predictor_stats.cc.o.d"
+  "/root/repo/src/core/run_length_predictor.cc" "src/CMakeFiles/oscar.dir/core/run_length_predictor.cc.o" "gcc" "src/CMakeFiles/oscar.dir/core/run_length_predictor.cc.o.d"
+  "/root/repo/src/core/threshold_controller.cc" "src/CMakeFiles/oscar.dir/core/threshold_controller.cc.o" "gcc" "src/CMakeFiles/oscar.dir/core/threshold_controller.cc.o.d"
+  "/root/repo/src/cpu/arch_state.cc" "src/CMakeFiles/oscar.dir/cpu/arch_state.cc.o" "gcc" "src/CMakeFiles/oscar.dir/cpu/arch_state.cc.o.d"
+  "/root/repo/src/cpu/exec_engine.cc" "src/CMakeFiles/oscar.dir/cpu/exec_engine.cc.o" "gcc" "src/CMakeFiles/oscar.dir/cpu/exec_engine.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/oscar.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/oscar.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/oscar.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/oscar.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/oscar.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/oscar.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/os/interrupts.cc" "src/CMakeFiles/oscar.dir/os/interrupts.cc.o" "gcc" "src/CMakeFiles/oscar.dir/os/interrupts.cc.o.d"
+  "/root/repo/src/os/invocation.cc" "src/CMakeFiles/oscar.dir/os/invocation.cc.o" "gcc" "src/CMakeFiles/oscar.dir/os/invocation.cc.o.d"
+  "/root/repo/src/os/os_core_queue.cc" "src/CMakeFiles/oscar.dir/os/os_core_queue.cc.o" "gcc" "src/CMakeFiles/oscar.dir/os/os_core_queue.cc.o.d"
+  "/root/repo/src/os/os_service.cc" "src/CMakeFiles/oscar.dir/os/os_service.cc.o" "gcc" "src/CMakeFiles/oscar.dir/os/os_service.cc.o.d"
+  "/root/repo/src/os/syscall_catalog.cc" "src/CMakeFiles/oscar.dir/os/syscall_catalog.cc.o" "gcc" "src/CMakeFiles/oscar.dir/os/syscall_catalog.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/oscar.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/oscar.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/oscar.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/oscar.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/oscar.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/oscar.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/oscar.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/oscar.dir/sim/stats.cc.o.d"
+  "/root/repo/src/system/experiment.cc" "src/CMakeFiles/oscar.dir/system/experiment.cc.o" "gcc" "src/CMakeFiles/oscar.dir/system/experiment.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/oscar.dir/system/system.cc.o" "gcc" "src/CMakeFiles/oscar.dir/system/system.cc.o.d"
+  "/root/repo/src/system/system_config.cc" "src/CMakeFiles/oscar.dir/system/system_config.cc.o" "gcc" "src/CMakeFiles/oscar.dir/system/system_config.cc.o.d"
+  "/root/repo/src/workload/address_space.cc" "src/CMakeFiles/oscar.dir/workload/address_space.cc.o" "gcc" "src/CMakeFiles/oscar.dir/workload/address_space.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/CMakeFiles/oscar.dir/workload/profiles.cc.o" "gcc" "src/CMakeFiles/oscar.dir/workload/profiles.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/oscar.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/oscar.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

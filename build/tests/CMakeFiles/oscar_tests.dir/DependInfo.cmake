@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/oscar_tests.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_address_space.cc.o.d"
+  "/root/repo/tests/test_arch_state.cc" "tests/CMakeFiles/oscar_tests.dir/test_arch_state.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_arch_state.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/oscar_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_coherence_litmus.cc" "tests/CMakeFiles/oscar_tests.dir/test_coherence_litmus.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_coherence_litmus.cc.o.d"
+  "/root/repo/tests/test_directory.cc" "tests/CMakeFiles/oscar_tests.dir/test_directory.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_directory.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/oscar_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_exec_engine.cc" "tests/CMakeFiles/oscar_tests.dir/test_exec_engine.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_exec_engine.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/oscar_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/oscar_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interrupts.cc" "tests/CMakeFiles/oscar_tests.dir/test_interrupts.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_interrupts.cc.o.d"
+  "/root/repo/tests/test_invocation.cc" "tests/CMakeFiles/oscar_tests.dir/test_invocation.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_invocation.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/oscar_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/oscar_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_migration_interconnect.cc" "tests/CMakeFiles/oscar_tests.dir/test_migration_interconnect.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_migration_interconnect.cc.o.d"
+  "/root/repo/tests/test_offload_policy.cc" "tests/CMakeFiles/oscar_tests.dir/test_offload_policy.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_offload_policy.cc.o.d"
+  "/root/repo/tests/test_os_core_queue.cc" "tests/CMakeFiles/oscar_tests.dir/test_os_core_queue.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_os_core_queue.cc.o.d"
+  "/root/repo/tests/test_os_service.cc" "tests/CMakeFiles/oscar_tests.dir/test_os_service.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_os_service.cc.o.d"
+  "/root/repo/tests/test_predictor.cc" "tests/CMakeFiles/oscar_tests.dir/test_predictor.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_predictor.cc.o.d"
+  "/root/repo/tests/test_predictor_stats.cc" "tests/CMakeFiles/oscar_tests.dir/test_predictor_stats.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_predictor_stats.cc.o.d"
+  "/root/repo/tests/test_profiles.cc" "tests/CMakeFiles/oscar_tests.dir/test_profiles.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_profiles.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/oscar_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/oscar_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/oscar_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_syscall_catalog.cc" "tests/CMakeFiles/oscar_tests.dir/test_syscall_catalog.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_syscall_catalog.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/oscar_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_threshold_controller.cc" "tests/CMakeFiles/oscar_tests.dir/test_threshold_controller.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_threshold_controller.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/oscar_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/oscar_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oscar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
