@@ -18,11 +18,15 @@
  * DI and HI. Also reproduces the Section V-B aside: an off-loading
  * system with two *512 KB* L2s beats the 1 MB-L2 baseline only when
  * the off-load latency is under ~1,000 cycles.
+ *
+ * All comparison and aside points run through ParallelSweepRunner
+ * (--jobs N); SI profiling passes run up front, once per workload.
  */
 
 #include <cstdio>
+#include <map>
 
-#include "system/experiment.hh"
+#include "system/sweep.hh"
 
 namespace
 {
@@ -32,57 +36,96 @@ using namespace oscar;
 constexpr InstCount kMeasure = 3'000'000;
 constexpr InstCount kWarmup = 1'200'000;
 
-double
-normalized(SystemConfig config)
-{
-    config.measureInstructions = kMeasure;
-    config.warmupInstructions = kWarmup;
-    return ExperimentRunner::normalizedThroughput(config);
-}
+const std::vector<Cycle> kDesignPoints = {5000, 100};
+const std::vector<Cycle> kAsideLatencies = {100, 500, 1000, 2500,
+                                            5000};
 
-void
-comparisonAt(Cycle latency, const char *label)
+std::vector<WorkloadKind>
+comparisonWorkloads()
 {
-    std::printf("-- %s (one-way latency %llu cycles) --\n", label,
-                static_cast<unsigned long long>(latency));
-    TextTable table({"workload", "SI", "DI", "HI"});
-
     std::vector<WorkloadKind> kinds = serverWorkloads();
     kinds.push_back(WorkloadKind::Mcf); // compute representative
-
-    for (WorkloadKind kind : kinds) {
-        const auto profile = ExperimentRunner::profileServices(kind);
-
-        const double si = normalized(
-            ExperimentRunner::staticInstrConfig(kind, latency, profile));
-        const double di = normalized(
-            ExperimentRunner::dynamicInstrConfig(kind, latency, 100));
-        const double hi = normalized(
-            ExperimentRunner::hardwareDynamicConfig(kind, latency));
-
-        table.addRow({workloadName(kind), formatDouble(si, 3),
-                      formatDouble(di, 3), formatDouble(hi, 3)});
-    }
-    std::printf("%s\n", table.render().c_str());
+    return kinds;
 }
 
-void
-splitCacheAside()
+SweepPoint
+sized(std::string label, SystemConfig config)
 {
-    std::printf("-- Section V-B aside: two 512 KB L2s vs one 1 MB L2 "
-                "baseline (apache, HI, N=100) --\n");
-    TextTable table({"one-way latency", "normalized throughput"});
-    for (Cycle latency : {Cycle(100), Cycle(500), Cycle(1000),
-                          Cycle(2500), Cycle(5000)}) {
+    SweepPoint point;
+    point.label = std::move(label);
+    point.config = std::move(config);
+    point.config.measureInstructions = kMeasure;
+    point.config.warmupInstructions = kWarmup;
+    return point;
+}
+
+/** Points in (design point, workload, SI/DI/HI) order, then the
+ *  split-cache aside; rendering walks the same order. */
+std::vector<SweepPoint>
+buildPoints(
+    const std::map<WorkloadKind,
+                   std::shared_ptr<const ServiceProfile>> &profiles)
+{
+    std::vector<SweepPoint> points;
+    for (Cycle latency : kDesignPoints) {
+        for (WorkloadKind kind : comparisonWorkloads()) {
+            const std::string base =
+                workloadName(kind) + "/lat=" + std::to_string(latency);
+            points.push_back(
+                sized(base + "/si",
+                      ExperimentRunner::staticInstrConfig(
+                          kind, latency, profiles.at(kind))));
+            points.push_back(
+                sized(base + "/di",
+                      ExperimentRunner::dynamicInstrConfig(kind, latency,
+                                                           100)));
+            points.push_back(
+                sized(base + "/hi",
+                      ExperimentRunner::hardwareDynamicConfig(kind,
+                                                              latency)));
+        }
+    }
+    for (Cycle latency : kAsideLatencies) {
         SystemConfig config = ExperimentRunner::hardwareConfig(
             WorkloadKind::Apache, 100, latency);
         config.geometry.l2.sizeBytes = 512 * 1024;
-        config.measureInstructions = kMeasure;
-        config.warmupInstructions = kWarmup;
-        const double norm =
-            ExperimentRunner::normalizedThroughput(config);
+        points.push_back(sized("apache/512KB-l2/lat=" +
+                                   std::to_string(latency),
+                               std::move(config)));
+    }
+    return points;
+}
+
+std::string
+cell(const SweepPointResult &point)
+{
+    return point.ok ? formatDouble(point.normalized, 3) : "fail";
+}
+
+void
+render(const std::vector<SweepPointResult> &results)
+{
+    std::size_t next = 0;
+    for (Cycle latency : kDesignPoints) {
+        std::printf("-- %s (one-way latency %llu cycles) --\n",
+                    latency >= 1000 ? "Conservative" : "Aggressive",
+                    static_cast<unsigned long long>(latency));
+        TextTable table({"workload", "SI", "DI", "HI"});
+        for (WorkloadKind kind : comparisonWorkloads()) {
+            const std::string si = cell(results[next++]);
+            const std::string di = cell(results[next++]);
+            const std::string hi = cell(results[next++]);
+            table.addRow({workloadName(kind), si, di, hi});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("-- Section V-B aside: two 512 KB L2s vs one 1 MB L2 "
+                "baseline (apache, HI, N=100) --\n");
+    TextTable table({"one-way latency", "normalized throughput"});
+    for (Cycle latency : kAsideLatencies) {
         table.addRow({std::to_string(latency) + " cy",
-                      formatDouble(norm, 3)});
+                      cell(results[next++])});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("paper: the halved-L2 off-loading system only beats "
@@ -93,21 +136,41 @@ splitCacheAside()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace oscar;
+
+    const BenchOptions opts = BenchOptions::parse(
+        argc, argv, "fig5_policy_comparison.sweep.json");
 
     std::printf("== Figure 5: normalized throughput, static vs dynamic "
                 "instrumentation vs hardware predictor ==\n(1.000 = "
                 "uni-processor baseline; dynamic N for DI/HI)\n\n");
 
-    comparisonAt(5000, "Conservative");
-    comparisonAt(100, "Aggressive");
-    splitCacheAside();
+    // SI needs an off-line profile; collect one short profiling pass
+    // per workload before the sweep.
+    std::map<WorkloadKind, std::shared_ptr<const ServiceProfile>>
+        profiles;
+    for (WorkloadKind kind : comparisonWorkloads())
+        profiles[kind] = ExperimentRunner::profileServices(kind);
+
+    const std::vector<SweepPoint> points = buildPoints(profiles);
+    ParallelSweepRunner runner({opts.jobs});
+    const auto results = runner.run(points);
+    render(results);
 
     std::printf("paper headline: HI up to 18%% over the no-off-load "
                 "baseline, ~13%% over SI, ~23%% over DI at currently "
                 "achievable latencies; the gap over software grows as "
                 "migration gets faster.\n");
+
+    if (!opts.jsonPath.empty()) {
+        SweepReport report("fig5_policy_comparison",
+                           runner.effectiveJobs(points.size()));
+        report.addAll(results);
+        if (report.writeTo(opts.jsonPath))
+            std::printf("report: %s (%zu points)\n",
+                        opts.jsonPath.c_str(), report.size());
+    }
     return 0;
 }

@@ -8,11 +8,14 @@
  * at 2:1 (aggregate throughput only +4.5 % over the same cores without
  * off-loading) and a queuing explosion past 25,000 cycles at 4:1 —
  * concluding that OS cores should be provisioned 1:1.
+ *
+ * The off-loading and matching multi-core no-off-load baselines run
+ * as one sweep through ParallelSweepRunner (--jobs N).
  */
 
 #include <cstdio>
 
-#include "system/experiment.hh"
+#include "system/sweep.hh"
 
 namespace
 {
@@ -21,45 +24,77 @@ using namespace oscar;
 
 constexpr InstCount kMeasurePerThread = 900'000;
 
-/** Aggregate throughput of n user cores with no off-loading. */
-double
-baselineThroughput(unsigned user_cores)
+const std::vector<unsigned> kUserCores = {1, 2, 4};
+
+/** Pairs of (off-load point, no-off-load baseline) per core count.
+ *  The multi-core baseline differs from the cached uni-processor
+ *  baseline, so both run as explicit non-normalized points. */
+std::vector<SweepPoint>
+buildPoints()
 {
-    SystemConfig config =
-        ExperimentRunner::baselineConfig(WorkloadKind::SpecJbb);
-    config.userCores = user_cores;
-    config.measureInstructions = kMeasurePerThread;
-    return ExperimentRunner::run(config).throughput;
+    std::vector<SweepPoint> points;
+    for (unsigned user_cores : kUserCores) {
+        SweepPoint offload;
+        offload.label =
+            "specjbb/" + std::to_string(user_cores) + ":1/offload";
+        offload.config = ExperimentRunner::hardwareConfig(
+            WorkloadKind::SpecJbb, 100, 1000);
+        offload.config.userCores = user_cores;
+        offload.config.measureInstructions = kMeasurePerThread;
+        offload.normalize = false;
+        points.push_back(std::move(offload));
+
+        SweepPoint base;
+        base.label =
+            "specjbb/" + std::to_string(user_cores) + "cores/baseline";
+        base.config =
+            ExperimentRunner::baselineConfig(WorkloadKind::SpecJbb);
+        base.config.userCores = user_cores;
+        base.config.measureInstructions = kMeasurePerThread;
+        base.normalize = false;
+        points.push_back(std::move(base));
+    }
+    return points;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace oscar;
+
+    const BenchOptions opts =
+        BenchOptions::parse(argc, argv, "scalability.sweep.json");
 
     std::printf("== Section V-C: sharing one OS core between user "
                 "cores ==\n(SPECjbb2005, N=100, 1,000-cycle off-load "
                 "overhead)\n\n");
 
+    const std::vector<SweepPoint> points = buildPoints();
+    ParallelSweepRunner runner({opts.jobs});
+    const auto results = runner.run(points);
+
     TextTable table({"user:OS cores", "mean queue delay", "max",
                      "OS-core busy", "agg. throughput vs no-offload"});
 
-    for (unsigned user_cores : {1u, 2u, 4u}) {
-        SystemConfig config = ExperimentRunner::hardwareConfig(
-            WorkloadKind::SpecJbb, 100, 1000);
-        config.userCores = user_cores;
-        config.measureInstructions = kMeasurePerThread;
-        const SimResults results = ExperimentRunner::run(config);
-        const double base = baselineThroughput(user_cores);
-
+    for (std::size_t i = 0; i < kUserCores.size(); ++i) {
+        const SweepPointResult &offload = results[2 * i];
+        const SweepPointResult &base = results[2 * i + 1];
+        if (!offload.ok || !base.ok) {
+            table.addRow({std::to_string(kUserCores[i]) + ":1", "fail",
+                          "fail", "fail", "fail"});
+            continue;
+        }
+        const SimResults &r = offload.results;
         table.addRow({
-            std::to_string(user_cores) + ":1",
-            formatDouble(results.meanQueueDelay, 0) + " cy",
-            formatDouble(results.maxQueueDelay, 0) + " cy",
-            formatPercent(results.osCoreUtilization, 1),
-            formatDouble((results.throughput / base - 1.0) * 100.0, 1) +
+            std::to_string(kUserCores[i]) + ":1",
+            formatDouble(r.meanQueueDelay, 0) + " cy",
+            formatDouble(r.maxQueueDelay, 0) + " cy",
+            formatPercent(r.osCoreUtilization, 1),
+            formatDouble((r.throughput / base.results.throughput - 1.0) *
+                             100.0,
+                         1) +
                 "%",
         });
     }
@@ -67,5 +102,14 @@ main()
     std::printf("paper: ~1,348-cycle mean queuing at 2:1 (+4.5%% "
                 "aggregate), >25,000 cycles at 4:1 (throughput loss); "
                 "conclusion: provision OS cores 1:1.\n");
+
+    if (!opts.jsonPath.empty()) {
+        SweepReport report("scalability",
+                           runner.effectiveJobs(points.size()));
+        report.addAll(results);
+        if (report.writeTo(opts.jsonPath))
+            std::printf("report: %s (%zu points)\n",
+                        opts.jsonPath.c_str(), report.size());
+    }
     return 0;
 }

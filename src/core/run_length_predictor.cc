@@ -5,6 +5,7 @@
 
 #include "core/run_length_predictor.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "sim/logging.hh"
@@ -15,9 +16,16 @@ namespace oscar
 bool
 withinTolerance(InstCount predicted, InstCount actual)
 {
+    // Symmetric ±5 % band around the larger of the two values, with an
+    // absolute floor for short runs: at actual == 0 a pure relative
+    // tolerance collapses to exact-match (and is asymmetric below ~20
+    // instructions), so confidence counters thrash on the short
+    // invocations trap-heavy workloads produce. Within the floor any
+    // near-miss counts as accurate.
     const double diff = std::abs(static_cast<double>(predicted) -
                                  static_cast<double>(actual));
-    return diff <= 0.05 * static_cast<double>(actual);
+    const double base = static_cast<double>(std::max(predicted, actual));
+    return diff <= std::max(kToleranceFloorInstructions, 0.05 * base);
 }
 
 void

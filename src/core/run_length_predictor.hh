@@ -46,7 +46,20 @@ struct RunLengthPrediction
     bool tableHit = false;
 };
 
-/** True when a prediction lands within ±5 % of the actual length. */
+/**
+ * Absolute accuracy floor of withinTolerance(), in instructions: a
+ * prediction no further than this from the actual length always counts
+ * as accurate, regardless of the ±5 % relative band. Keeps confidence
+ * training meaningful for zero/near-zero run lengths, where a relative
+ * tolerance degenerates to exact-match.
+ */
+inline constexpr double kToleranceFloorInstructions = 2.0;
+
+/**
+ * True when a prediction lands within ±5 % of the actual length
+ * (symmetric: the band is taken around the larger of the two values),
+ * or within kToleranceFloorInstructions for near-zero runs.
+ */
 bool withinTolerance(InstCount predicted, InstCount actual);
 
 /**

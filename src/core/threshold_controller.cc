@@ -63,6 +63,13 @@ ThresholdController::begin(double priv_fraction)
             currentIndex = i;
     }
     runLength = scaledRunBase();
+    // Clear any sampling state a previous round left behind so a
+    // re-begin() cannot reach a neighbour phase with stale flags.
+    sampleCurrentRate = 0.0;
+    sampleLowerRate = -1.0;
+    sampleUpperRate = -1.0;
+    lowerExists = false;
+    upperExists = false;
     currentPhase = Phase::SampleCurrent;
 }
 
@@ -71,12 +78,18 @@ ThresholdController::currentThreshold() const
 {
     switch (currentPhase) {
       case Phase::SampleLower:
+        // The SampleLower phase is only entered when a lower neighbour
+        // exists; guard against index underflow at the ladder bottom.
+        oscar_assert(lowerExists && currentIndex > 0);
         return cfg.ladder[currentIndex - 1];
       case Phase::SampleUpper:
+        oscar_assert(upperExists &&
+                     currentIndex + 1 < cfg.ladder.size());
         return cfg.ladder[currentIndex + 1];
       case Phase::Idle:
       case Phase::SampleCurrent:
       case Phase::Run:
+        oscar_assert(currentIndex < cfg.ladder.size());
         return cfg.ladder[currentIndex];
     }
     oscar_panic("bad controller phase");
@@ -108,12 +121,15 @@ ThresholdController::concludeRound()
             ? sampleCurrentRate * (1.0 + cfg.improvementDelta)
             : sampleCurrentRate + cfg.improvementDelta;
     // A neighbour must beat the incumbent by the delta; ties favour
-    // the incumbent (avoids oscillation on noise).
-    if (lowerExists && sampleLowerRate >= winner_rate) {
+    // the incumbent (avoids oscillation on noise). A neighbour is
+    // only considered when its sample was actually taken this round.
+    if (lowerExists && currentIndex > 0 &&
+        sampleLowerRate >= winner_rate) {
         winner = currentIndex - 1;
         winner_rate = sampleLowerRate;
     }
-    if (upperExists && sampleUpperRate >= winner_rate) {
+    if (upperExists && currentIndex + 1 < cfg.ladder.size() &&
+        sampleUpperRate >= winner_rate) {
         winner = currentIndex + 1;
     }
 

@@ -5,92 +5,101 @@
 
 #include "sim/event_queue.hh"
 
-#include <unordered_map>
-
 #include "sim/logging.hh"
 
 namespace oscar
 {
 
-EventQueue::~EventQueue()
+void
+EventQueue::checkConsistency() const
 {
-    while (!heap.empty()) {
-        delete heap.top();
-        heap.pop();
-    }
+    oscar_assert(liveIndex.size() + freeSlots.size() == pool.size());
 }
 
 std::uint64_t
 EventQueue::schedule(Cycle when, Callback cb)
 {
     oscar_assert(when >= currentCycle);
-    auto *entry = new Entry{when, nextId++, std::move(cb), false};
-    heap.push(entry);
-    pool.push_back(entry);
-    ++liveCount;
-    return entry->id;
+    const std::uint64_t id = nextId++;
+
+    std::uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(pool.size());
+        pool.emplace_back();
+    }
+    pool[slot].when = when;
+    pool[slot].id = id;
+    pool[slot].cb = std::move(cb);
+
+    liveIndex.emplace(id, slot);
+    heap.push(HeapItem{when, id, slot});
+    checkConsistency();
+    return id;
+}
+
+void
+EventQueue::reclaim(std::uint64_t id, std::uint32_t slot)
+{
+    pool[slot].cb = nullptr;
+    freeSlots.push_back(slot);
+    liveIndex.erase(id);
 }
 
 bool
 EventQueue::cancel(std::uint64_t id)
 {
-    // Linear scan of the live pool; the pool is pruned as events fire,
-    // and cancellation is rare (only un-migration on early completion).
-    for (Entry *entry : pool) {
-        if (entry->id == id && !entry->cancelled) {
-            entry->cancelled = true;
-            --liveCount;
-            return true;
-        }
-    }
-    return false;
+    auto it = liveIndex.find(id);
+    if (it == liveIndex.end())
+        return false;
+    // The heap still holds a stale {when, id, slot} item; it is
+    // skipped when it reaches the top because the id is gone.
+    reclaim(id, it->second);
+    checkConsistency();
+    return true;
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::skipStale()
 {
-    while (!heap.empty() && heap.top()->cancelled) {
-        Entry *dead = heap.top();
+    while (!heap.empty() &&
+           liveIndex.find(heap.top().id) == liveIndex.end()) {
         heap.pop();
-        for (auto it = pool.begin(); it != pool.end(); ++it) {
-            if (*it == dead) {
-                pool.erase(it);
-                break;
-            }
-        }
-        delete dead;
     }
 }
 
 void
 EventQueue::runOne()
 {
-    skipCancelled();
+    skipStale();
     oscar_assert(!heap.empty());
-    Entry *entry = heap.top();
+    const HeapItem item = heap.top();
     heap.pop();
-    for (auto it = pool.begin(); it != pool.end(); ++it) {
-        if (*it == entry) {
-            pool.erase(it);
-            break;
-        }
-    }
-    oscar_assert(entry->when >= currentCycle);
-    currentCycle = entry->when;
+
+    auto it = liveIndex.find(item.id);
+    oscar_assert(it != liveIndex.end());
+    const std::uint32_t slot = it->second;
+    oscar_assert(slot == item.slot && pool[slot].id == item.id);
+    oscar_assert(item.when >= currentCycle);
+
+    currentCycle = item.when;
     ++fired;
-    --liveCount;
-    Callback cb = std::move(entry->cb);
-    const Cycle when = entry->when;
-    delete entry;
-    cb(when);
+    // Move the callback out before reclaiming: it may schedule new
+    // events that immediately reuse this slot.
+    Callback cb = std::move(pool[slot].cb);
+    reclaim(item.id, slot);
+    checkConsistency();
+    cb(item.when);
 }
 
 void
 EventQueue::runUntil(Cycle limit)
 {
     for (;;) {
-        skipCancelled();
-        if (heap.empty() || heap.top()->when > limit)
+        skipStale();
+        if (heap.empty() || heap.top().when > limit)
             return;
         runOne();
     }
@@ -99,20 +108,17 @@ EventQueue::runUntil(Cycle limit)
 bool
 EventQueue::empty() const
 {
-    return liveCount == 0;
+    return liveIndex.empty();
 }
 
 Cycle
 EventQueue::nextEventCycle() const
 {
-    // The heap may carry cancelled entries above live ones; scan the
-    // pool for the minimum live cycle instead.
-    Cycle best = kNoCycle;
-    for (const Entry *entry : pool) {
-        if (!entry->cancelled && entry->when < best)
-            best = entry->when;
-    }
-    return best;
+    // Lazily drop stale (cancelled) items so the top is live. This
+    // mutates only bookkeeping, never observable queue contents.
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipStale();
+    return heap.empty() ? kNoCycle : heap.top().when;
 }
 
 } // namespace oscar

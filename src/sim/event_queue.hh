@@ -5,6 +5,13 @@
  * The system model advances cores and the OS core through a single
  * global event queue keyed by cycle. Ties are broken by insertion
  * order, so simulation is fully deterministic.
+ *
+ * Storage is a slot pool with a free list: a fired or cancelled
+ * entry's slot (and its callback's captured state) is reclaimed
+ * immediately and reused by later schedules, so memory is bounded by
+ * the peak number of simultaneously pending events rather than
+ * growing with the total event count of a run. Cancelled events leave
+ * a stale id in the heap that is skipped lazily when it surfaces.
  */
 
 #ifndef OSCAR_SIM_EVENT_QUEUE_HH_
@@ -13,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -54,7 +62,7 @@ class EventQueue
     bool empty() const;
 
     /** Number of live (non-cancelled) pending events. */
-    std::size_t pendingCount() const { return liveCount; }
+    std::size_t pendingCount() const { return liveIndex.size(); }
 
     /** Current simulated cycle. */
     Cycle now() const { return currentCycle; }
@@ -65,41 +73,57 @@ class EventQueue
     /** Total events ever fired (for stats/tests). */
     std::uint64_t firedCount() const { return fired; }
 
+    /** Entry slots allocated (live + reclaimed); bounds memory use. */
+    std::size_t slotCount() const { return pool.size(); }
+
+    /** Slots on the free list awaiting reuse (tests). */
+    std::size_t freeSlotCount() const { return freeSlots.size(); }
+
   private:
-    struct Entry
+    /** Reusable storage for one scheduled callback. */
+    struct Slot
+    {
+        Cycle when = 0;
+        std::uint64_t id = 0;
+        Callback cb;
+    };
+
+    /** Heap key; the slot is only valid while the id is live. */
+    struct HeapItem
     {
         Cycle when;
         std::uint64_t id;
-        Callback cb;
-        bool cancelled = false;
+        std::uint32_t slot;
     };
 
     struct Compare
     {
         bool
-        operator()(const Entry *a, const Entry *b) const
+        operator()(const HeapItem &a, const HeapItem &b) const
         {
-            if (a->when != b->when)
-                return a->when > b->when;
-            return a->id > b->id;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
         }
     };
 
-    /** Drop cancelled entries from the heap top. */
-    void skipCancelled();
+    /** Pop heap items whose id is no longer live (cancelled). */
+    void skipStale();
 
-    std::priority_queue<Entry *, std::vector<Entry *>, Compare> heap;
-    std::vector<Entry *> pool;
+    /** Release a slot back to the free list. */
+    void reclaim(std::uint64_t id, std::uint32_t slot);
+
+    /** Slots are always either live or free-listed. */
+    void checkConsistency() const;
+
+    std::priority_queue<HeapItem, std::vector<HeapItem>, Compare> heap;
+    std::vector<Slot> pool;
+    std::vector<std::uint32_t> freeSlots;
+    /** Live event id -> slot; ids are never reused. */
+    std::unordered_map<std::uint64_t, std::uint32_t> liveIndex;
     Cycle currentCycle = 0;
     std::uint64_t nextId = 0;
     std::uint64_t fired = 0;
-    std::size_t liveCount = 0;
-
-  public:
-    EventQueue() = default;
-    ~EventQueue();
-    EventQueue(const EventQueue &) = delete;
-    EventQueue &operator=(const EventQueue &) = delete;
 };
 
 } // namespace oscar

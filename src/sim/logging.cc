@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstdarg>
 #include <atomic>
+#include <mutex>
 #include <vector>
 
 namespace oscar
@@ -18,7 +19,10 @@ namespace
 {
 
 std::string *captureSink = nullptr;
+/** Serializes appends to the capture sink across sweep workers. */
+std::mutex captureMutex;
 std::atomic<std::uint64_t> warnCounter{0};
+thread_local bool fatalThrows = false;
 
 const char *
 levelName(LogLevel level)
@@ -52,11 +56,21 @@ emit(LogLevel level, const char *file, int line, const char *fmt,
     if (level == LogLevel::Warn)
         warnCounter.fetch_add(1, std::memory_order_relaxed);
 
+    std::lock_guard<std::mutex> lock(captureMutex);
     if (captureSink != nullptr) {
         captureSink->append(record);
     } else {
         std::fputs(record, stderr);
     }
+}
+
+/** Render one record to a string (for FatalError payloads). */
+std::string
+renderBody(const char *fmt, va_list args)
+{
+    char body[1024];
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    return body;
 }
 
 } // namespace
@@ -68,6 +82,14 @@ void
 logAndTerminate(LogLevel level, const char *file, int line,
                 const char *fmt, ...)
 {
+    if (level == LogLevel::Fatal && fatalThrows) {
+        va_list args;
+        va_start(args, fmt);
+        std::string body = renderBody(fmt, args);
+        va_end(args);
+        throw FatalError(body);
+    }
+
     va_list args;
     va_start(args, fmt);
     emit(level, file, line, fmt, args);
@@ -92,7 +114,19 @@ logMessage(LogLevel level, const char *file, int line, const char *fmt,
 void
 setLogCapture(std::string *sink)
 {
+    std::lock_guard<std::mutex> lock(captureMutex);
     captureSink = sink;
+}
+
+ScopedFatalThrows::ScopedFatalThrows()
+    : previous(fatalThrows)
+{
+    fatalThrows = true;
+}
+
+ScopedFatalThrows::~ScopedFatalThrows()
+{
+    fatalThrows = previous;
 }
 
 std::uint64_t

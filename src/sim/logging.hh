@@ -13,10 +13,41 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace oscar
 {
+
+/**
+ * Thrown instead of exiting when a fatal() fires inside a
+ * ScopedFatalThrows region — lets harnesses (the parallel sweep
+ * runner, tests) isolate one failing configuration without taking the
+ * whole process down. panic() still aborts unconditionally: it means
+ * the simulator itself is broken.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive, oscar_fatal on the *current thread* throws
+ * FatalError instead of calling std::exit(1). Nests safely.
+ */
+class ScopedFatalThrows
+{
+  public:
+    ScopedFatalThrows();
+    ~ScopedFatalThrows();
+
+    ScopedFatalThrows(const ScopedFatalThrows &) = delete;
+    ScopedFatalThrows &operator=(const ScopedFatalThrows &) = delete;
+
+  private:
+    bool previous;
+};
 
 /** Severity attached to a log record. */
 enum class LogLevel

@@ -6,7 +6,9 @@
 #include "system/experiment.hh"
 
 #include <cstdio>
+#include <future>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "sim/logging.hh"
@@ -101,7 +103,13 @@ namespace
 
 using BaselineKey =
     std::tuple<int, std::uint64_t, InstCount, InstCount>;
-std::map<BaselineKey, SimResults> baselineCache;
+
+// The cache stores shared_futures so concurrent sweep points that
+// share a baseline compute it exactly once: the first requester
+// inserts the future and runs the simulation, later requesters block
+// on it. Guarded by a mutex; the simulation itself runs unlocked.
+std::mutex baselineMutex;
+std::map<BaselineKey, std::shared_future<SimResults>> baselineCache;
 
 } // namespace
 
@@ -113,20 +121,43 @@ ExperimentRunner::baselineResults(WorkloadKind workload,
 {
     const BaselineKey key{static_cast<int>(workload), seed,
                           measure_instructions, warmup_instructions};
-    auto it = baselineCache.find(key);
-    if (it != baselineCache.end())
-        return it->second;
-    SystemConfig config = baselineConfig(workload, seed);
-    config.measureInstructions = measure_instructions;
-    config.warmupInstructions = warmup_instructions;
-    const SimResults results = run(config);
-    baselineCache.emplace(key, results);
-    return results;
+
+    std::promise<SimResults> promise;
+    std::shared_future<SimResults> future;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(baselineMutex);
+        auto it = baselineCache.find(key);
+        if (it != baselineCache.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            baselineCache.emplace(key, future);
+            compute = true;
+        }
+    }
+
+    if (compute) {
+        try {
+            SystemConfig config = baselineConfig(workload, seed);
+            config.measureInstructions = measure_instructions;
+            config.warmupInstructions = warmup_instructions;
+            promise.set_value(run(config));
+        } catch (...) {
+            // Propagate to every waiter, then forget the entry so a
+            // later call can retry instead of replaying the failure.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(baselineMutex);
+            baselineCache.erase(key);
+        }
+    }
+    return future.get();
 }
 
 void
 ExperimentRunner::clearBaselineCache()
 {
+    std::lock_guard<std::mutex> lock(baselineMutex);
     baselineCache.clear();
 }
 

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Implementation of the parallel sweep runner and report.
+ */
+
+#include "system/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <thread>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+namespace
+{
+
+/** Name of the predictor organization for reports. */
+const char *
+predictorName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Cam: return "cam";
+      case PredictorKind::DirectMapped: return "direct-mapped";
+      case PredictorKind::Infinite: return "infinite";
+    }
+    return "?";
+}
+
+void
+writeConfigJson(JsonWriter &w, const SystemConfig &config)
+{
+    w.beginObject();
+    w.field("workload", workloadName(config.workload));
+    w.field("policy", policyShortName(config.policy));
+    w.field("predictor", predictorName(config.predictor));
+    w.field("user_cores", config.userCores);
+    w.field("offload_enabled", config.offloadEnabled);
+    w.field("dynamic_threshold", config.dynamicThreshold);
+    w.field("static_threshold", config.staticThreshold);
+    w.field("migration_one_way_cycles", config.migrationOneWayCycles);
+    w.field("seed", config.seed);
+    w.field("warmup_instructions", config.warmupInstructions);
+    w.field("measure_instructions", config.measureInstructions);
+    w.endObject();
+}
+
+void
+writeResultsJson(JsonWriter &w, const SweepPointResult &point)
+{
+    const SimResults &r = point.results;
+    w.beginObject();
+    w.field("throughput", r.throughput);
+    w.field("normalized_throughput", point.normalized);
+    w.field("makespan", r.makespan);
+    w.field("retired", r.retired);
+    w.field("priv_fraction", r.privFraction);
+    w.field("user_l2_hit_rate", r.userL2HitRate);
+    w.field("os_l2_hit_rate", r.osL2HitRate);
+    w.field("combined_l2_hit_rate", r.combinedL2HitRate);
+    w.field("invocations", r.invocations);
+    w.field("offloaded", r.offloaded);
+    w.field("offload_fraction", r.offloadFraction);
+    w.field("mean_invocation_length", r.meanInvocationLength);
+    w.field("os_core_utilization", r.osCoreUtilization);
+    w.field("mean_queue_delay", r.meanQueueDelay);
+    w.field("max_queue_delay", r.maxQueueDelay);
+    w.field("decision_cycles", r.decisionCycles);
+    w.field("migration_cycles", r.migrationCycles);
+    w.field("queue_wait_cycles", r.queueWaitCycles);
+    w.field("c2c_transfers", r.c2cTransfers);
+    w.field("invalidations", r.invalidations);
+
+    w.key("predictor");
+    w.beginObject();
+    w.field("samples", r.accuracy.samples());
+    w.field("exact_rate", r.accuracy.exactRate());
+    w.field("within_tolerance_rate", r.accuracy.withinToleranceRate());
+    w.field("miss_rate", r.accuracy.missRate());
+    w.field("global_fallback_rate", r.accuracy.globalFallbackRate());
+    w.endObject();
+
+    w.field("final_threshold", r.finalThreshold);
+    w.field("threshold_switches", r.thresholdSwitches);
+    w.key("threshold_trajectory");
+    w.beginArray();
+    for (const ThresholdSample &sample : r.thresholdTrajectory) {
+        w.beginObject();
+        w.field("instruction", sample.instruction);
+        w.field("n", sample.threshold);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writePointJson(JsonWriter &w, const SweepPointResult &point,
+               bool include_wall)
+{
+    w.beginObject();
+    w.field("index", static_cast<std::uint64_t>(point.index));
+    w.field("label", point.label);
+    w.field("ok", point.ok);
+    w.field("error", point.error);
+    if (include_wall)
+        w.field("wall_ms", point.wallMs);
+    w.key("config");
+    writeConfigJson(w, point.config);
+    if (point.ok) {
+        w.key("results");
+        writeResultsJson(w, point);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ParallelSweepRunner
+
+ParallelSweepRunner::ParallelSweepRunner(SweepOptions options)
+    : opts(options)
+{
+}
+
+unsigned
+ParallelSweepRunner::effectiveJobs(std::size_t point_count) const
+{
+    unsigned jobs = opts.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (point_count < jobs)
+        jobs = static_cast<unsigned>(point_count);
+    return jobs == 0 ? 1 : jobs;
+}
+
+SweepPointResult
+ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index)
+{
+    SweepPointResult result;
+    result.index = index;
+    result.label = point.label;
+    result.config = point.config;
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        // Within this point, a bad configuration (oscar_fatal) throws
+        // instead of exiting, so one poisoned point cannot take down
+        // the rest of the sweep.
+        ScopedFatalThrows fatal_throws;
+        if (point.normalize) {
+            const SimResults base = ExperimentRunner::baselineResults(
+                point.config.workload, point.config.seed,
+                point.config.measureInstructions,
+                point.config.warmupInstructions);
+            result.results = ExperimentRunner::run(point.config);
+            oscar_assert(base.throughput > 0.0);
+            result.normalized =
+                result.results.throughput / base.throughput;
+        } else {
+            result.results = ExperimentRunner::run(point.config);
+        }
+        result.ok = true;
+    } catch (const std::exception &e) {
+        result.ok = false;
+        result.error = e.what();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.wallMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return result;
+}
+
+std::vector<SweepPointResult>
+ParallelSweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<SweepPointResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    const unsigned jobs = effectiveJobs(points.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            results[i] = runPoint(points[i], i);
+        return results;
+    }
+
+    // Dynamic work claiming: each worker grabs the next unclaimed
+    // index. Results are stored by point index, so the output is
+    // independent of claim order.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            results[i] = runPoint(points[i], i);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+    return results;
+}
+
+// ---------------------------------------------------------------------
+// SweepReport
+
+SweepReport::SweepReport(std::string title, unsigned jobs)
+    : reportTitle(std::move(title)), reportJobs(jobs)
+{
+}
+
+void
+SweepReport::add(const SweepPointResult &result)
+{
+    points.push_back(result);
+}
+
+void
+SweepReport::addAll(const std::vector<SweepPointResult> &results)
+{
+    for (const SweepPointResult &result : results)
+        add(result);
+}
+
+std::string
+SweepReport::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "oscar.sweep.v1");
+    w.field("title", reportTitle);
+    w.field("jobs", reportJobs);
+    w.key("points");
+    w.beginArray();
+    for (const SweepPointResult &point : points)
+        writePointJson(w, point, /*include_wall=*/true);
+    w.endArray();
+    w.endObject();
+    oscar_assert(w.complete());
+    return w.str();
+}
+
+bool
+SweepReport::writeTo(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        oscar_warn("cannot open sweep report file '%s'", path.c_str());
+        return false;
+    }
+    const std::string doc = toJson();
+    out.write(doc.data(),
+              static_cast<std::streamsize>(doc.size()));
+    out << '\n';
+    out.flush();
+    if (!out) {
+        oscar_warn("short write on sweep report file '%s'",
+                   path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+sweepPointResultsJson(const SweepPointResult &result)
+{
+    JsonWriter w;
+    writePointJson(w, result, /*include_wall=*/false);
+    oscar_assert(w.complete());
+    return w.str();
+}
+
+// ---------------------------------------------------------------------
+// BenchOptions
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv,
+                    const std::string &default_json)
+{
+    BenchOptions opts;
+    opts.jsonPath = default_json;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "--json") {
+            if (i + 1 >= argc)
+                oscar_fatal("bench option '%s' requires a value "
+                            "(try --help)", arg.c_str());
+        }
+        if (arg == "--jobs") {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            const unsigned long jobs = std::strtoul(text, &end, 10);
+            if (end == text || *end != '\0')
+                oscar_fatal("--jobs expects a non-negative integer, "
+                            "got '%s'", text);
+            opts.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--json") {
+            opts.jsonPath = argv[++i];
+        } else if (arg == "--no-json") {
+            opts.jsonPath.clear();
+        } else if (arg == "--help") {
+            std::printf("usage: %s [--jobs N] [--json PATH | --no-json]\n"
+                        "  --jobs N   worker threads (0 = all cores; "
+                        "default 1)\n"
+                        "  --json P   write the sweep report to P "
+                        "(default %s)\n"
+                        "  --no-json  skip the report artifact\n",
+                        argv[0], default_json.c_str());
+            std::exit(0);
+        } else {
+            oscar_fatal("unknown bench option '%s' (try --help)",
+                        arg.c_str());
+        }
+    }
+    return opts;
+}
+
+} // namespace oscar

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Parallel execution of configuration sweeps.
+ *
+ * Every figure and table of the paper is produced by sweeping dozens
+ * of independent (workload, policy, N, latency, seed) points through
+ * the simulator. Each point is self-contained and deterministic per
+ * seed, so the sweep is embarrassingly parallel: ParallelSweepRunner
+ * executes a vector of points on a fixed-size thread pool with
+ *
+ *  - deterministic result ordering (results land at the index of
+ *    their point, regardless of which worker ran them, and a point's
+ *    simulation output is byte-identical for any job count);
+ *  - per-point wall-clock timing;
+ *  - failure isolation: an oscar_fatal or exception in one point is
+ *    captured into that point's result and the sweep continues.
+ *
+ * SweepReport serializes the per-point results to JSON so the bench
+ * binaries emit machine-readable artifacts next to their plain-text
+ * tables.
+ */
+
+#ifndef OSCAR_SYSTEM_SWEEP_HH_
+#define OSCAR_SYSTEM_SWEEP_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/experiment.hh"
+#include "system/system.hh"
+
+namespace oscar
+{
+
+/** One configuration point of a sweep. */
+struct SweepPoint
+{
+    /** Human-readable identity, e.g. "apache/N=100/lat=1000". */
+    std::string label;
+    /** Full system configuration to simulate. */
+    SystemConfig config;
+    /**
+     * True to also obtain the uni-processor baseline (cached across
+     * points) and report variant/baseline normalized throughput.
+     */
+    bool normalize = true;
+};
+
+/** Outcome of one sweep point. */
+struct SweepPointResult
+{
+    /** Position of the point in the input vector. */
+    std::size_t index = 0;
+    std::string label;
+    /** Configuration snapshot the point ran with. */
+    SystemConfig config;
+
+    /** False when the point failed; error holds the reason. */
+    bool ok = false;
+    std::string error;
+
+    /** Simulation output (valid only when ok). */
+    SimResults results;
+    /** Variant/baseline throughput; 0 when not normalized. */
+    double normalized = 0.0;
+
+    /** Host wall-clock the point took, in milliseconds. */
+    double wallMs = 0.0;
+};
+
+/** Sweep execution knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means hardware concurrency, 1 runs inline. */
+    unsigned jobs = 1;
+};
+
+/**
+ * Fixed-size thread pool executing sweep points concurrently.
+ */
+class ParallelSweepRunner
+{
+  public:
+    explicit ParallelSweepRunner(SweepOptions options = {});
+
+    /**
+     * Run every point and return results in point order.
+     *
+     * Points are claimed from a shared counter, so scheduling is
+     * dynamic, but the output vector is indexed by point — the result
+     * layout is independent of the job count and of worker timing.
+     */
+    std::vector<SweepPointResult>
+    run(const std::vector<SweepPoint> &points) const;
+
+    /** Execute one point with timing and failure capture. */
+    static SweepPointResult runPoint(const SweepPoint &point,
+                                     std::size_t index);
+
+    /** The worker count a run() call will actually use. */
+    unsigned effectiveJobs(std::size_t point_count) const;
+
+  private:
+    SweepOptions opts;
+};
+
+/**
+ * Machine-readable sweep artifact.
+ *
+ * Schema ("oscar.sweep.v1"):
+ * {
+ *   "schema": "oscar.sweep.v1",
+ *   "title": "...",
+ *   "jobs": 4,
+ *   "points": [
+ *     {
+ *       "index": 0, "label": "...", "ok": true, "error": "",
+ *       "wall_ms": 12.5,
+ *       "config": {workload, policy, predictor, user_cores,
+ *                  dynamic_threshold, static_threshold,
+ *                  migration_one_way_cycles, seed,
+ *                  warmup_instructions, measure_instructions},
+ *       "results": {throughput, normalized_throughput, priv_fraction,
+ *                   user/os/combined_l2_hit_rate, invocations,
+ *                   offloaded, offload_fraction,
+ *                   mean_invocation_length, os_core_utilization,
+ *                   mean/max_queue_delay, decision/migration/
+ *                   queue_wait_cycles, c2c_transfers, invalidations,
+ *                   predictor {samples, exact_rate,
+ *                              within_tolerance_rate, miss_rate,
+ *                              global_fallback_rate},
+ *                   final_threshold, threshold_switches,
+ *                   threshold_trajectory: [{instruction, n}, ...]}
+ *     }, ...
+ *   ]
+ * }
+ */
+class SweepReport
+{
+  public:
+    /**
+     * @param title Artifact name, e.g. "fig4_threshold_sweep".
+     * @param jobs Worker count the sweep ran with (metadata).
+     */
+    SweepReport(std::string title, unsigned jobs);
+
+    /** Append one point's outcome. */
+    void add(const SweepPointResult &result);
+
+    /** Append every result of a finished sweep. */
+    void addAll(const std::vector<SweepPointResult> &results);
+
+    /** Number of points recorded. */
+    std::size_t size() const { return points.size(); }
+
+    /** The complete JSON document. */
+    std::string toJson() const;
+
+    /**
+     * Write the JSON document to a file.
+     *
+     * @return true on success; warns and returns false on I/O error.
+     */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::string reportTitle;
+    unsigned reportJobs;
+    std::vector<SweepPointResult> points;
+};
+
+/**
+ * Serialize one point's simulation results (excluding wall-clock, the
+ * only nondeterministic field) — the byte-comparison hook used by the
+ * determinism tests.
+ */
+std::string sweepPointResultsJson(const SweepPointResult &result);
+
+/**
+ * Command-line options shared by the sweep-driven bench binaries.
+ *
+ * Recognized flags:
+ *   --jobs N     worker threads (default 1; 0 = hardware concurrency)
+ *   --json PATH  write the sweep report to PATH
+ *   --no-json    suppress the report file
+ *   --help       print usage and exit
+ */
+struct BenchOptions
+{
+    unsigned jobs = 1;
+    /** Report destination; empty disables the artifact. */
+    std::string jsonPath;
+
+    /**
+     * Parse argv; fatal on malformed flags.
+     *
+     * @param default_json Report path used when --json is absent.
+     */
+    static BenchOptions parse(int argc, char **argv,
+                              const std::string &default_json);
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SYSTEM_SWEEP_HH_

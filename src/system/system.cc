@@ -153,6 +153,8 @@ System::retire(Thread &thread, InstCount count, bool privileged)
         if (cfg.dynamicThreshold &&
             measuredRetiredAll >= nextEpochBoundary) {
             controller.onEpochEnd(epochFeedback());
+            thresholdTrajectory.push_back(
+                {measuredRetiredAll, controller.currentThreshold()});
             mem->resetWindow();
             windowStartInstr = measuredRetiredAll;
             windowStartCycle = events.now();
@@ -206,6 +208,8 @@ System::enterMeasurement()
 
     if (cfg.dynamicThreshold) {
         controller.begin(warmupPrivFraction);
+        thresholdTrajectory.push_back(
+            {measuredRetiredAll, controller.currentThreshold()});
         nextEpochBoundary = measuredRetiredAll + controller.epochLength();
         windowStartInstr = measuredRetiredAll;
         windowStartCycle = events.now();
@@ -450,6 +454,7 @@ System::collectResults() const
                                  ? controller.currentThreshold()
                                  : cfg.staticThreshold;
     results.thresholdSwitches = controller.switches();
+    results.thresholdTrajectory = thresholdTrajectory;
     results.warmupPrivFraction = warmupPrivFraction;
     return results;
 }

@@ -38,6 +38,15 @@
 namespace oscar
 {
 
+/** One (instruction, N) point of the dynamic-N trajectory. */
+struct ThresholdSample
+{
+    /** Measured instructions retired when the sample was taken. */
+    InstCount instruction = 0;
+    /** N in force from this point on. */
+    InstCount threshold = 0;
+};
+
 /**
  * Everything a run produced, measured over the post-warmup region.
  */
@@ -97,6 +106,12 @@ struct SimResults
     InstCount finalThreshold = 0;
     /** Times the dynamic controller changed N. */
     std::uint64_t thresholdSwitches = 0;
+    /**
+     * N at measurement start and after every controller epoch, in
+     * retirement order (dynamic-N runs only) — the threshold
+     * trajectory exported to sweep reports.
+     */
+    std::vector<ThresholdSample> thresholdTrajectory;
 
     /** Privileged fraction observed during warmup (controller input). */
     double warmupPrivFraction = 0.0;
@@ -238,6 +253,7 @@ class System
     InstCount nextEpochBoundary = 0;
     InstCount windowStartInstr = 0;
     Cycle windowStartCycle = 0;
+    std::vector<ThresholdSample> thresholdTrajectory;
 
     /** The configured dynamic-N feedback value for the ending epoch. */
     double epochFeedback();

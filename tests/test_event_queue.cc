@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -146,6 +147,88 @@ TEST(EventQueue, FiredCountAccumulates)
         q.schedule(i + 1, [](Cycle) {});
     q.runUntil(100);
     EXPECT_EQ(q.firedCount(), 7u);
+}
+
+TEST(EventQueue, FiredEntriesAreReclaimed)
+{
+    // Regression: fired entries used to stay in the entry pool until
+    // destruction, so memory grew linearly with the event count of a
+    // run. With the free list, slot storage is bounded by the peak
+    // number of simultaneously pending events.
+    EventQueue q;
+    for (int batch = 0; batch < 1000; ++batch) {
+        q.schedule(q.now() + 1, [](Cycle) {});
+        q.schedule(q.now() + 2, [](Cycle) {});
+        q.runOne();
+        q.runOne();
+    }
+    EXPECT_EQ(q.firedCount(), 2000u);
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_LE(q.slotCount(), 4u); // peak pending was 2
+    EXPECT_EQ(q.freeSlotCount(), q.slotCount());
+}
+
+TEST(EventQueue, CancelledEntriesAreReclaimedImmediately)
+{
+    EventQueue q;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(1000 + i, [](Cycle) {}));
+    for (std::uint64_t id : ids)
+        EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_TRUE(q.empty());
+    // All 100 slots are back on the free list and get reused.
+    EXPECT_EQ(q.freeSlotCount(), q.slotCount());
+    for (int i = 0; i < 100; ++i)
+        q.schedule(2000 + i, [](Cycle) {});
+    EXPECT_EQ(q.slotCount(), 100u);
+    EXPECT_EQ(q.pendingCount(), 100u);
+}
+
+TEST(EventQueue, SlotReuseKeepsOrderingAndPendingCountConsistent)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Interleave schedule/cancel/fire so slots recycle aggressively,
+    // then check ordering and pendingCount stay consistent.
+    const auto a = q.schedule(10, [&](Cycle) { order.push_back(1); });
+    q.schedule(20, [&](Cycle) { order.push_back(2); });
+    q.cancel(a);
+    // Reuses the slot of `a` with a later deadline but newer id.
+    q.schedule(15, [&](Cycle) { order.push_back(3); });
+    q.schedule(12, [&](Cycle) { order.push_back(4); });
+    EXPECT_EQ(q.pendingCount(), 3u);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{4, 3, 2}));
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, CallbackStateIsReleasedOnFire)
+{
+    // The callback (and anything it captured) must be destroyed when
+    // the entry is reclaimed, not at queue destruction.
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    EventQueue q;
+    q.schedule(5, [token](Cycle) {});
+    token.reset();
+    EXPECT_FALSE(watch.expired()); // held by the pending event
+    q.runOne();
+    EXPECT_TRUE(watch.expired()); // released at reclaim
+}
+
+TEST(EventQueue, CallbackStateIsReleasedOnCancel)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    EventQueue q;
+    const auto id = q.schedule(5, [token](Cycle) {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    q.cancel(id);
+    EXPECT_TRUE(watch.expired());
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

@@ -27,6 +27,49 @@ TEST(Tolerance, WithinFivePercent)
     EXPECT_FALSE(withinTolerance(10, 0));
 }
 
+TEST(Tolerance, ZeroAndNearZeroUseAbsoluteFloor)
+{
+    // Regression: a pure 0.05 * actual tolerance collapses to
+    // exact-match at actual == 0 and below ~20 instructions, so
+    // confidence counters thrashed on short invocations. Within the
+    // absolute floor a near-miss now counts as accurate.
+    const auto floor_insts =
+        static_cast<InstCount>(kToleranceFloorInstructions);
+    EXPECT_TRUE(withinTolerance(floor_insts, 0));
+    EXPECT_TRUE(withinTolerance(0, floor_insts));
+    EXPECT_FALSE(withinTolerance(floor_insts + 1, 0));
+    EXPECT_FALSE(withinTolerance(0, floor_insts + 1));
+    // Short runs: off-by-the-floor predictions no longer thrash.
+    EXPECT_TRUE(withinTolerance(5, 7));
+    EXPECT_TRUE(withinTolerance(7, 5));
+    EXPECT_FALSE(withinTolerance(5, 8));
+}
+
+TEST(Tolerance, IsSymmetric)
+{
+    // The band is taken around the larger value, so swapping
+    // predicted/actual cannot flip the verdict.
+    for (InstCount a : {0u, 1u, 5u, 19u, 20u, 21u, 100u, 1000u}) {
+        for (InstCount b : {0u, 1u, 5u, 19u, 20u, 21u, 100u, 1000u}) {
+            EXPECT_EQ(withinTolerance(a, b), withinTolerance(b, a))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Tolerance, ConfidenceDoesNotThrashOnShortRuns)
+{
+    // An entry repeatedly seeing near-identical short runs must gain
+    // confidence, not oscillate at zero.
+    CamPredictor cam(4);
+    const std::uint64_t astate = 0x1234;
+    const InstCount lengths[] = {6, 7, 6, 5, 6, 7, 6};
+    for (InstCount length : lengths)
+        cam.update(astate, length);
+    // With confidence trained up, the local value is served.
+    EXPECT_FALSE(cam.predict(astate).fromGlobal);
+}
+
 TEST(GlobalHistory, EmptyPredictsZero)
 {
     GlobalRunLengthHistory history;
@@ -168,6 +211,29 @@ TEST(CamPredictor, LruVictimSelection)
     EXPECT_TRUE(cam.predict(2).fromGlobal); // evicted: global fallback
 }
 
+TEST(CamPredictor, FullOccupancyEvictsExactlyTheLruEntry)
+{
+    // The paper's design point: a 200-entry CAM at full occupancy
+    // seeing a 201st distinct AState must evict the least-recently
+    // used entry and nothing else.
+    CamPredictor cam; // default 200 entries
+    ASSERT_EQ(cam.capacity(), 200u);
+    for (std::uint64_t a = 0; a < 200; ++a)
+        cam.update(a, 100 * (a + 1));
+    EXPECT_EQ(cam.occupancy(), 200u);
+
+    // Touch every entry except AState 0 so 0 becomes the LRU victim.
+    for (std::uint64_t a = 1; a < 200; ++a)
+        EXPECT_TRUE(cam.predict(a).tableHit);
+
+    cam.update(200, 777); // 201st distinct AState
+    EXPECT_EQ(cam.occupancy(), 200u); // still full, nothing leaked
+    EXPECT_FALSE(cam.predict(0).tableHit); // LRU evicted
+    EXPECT_TRUE(cam.predict(200).tableHit); // newcomer resident
+    for (std::uint64_t a = 1; a < 200; ++a)
+        EXPECT_TRUE(cam.predict(a).tableHit) << "astate " << a;
+}
+
 TEST(CamPredictor, PaperStorageBudget)
 {
     CamPredictor cam;
@@ -192,6 +258,38 @@ TEST(DirectMappedPredictor, AliasingSharesEntries)
     dm.update(5, 100);
     dm.update(15, 100);
     EXPECT_FALSE(dm.predict(15).fromGlobal); // inherits the alias entry
+}
+
+TEST(DirectMappedPredictor, AliasedAStatesTrainAndOverwrite)
+{
+    // Tag-less design: two AStates mapping to the same index share one
+    // entry. The second AState trains the first's entry (confidence
+    // moves on the stored value) and overwrites the stored length.
+    DirectMappedPredictor dm(1500); // paper-sized table
+    const std::uint64_t a = 7;
+    const std::uint64_t b = 7 + 1500; // same index as a
+
+    dm.update(a, 1000);
+    dm.update(a, 1000); // confidence now > 0; local value served
+    EXPECT_FALSE(dm.predict(a).fromGlobal);
+    EXPECT_EQ(dm.predict(a).length, 1000u);
+
+    // The alias observes a very different length: confidence trains
+    // down on the stored 1000 and the entry is overwritten.
+    dm.update(b, 50);
+    EXPECT_TRUE(dm.predict(b).tableHit);
+    EXPECT_TRUE(dm.predict(a).tableHit);
+    // Both AStates now see the alias-overwritten entry; the stale
+    // confidence still serves the new local value.
+    EXPECT_EQ(dm.predict(b).fromGlobal ? 0u : dm.predict(b).length,
+              dm.predict(a).fromGlobal ? 0u : dm.predict(a).length);
+
+    // Drive confidence to zero with another out-of-tolerance alias
+    // update: predictions fall back to the global history.
+    dm.update(a, 5000);
+    dm.update(b, 40);
+    EXPECT_TRUE(dm.predict(a).fromGlobal);
+    EXPECT_TRUE(dm.predict(b).fromGlobal);
 }
 
 TEST(InfinitePredictor, NeverEvicts)

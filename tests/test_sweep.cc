@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner, the baseline cache's
+ * concurrency behavior, and the JSON report artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "system/sweep.hh"
+
+namespace oscar
+{
+namespace
+{
+
+/** Short runs keep the suite fast; determinism is length-independent. */
+SystemConfig
+quickConfig(WorkloadKind kind, InstCount n, Cycle latency,
+            std::uint64_t seed = 42)
+{
+    SystemConfig config =
+        ExperimentRunner::hardwareConfig(kind, n, latency, seed);
+    config.warmupInstructions = 60'000;
+    config.measureInstructions = 150'000;
+    return config;
+}
+
+/** An 8+ point grid mixing workloads, thresholds and latencies. */
+std::vector<SweepPoint>
+sampleGrid()
+{
+    std::vector<SweepPoint> points;
+    int i = 0;
+    for (WorkloadKind kind :
+         {WorkloadKind::Apache, WorkloadKind::SpecJbb}) {
+        for (InstCount n : {InstCount(100), InstCount(1000)}) {
+            for (Cycle latency : {Cycle(100), Cycle(5000)}) {
+                SweepPoint point;
+                point.label = "p" + std::to_string(i++);
+                point.config = quickConfig(kind, n, latency);
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    return points;
+}
+
+TEST(JsonWriter, ProducesStructuredDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "a\"b\\c\n");
+    w.field("count", std::uint64_t(3));
+    w.field("ratio", 0.5);
+    w.field("flag", true);
+    w.key("list");
+    w.beginArray();
+    w.value(std::uint64_t(1));
+    w.value(std::uint64_t(2));
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(w.str(), "{\"name\":\"a\\\"b\\\\c\\n\",\"count\":3,"
+                       "\"ratio\":0.5,\"flag\":true,\"list\":[1,2]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeZero)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1.0 / 0.0), "0");
+    EXPECT_EQ(jsonNumber(0.0 / 0.0), "0");
+}
+
+TEST(SweepRunner, SequentialMatchesDirectExecution)
+{
+    ExperimentRunner::clearBaselineCache();
+    SweepPoint point;
+    point.label = "direct";
+    point.config = quickConfig(WorkloadKind::Apache, 100, 1000);
+
+    ParallelSweepRunner runner({1});
+    const auto results = runner.run({point});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+
+    const SimResults direct = ExperimentRunner::run(point.config);
+    EXPECT_EQ(results[0].results.throughput, direct.throughput);
+    EXPECT_EQ(results[0].results.retired, direct.retired);
+    EXPECT_GT(results[0].normalized, 0.0);
+    EXPECT_GE(results[0].wallMs, 0.0);
+}
+
+TEST(SweepRunner, ParallelResultsAreByteIdenticalToSequential)
+{
+    const std::vector<SweepPoint> points = sampleGrid();
+    ASSERT_GE(points.size(), 8u);
+
+    ExperimentRunner::clearBaselineCache();
+    const auto sequential = ParallelSweepRunner({1}).run(points);
+    ExperimentRunner::clearBaselineCache();
+    const auto parallel = ParallelSweepRunner({4}).run(points);
+
+    ASSERT_EQ(sequential.size(), points.size());
+    ASSERT_EQ(parallel.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(sequential[i].ok) << sequential[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        // Byte-identical serialization (wall-clock excluded) is the
+        // determinism contract the ISSUE acceptance names.
+        EXPECT_EQ(sweepPointResultsJson(sequential[i]),
+                  sweepPointResultsJson(parallel[i]))
+            << "point " << i << " (" << points[i].label << ")";
+    }
+}
+
+TEST(SweepRunner, FailedPointIsIsolated)
+{
+    std::vector<SweepPoint> points;
+
+    SweepPoint good;
+    good.label = "good";
+    good.config = quickConfig(WorkloadKind::Apache, 100, 1000);
+    points.push_back(good);
+
+    SweepPoint bad;
+    bad.label = "bad";
+    bad.config = quickConfig(WorkloadKind::Apache, 100, 1000);
+    bad.config.userCores = 0; // validate() calls oscar_fatal
+    points.push_back(bad);
+
+    SweepPoint tail;
+    tail.label = "tail";
+    tail.config = quickConfig(WorkloadKind::Derby, 1000, 100);
+    points.push_back(tail);
+
+    for (unsigned jobs : {1u, 3u}) {
+        ExperimentRunner::clearBaselineCache();
+        const auto results = ParallelSweepRunner({jobs}).run(points);
+        ASSERT_EQ(results.size(), 3u);
+        EXPECT_TRUE(results[0].ok) << results[0].error;
+        EXPECT_FALSE(results[1].ok);
+        EXPECT_NE(results[1].error.find("user core"),
+                  std::string::npos)
+            << results[1].error;
+        EXPECT_TRUE(results[2].ok) << results[2].error;
+    }
+}
+
+TEST(SweepRunner, EffectiveJobsClampsToPointCount)
+{
+    EXPECT_EQ(ParallelSweepRunner({8}).effectiveJobs(3), 3u);
+    EXPECT_EQ(ParallelSweepRunner({2}).effectiveJobs(10), 2u);
+    EXPECT_GE(ParallelSweepRunner({0}).effectiveJobs(100), 1u);
+}
+
+TEST(SweepRunner, EmptySweepReturnsNoResults)
+{
+    EXPECT_TRUE(ParallelSweepRunner({4}).run({}).empty());
+}
+
+TEST(BaselineCache, ConcurrentRequestsComputeOnce)
+{
+    ExperimentRunner::clearBaselineCache();
+    // All threads request the same baseline; the compute-once future
+    // must hand every one of them an identical result.
+    std::vector<std::thread> threads;
+    std::vector<double> throughputs(6, 0.0);
+    for (std::size_t t = 0; t < throughputs.size(); ++t) {
+        threads.emplace_back([t, &throughputs]() {
+            const SimResults base = ExperimentRunner::baselineResults(
+                WorkloadKind::Apache, 42, 150'000, 60'000);
+            throughputs[t] = base.throughput;
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (std::size_t t = 1; t < throughputs.size(); ++t)
+        EXPECT_EQ(throughputs[t], throughputs[0]);
+    EXPECT_GT(throughputs[0], 0.0);
+}
+
+TEST(SweepReport, EmitsValidSchemaAndWritesFile)
+{
+    std::vector<SweepPoint> points;
+    SweepPoint dynamic;
+    dynamic.label = "dynamic";
+    dynamic.config = quickConfig(WorkloadKind::Apache, 1000, 1000);
+    dynamic.config.dynamicThreshold = true;
+    points.push_back(dynamic);
+
+    SweepPoint bad;
+    bad.label = "bad";
+    bad.config = quickConfig(WorkloadKind::Apache, 100, 1000);
+    bad.config.userCores = 0;
+    points.push_back(bad);
+
+    ExperimentRunner::clearBaselineCache();
+    const auto results = ParallelSweepRunner({2}).run(points);
+
+    SweepReport report("unit-test", 2);
+    report.addAll(results);
+    const std::string json = report.toJson();
+
+    // Structural sanity: balanced braces/brackets, expected fields.
+    std::int64_t braces = 0;
+    std::int64_t brackets = 0;
+    for (char c : json) {
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+        ASSERT_GE(braces, 0);
+        ASSERT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_NE(json.find("\"schema\":\"oscar.sweep.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"title\":\"unit-test\""), std::string::npos);
+    EXPECT_NE(json.find("\"normalized_throughput\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"threshold_trajectory\""),
+              std::string::npos);
+    // The dynamic point ran the controller: its trajectory must hold
+    // at least the measurement-start sample.
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[0].results.thresholdTrajectory.empty());
+    // The failed point reports ok=false and carries no results blob.
+    EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+
+    const std::string path = "test_sweep_report.sweep.json";
+    ASSERT_TRUE(report.writeTo(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string on_disk((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(on_disk, json + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(SweepReport, WriteToBadPathFailsGracefully)
+{
+    SweepReport report("unwritable", 1);
+    std::string captured;
+    setLogCapture(&captured);
+    EXPECT_FALSE(report.writeTo("/nonexistent-dir/report.json"));
+    setLogCapture(nullptr);
+    EXPECT_NE(captured.find("sweep report"), std::string::npos);
+}
+
+TEST(ScopedFatalThrows, ConvertsFatalToException)
+{
+    SystemConfig config;
+    config.userCores = 0;
+    bool threw = false;
+    try {
+        ScopedFatalThrows guard;
+        config.validate();
+    } catch (const FatalError &e) {
+        threw = true;
+        EXPECT_NE(std::string(e.what()).find("user core"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST(ScopedFatalThrowsDeath, FatalStillExitsOutsideGuard)
+{
+    SystemConfig config;
+    config.userCores = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace oscar

@@ -145,6 +145,102 @@ TEST(ThresholdController, LadderEdgesSkipMissingNeighbours)
     EXPECT_EQ(ctrl.currentThreshold(), 1000u);
 }
 
+TEST(ThresholdController, DrivenToBottomOfLadderStaysInBounds)
+{
+    // Regression: currentThreshold() indexes ladder[currentIndex - 1]
+    // in SampleLower; drive the controller all the way down and keep
+    // sampling rounds going at index 0 to confirm no underflow.
+    ThresholdConfig cfg = testConfig(); // ladder {0, 100, 1000, 10000}
+    ThresholdController ctrl(cfg);
+    ctrl.begin(0.5); // starts at 1000 (index 2)
+
+    auto ladder_holds = [&](InstCount n) {
+        for (InstCount rung : cfg.ladder) {
+            if (rung == n)
+                return true;
+        }
+        return false;
+    };
+
+    // Each round: lower always wins by a wide margin.
+    for (int round = 0; round < 6; ++round) {
+        EXPECT_EQ(ctrl.phase(),
+                  ThresholdController::Phase::SampleCurrent);
+        EXPECT_TRUE(ladder_holds(ctrl.currentThreshold()));
+        ctrl.onEpochEnd(0.50); // incumbent sample
+        if (ctrl.phase() == ThresholdController::Phase::SampleLower) {
+            EXPECT_TRUE(ladder_holds(ctrl.currentThreshold()));
+            ctrl.onEpochEnd(0.95); // lower wins
+        }
+        if (ctrl.phase() == ThresholdController::Phase::SampleUpper) {
+            EXPECT_TRUE(ladder_holds(ctrl.currentThreshold()));
+            ctrl.onEpochEnd(0.10); // upper loses
+        }
+        EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+        EXPECT_TRUE(ladder_holds(ctrl.currentThreshold()));
+        ctrl.onEpochEnd(0.50); // run epoch ends -> next round
+    }
+    // Converged to the ladder bottom and stayed there.
+    EXPECT_EQ(ctrl.currentThreshold(), 0u);
+}
+
+TEST(ThresholdController, DrivenToTopOfLadderStaysInBounds)
+{
+    ThresholdConfig cfg = testConfig();
+    ThresholdController ctrl(cfg);
+    ctrl.begin(0.5); // starts at 1000 (index 2); top is 10000
+
+    for (int round = 0; round < 6; ++round) {
+        ctrl.onEpochEnd(0.50); // incumbent sample
+        if (ctrl.phase() == ThresholdController::Phase::SampleLower)
+            ctrl.onEpochEnd(0.10); // lower loses
+        if (ctrl.phase() == ThresholdController::Phase::SampleUpper)
+            ctrl.onEpochEnd(0.95); // upper wins
+        EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+        EXPECT_LE(ctrl.currentThreshold(), cfg.ladder.back());
+        ctrl.onEpochEnd(0.50);
+    }
+    EXPECT_EQ(ctrl.currentThreshold(), cfg.ladder.back());
+}
+
+TEST(ThresholdController, SingleRungLadderNeverSamplesNeighbours)
+{
+    ThresholdConfig cfg = testConfig();
+    cfg.ladder = {500};
+    ThresholdController ctrl(cfg);
+    ctrl.begin(0.5);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(ctrl.currentThreshold(), 500u);
+        EXPECT_TRUE(ctrl.phase() ==
+                        ThresholdController::Phase::SampleCurrent ||
+                    ctrl.phase() == ThresholdController::Phase::Run);
+        ctrl.onEpochEnd(0.80);
+    }
+    EXPECT_EQ(ctrl.switches(), 0u);
+}
+
+TEST(ThresholdController, RebeginResetsSamplingState)
+{
+    // begin() mid-round must not leave stale neighbour flags that a
+    // later round at a ladder edge could trip over.
+    ThresholdConfig cfg = testConfig();
+    ThresholdController ctrl(cfg);
+    ctrl.begin(0.5); // index 2
+    ctrl.onEpochEnd(0.80); // -> SampleLower (flags set for index 2)
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleLower);
+
+    ctrl.begin(0.02); // restart at the top rung (10000)
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleCurrent);
+    EXPECT_EQ(ctrl.currentThreshold(), 10000u);
+    ctrl.onEpochEnd(0.80);
+    // Top rung: only a lower neighbour to sample.
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::SampleLower);
+    EXPECT_EQ(ctrl.currentThreshold(), 1000u);
+    ctrl.onEpochEnd(0.10); // lower loses; round concludes in bounds
+    EXPECT_EQ(ctrl.phase(), ThresholdController::Phase::Run);
+    EXPECT_EQ(ctrl.currentThreshold(), 10000u);
+}
+
 TEST(ThresholdController, EpochScaleShrinksEpochs)
 {
     ThresholdConfig cfg = testConfig();
