@@ -131,7 +131,8 @@ main(int argc, char **argv)
                 "off-load latency ==\n(1.000 = uni-processor baseline; "
                 "HI predictor, single-cycle decisions)\n\n");
 
-    const std::vector<SweepPoint> points = buildPoints();
+    std::vector<SweepPoint> points = buildPoints();
+    applySweepTracePaths(points, opts.tracePath);
     ParallelSweepRunner runner({opts.jobs});
     const auto results = runner.run(points);
     render(results);

@@ -154,7 +154,8 @@ main(int argc, char **argv)
     for (WorkloadKind kind : comparisonWorkloads())
         profiles[kind] = ExperimentRunner::profileServices(kind);
 
-    const std::vector<SweepPoint> points = buildPoints(profiles);
+    std::vector<SweepPoint> points = buildPoints(profiles);
+    applySweepTracePaths(points, opts.tracePath);
     ParallelSweepRunner runner({opts.jobs});
     const auto results = runner.run(points);
     render(results);

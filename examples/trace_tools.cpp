@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Command-line tooling around `oscar.trace.v1` traces:
+ *
+ *   trace_tools list
+ *       Print the golden-trace catalogue (name, workload, policy).
+ *
+ *   trace_tools capture NAME [--out PATH]
+ *       Run the named golden scenario and write its trace (default
+ *       <NAME>.trace.jsonl). Re-blessing a golden after an intended
+ *       behaviour change is `capture NAME --out tests/golden/...`.
+ *
+ *   trace_tools diff LEFT RIGHT
+ *       Byte-compare two trace files line by line; print the first
+ *       divergence with context. Exits 1 when the traces differ,
+ *       which makes the tool usable from scripts and CI.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/trace_diff.hh"
+#include "system/trace_capture.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+int
+runList()
+{
+    std::printf("%-20s %-10s %-8s %s\n", "name", "workload", "policy",
+                "size");
+    for (const GoldenTraceConfig &golden : goldenTraceConfigs()) {
+        std::printf("%-20s %-10s %-8s warmup=%llu measure=%llu\n",
+                    golden.name.c_str(),
+                    workloadName(golden.config.workload).c_str(),
+                    policyShortName(golden.config.policy),
+                    static_cast<unsigned long long>(
+                        golden.config.warmupInstructions),
+                    static_cast<unsigned long long>(
+                        golden.config.measureInstructions));
+    }
+    return 0;
+}
+
+int
+runCapture(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s capture NAME [--out PATH]\n", argv[0]);
+        return 2;
+    }
+    const std::string name = argv[2];
+    std::string out = name + ".trace.jsonl";
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown capture option '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    const GoldenTraceConfig *golden = findGoldenTraceConfig(name);
+    if (golden == nullptr) {
+        std::fprintf(stderr,
+                     "unknown golden scenario '%s' (see 'list')\n",
+                     name.c_str());
+        return 2;
+    }
+    if (!writeTraceFile(golden->config, out)) {
+        std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}
+
+int
+runDiff(int argc, char **argv)
+{
+    if (argc != 4) {
+        std::fprintf(stderr, "usage: %s diff LEFT RIGHT\n", argv[0]);
+        return 2;
+    }
+    const TraceDiffReport report = diffTraceFiles(argv[2], argv[3]);
+    std::printf("%s", report.format().c_str());
+    return report.identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s {list | capture NAME [--out PATH] | "
+                     "diff LEFT RIGHT}\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string command = argv[1];
+    if (command == "list")
+        return runList();
+    if (command == "capture")
+        return runCapture(argc, argv);
+    if (command == "diff")
+        return runDiff(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 2;
+}

@@ -6,6 +6,7 @@
 #include "core/offload_policy.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace oscar
 {
@@ -160,7 +161,20 @@ PredictivePolicy::decide(const OsInvocation &invocation)
     decision.predictedLength = decision.prediction.length;
     decision.predictorUsed = true;
     decision.cost = cost;
-    decision.offload = decision.predictedLength > thresh.threshold();
+    const InstCount n = thresh.threshold();
+    decision.offload = decision.predictedLength > n;
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::PredictorLookup;
+        event.thread = traceThread;
+        event.astate = invocation.astate();
+        event.predicted = decision.predictedLength;
+        event.confidence = decision.prediction.confidence;
+        event.fromGlobal = decision.prediction.fromGlobal;
+        event.tableHit = decision.prediction.tableHit;
+        event.threshold = n;
+        trace->emit(event);
+    }
     return decision;
 }
 

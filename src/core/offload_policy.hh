@@ -36,6 +36,8 @@
 namespace oscar
 {
 
+class TraceSink;
+
 /** What the policy decided for one invocation. */
 struct OffloadDecision
 {
@@ -160,6 +162,24 @@ class OffloadPolicy
 
     /** Display name. */
     std::string name() const { return policyShortName(kind()); }
+
+    /**
+     * Attach a trace sink; predictive policies emit one lookup event
+     * per decision. Null detaches (the default: no tracing).
+     *
+     * @param sink Destination, or nullptr.
+     * @param thread Thread id stamped on emitted events.
+     */
+    void
+    setTraceSink(TraceSink *sink, std::uint32_t thread)
+    {
+        trace = sink;
+        traceThread = thread;
+    }
+
+  protected:
+    TraceSink *trace = nullptr;
+    std::uint32_t traceThread = 0;
 };
 
 /**

@@ -79,6 +79,7 @@ CamPredictor::predict(std::uint64_t astate)
     }
     entry->lastUse = ++useClock;
     pred.tableHit = true;
+    pred.confidence = entry->conf;
     if (entry->conf == 0) {
         // Low-confidence local entries lose to the global prediction.
         pred.length = globalHistory.prediction();
@@ -163,6 +164,8 @@ DirectMappedPredictor::predict(std::uint64_t astate)
 {
     RunLengthPrediction pred;
     const Entry &entry = table[index(astate)];
+    if (entry.valid)
+        pred.confidence = entry.conf;
     if (!entry.valid || entry.conf == 0) {
         pred.length = globalHistory.prediction();
         pred.fromGlobal = true;
@@ -213,6 +216,7 @@ InfinitePredictor::predict(std::uint64_t astate)
         return pred;
     }
     pred.tableHit = true;
+    pred.confidence = it->second.conf;
     if (it->second.conf == 0) {
         pred.length = globalHistory.prediction();
         pred.fromGlobal = true;

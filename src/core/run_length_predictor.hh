@@ -44,6 +44,11 @@ struct RunLengthPrediction
     bool fromGlobal = false;
     /** True when the AState was found in the table. */
     bool tableHit = false;
+    /**
+     * The hit entry's 2-bit confidence counter (0 on a table miss).
+     * Exposed for traces and the saturation property tests.
+     */
+    std::uint8_t confidence = 0;
 };
 
 /**

@@ -27,6 +27,8 @@
 namespace oscar
 {
 
+class TraceSink;
+
 /** Tuning knobs of the dynamic-N mechanism (paper defaults). */
 struct ThresholdConfig
 {
@@ -110,6 +112,12 @@ class ThresholdController
     /** Phase name for traces. */
     static std::string phaseName(Phase phase);
 
+    /**
+     * Attach a trace sink; the controller emits a threshold-change
+     * event from begin() and whenever a sampling round moves N.
+     */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
   private:
     /** Index of the incumbent N in the ladder. */
     std::size_t ladderIndex() const { return currentIndex; }
@@ -135,6 +143,8 @@ class ThresholdController
 
     std::uint64_t switchCount = 0;
     std::uint64_t roundCount = 0;
+
+    TraceSink *trace = nullptr;
 };
 
 } // namespace oscar

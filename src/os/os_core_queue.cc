@@ -6,6 +6,7 @@
 #include "os/os_core_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace oscar
 {
@@ -18,9 +19,23 @@ OsCoreQueue::offer(const OffloadRequest &req, Cycle now)
         coreBusy = true;
         delayStat.add(0.0);
         ++admittedCount;
+        if (trace != nullptr) {
+            TraceEvent event;
+            event.kind = TraceEventKind::QueueEnter;
+            event.thread = req.threadId;
+            event.depth = 0;
+            trace->emit(event);
+        }
         return true;
     }
     waiting.push_back(req);
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::QueueEnter;
+        event.thread = req.threadId;
+        event.depth = waiting.size();
+        trace->emit(event);
+    }
     return false;
 }
 
@@ -37,6 +52,13 @@ OsCoreQueue::completeCurrent(Cycle now, OffloadRequest &next_out)
     oscar_assert(now >= next_out.arrival);
     delayStat.add(static_cast<double>(now - next_out.arrival));
     ++admittedCount;
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::QueueExit;
+        event.thread = next_out.threadId;
+        event.latency = now - next_out.arrival;
+        trace->emit(event);
+    }
     return true;
 }
 

@@ -20,6 +20,8 @@
 namespace oscar
 {
 
+class TraceSink;
+
 /** One off-loaded request waiting for the OS core. */
 struct OffloadRequest
 {
@@ -69,11 +71,19 @@ class OsCoreQueue
     /** Reset statistics (not occupancy). */
     void resetStats();
 
+    /**
+     * Attach a trace sink: every offer emits a queue-enter event
+     * (depth 0 when the OS core was idle and service starts at once)
+     * and every delayed admission a queue-exit event with the wait.
+     */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
   private:
     std::deque<OffloadRequest> waiting;
     bool coreBusy = false;
     RunningStat delayStat;
     std::uint64_t admittedCount = 0;
+    TraceSink *trace = nullptr;
 };
 
 } // namespace oscar

@@ -5,8 +5,10 @@
 
 #include "sim/json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <system_error>
 
 #include "sim/logging.hh"
 
@@ -47,9 +49,16 @@ jsonNumber(double value)
     // invalid document.
     if (!std::isfinite(value))
         return "0";
+    // std::to_chars is locale-independent and emits the shortest
+    // representation that round-trips, so documents are byte-stable no
+    // matter what LC_NUMERIC the host process runs under (snprintf
+    // "%.17g" would localize the decimal point).
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    return buf;
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), value,
+                      std::chars_format::general);
+    oscar_assert(res.ec == std::errc());
+    return std::string(buf, res.ptr);
 }
 
 void

@@ -121,6 +121,8 @@ LogHistogram::add(std::uint64_t value)
     b = std::min(b, static_cast<unsigned>(buckets.size() - 1));
     ++buckets[b];
     ++samples;
+    if (value == 0)
+        ++zeroCount;
     valueSum += static_cast<double>(value);
 }
 
@@ -145,8 +147,13 @@ LogHistogram::quantile(double q) const
     oscar_assert(q >= 0.0 && q <= 1.0);
     if (samples == 0)
         return 0;
-    const auto target = static_cast<std::uint64_t>(
+    // The loop below finds the bucket of the (target+1)-th sample, so
+    // target must stay a valid 0-based rank: q = 1.0 would otherwise
+    // compute target == samples and fall through to the top bucket's
+    // bound regardless of the data.
+    auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(samples));
+    target = std::min(target, samples - 1);
     std::uint64_t seen = 0;
     for (unsigned b = 0; b < buckets.size(); ++b) {
         seen += buckets[b];
@@ -161,7 +168,16 @@ LogHistogram::fractionAbove(std::uint64_t value) const
 {
     if (samples == 0)
         return 0.0;
-    // Conservative: count whole buckets whose lower bound exceeds value.
+    // Bucket 0 holds both 0 and 1, so "above 0" cannot be answered
+    // from bucket counts alone; the zero tally makes it exact.
+    if (value == 0) {
+        return static_cast<double>(samples - zeroCount) /
+               static_cast<double>(samples);
+    }
+    // Count whole buckets whose lower bound exceeds value. Exact for
+    // bucket-boundary values (2^k - 1, the bucket upper bounds, and
+    // 1); conservative (an undercount) in between, since a bucket
+    // straddling value is excluded entirely.
     std::uint64_t above = 0;
     for (unsigned b = 0; b < buckets.size(); ++b) {
         const std::uint64_t lower = b == 0 ? 0 : (1ULL << b);
@@ -176,6 +192,7 @@ LogHistogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     samples = 0;
+    zeroCount = 0;
     valueSum = 0.0;
 }
 

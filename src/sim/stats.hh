@@ -118,13 +118,21 @@ class LogHistogram
     double mean() const;
 
     /**
-     * Approximate quantile (bucket upper bound containing quantile q).
+     * Approximate quantile: the upper bound of the bucket holding the
+     * sample of 0-based rank min(floor(q * count), count - 1). Both
+     * endpoints are well-defined: quantile(0) is the bound of the
+     * lowest occupied bucket, quantile(1) of the highest occupied
+     * bucket, and an empty histogram returns 0 for every q.
      *
      * @param q Quantile in [0, 1].
      */
     std::uint64_t quantile(double q) const;
 
-    /** Fraction of samples strictly greater than the given value. */
+    /**
+     * Fraction of samples strictly greater than the given value: exact
+     * for 0, 1 and bucket upper bounds (2^k - 1), a lower bound for
+     * values inside a bucket; 0 when empty.
+     */
     double fractionAbove(std::uint64_t value) const;
 
     /** Forget all samples. */
@@ -136,6 +144,8 @@ class LogHistogram
   private:
     std::vector<std::uint64_t> buckets;
     std::uint64_t samples = 0;
+    /** Samples with value 0 (shares bucket 0 with value 1). */
+    std::uint64_t zeroCount = 0;
     double valueSum = 0.0;
 };
 

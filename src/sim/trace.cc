@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Implementation of the trace recorder.
+ */
+
+#include "sim/trace.hh"
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::InvocationBegin: return "begin";
+      case TraceEventKind::PredictorLookup: return "lookup";
+      case TraceEventKind::Decision: return "decision";
+      case TraceEventKind::Migration: return "migrate";
+      case TraceEventKind::QueueEnter: return "qenter";
+      case TraceEventKind::QueueExit: return "qexit";
+      case TraceEventKind::InvocationEnd: return "end";
+      case TraceEventKind::EpochEnd: return "epoch";
+      case TraceEventKind::ThresholdChange: return "nswitch";
+      case TraceEventKind::MeasurementStart: return "measure";
+    }
+    oscar_panic("unknown trace event kind %u",
+                static_cast<unsigned>(kind));
+}
+
+namespace
+{
+
+/** AState hashes are emitted as hex strings: lossless at 64 bits and
+ *  greppable, where a JSON number would exceed 2^53. */
+std::string
+hexValue(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace
+
+std::string
+traceEventJson(const TraceEvent &event)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("k", traceEventKindName(event.kind));
+    w.field("cy", event.cycle);
+    if (event.thread != kNoTraceThread)
+        w.field("t", event.thread);
+    if (event.service != kNoTraceService)
+        w.field("sv", static_cast<unsigned>(event.service));
+
+    switch (event.kind) {
+      case TraceEventKind::InvocationBegin:
+        w.field("as", hexValue(event.astate));
+        w.field("len", event.actual);
+        break;
+      case TraceEventKind::PredictorLookup:
+        w.field("as", hexValue(event.astate));
+        w.field("pr", event.predicted);
+        w.field("cf", static_cast<unsigned>(event.confidence));
+        w.field("gl", event.fromGlobal);
+        w.field("hit", event.tableHit);
+        w.field("n", event.threshold);
+        break;
+      case TraceEventKind::Decision:
+        w.field("off", event.offload);
+        w.field("cost", event.latency);
+        w.field("pr", event.predicted);
+        w.field("pu", event.predictorUsed);
+        break;
+      case TraceEventKind::Migration:
+        w.field("dir", event.toOs ? "os" : "user");
+        w.field("lat", event.latency);
+        break;
+      case TraceEventKind::QueueEnter:
+        w.field("d", event.depth);
+        break;
+      case TraceEventKind::QueueExit:
+        w.field("wait", event.latency);
+        break;
+      case TraceEventKind::InvocationEnd:
+        w.field("len", event.actual);
+        w.field("off", event.offload);
+        break;
+      case TraceEventKind::EpochEnd:
+        w.field("i", event.instruction);
+        w.field("n", event.threshold);
+        w.field("fb", event.feedback);
+        break;
+      case TraceEventKind::ThresholdChange:
+        w.field("n0", event.thresholdBefore);
+        w.field("n", event.threshold);
+        w.field("round", event.depth);
+        break;
+      case TraceEventKind::MeasurementStart:
+        w.field("i", event.instruction);
+        w.field("fb", event.feedback);
+        break;
+    }
+    w.endObject();
+    oscar_assert(w.complete());
+    return w.str();
+}
+
+// ---------------------------------------------------------------------
+// TraceSink
+
+void
+TraceSink::emit(TraceEvent event)
+{
+    if (clock != nullptr)
+        event.cycle = clock->now();
+    ++emittedCount;
+    record(event);
+}
+
+// ---------------------------------------------------------------------
+// MemoryTraceSink
+
+MemoryTraceSink::MemoryTraceSink(std::size_t capacity)
+    : cap(capacity)
+{
+    if (cap != 0)
+        ring.reserve(cap);
+}
+
+void
+MemoryTraceSink::record(const TraceEvent &event)
+{
+    if (cap == 0) {
+        ring.push_back(event);
+        return;
+    }
+    if (ring.size() < cap) {
+        ring.push_back(event);
+        head = ring.size() % cap;
+        return;
+    }
+    ring[head] = event;
+    head = (head + 1) % cap;
+    wrapped = true;
+    ++droppedCount;
+}
+
+std::vector<TraceEvent>
+MemoryTraceSink::events() const
+{
+    if (cap == 0 || !wrapped)
+        return ring;
+    std::vector<TraceEvent> ordered;
+    ordered.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        ordered.push_back(ring[(head + i) % ring.size()]);
+    return ordered;
+}
+
+std::vector<std::string>
+MemoryTraceSink::lines() const
+{
+    std::vector<std::string> out;
+    const std::vector<TraceEvent> ordered = events();
+    out.reserve(ordered.size());
+    for (const TraceEvent &event : ordered)
+        out.push_back(traceEventJson(event));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// JsonlTraceSink
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path,
+                               const std::string &header_line)
+    : out(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out) {
+        oscar_warn("cannot open trace file '%s'; tracing disabled",
+                   path.c_str());
+        return;
+    }
+    if (!header_line.empty())
+        out << header_line << '\n';
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    flush();
+}
+
+void
+JsonlTraceSink::flush()
+{
+    if (out)
+        out.flush();
+}
+
+void
+JsonlTraceSink::record(const TraceEvent &event)
+{
+    if (out)
+        out << traceEventJson(event) << '\n';
+}
+
+} // namespace oscar

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Invocation-level trace recording (`oscar.trace.v1`).
+ *
+ * The off-loading mechanism lives or dies on per-invocation details —
+ * the AState hash, the predicted vs. actual run length, the decision
+ * at threshold N, the migration and queueing costs — yet aggregate
+ * results only show their sum. TraceSink gives every decision point a
+ * structured event stream:
+ *
+ *  - System emits invocation begin/end, decisions, migrations, epoch
+ *    boundaries and the measurement-start marker;
+ *  - PredictivePolicy emits one predictor-lookup event per decision
+ *    (AState, prediction, confidence, threshold in force);
+ *  - OsCoreQueue emits queue enter/exit events;
+ *  - ThresholdController emits threshold-change events.
+ *
+ * Emission sites guard with a null check, so a trace-disabled run
+ * costs one predicted-not-taken branch per site. Since simulation is
+ * single-threaded per System, events arrive in a deterministic total
+ * order: the same configuration and seed always produce a
+ * byte-identical serialized trace, which is what the replay and
+ * golden-trace regression tests assert.
+ *
+ * Two sinks are provided: MemoryTraceSink (unbounded or ring-buffered,
+ * for tests) and JsonlTraceSink (streaming `oscar.trace.v1` JSONL
+ * writer, for bench artifacts). The serialized schema is documented in
+ * DESIGN.md §trace.
+ */
+
+#ifndef OSCAR_SIM_TRACE_HH_
+#define OSCAR_SIM_TRACE_HH_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+class EventQueue;
+
+/** Schema identifier emitted in every trace header. */
+inline constexpr const char *kTraceSchema = "oscar.trace.v1";
+
+/** Sentinel for "no thread attached to this event". */
+inline constexpr std::uint32_t kNoTraceThread = 0xFFFFFFFFu;
+
+/** Sentinel for "no service attached to this event". */
+inline constexpr std::uint16_t kNoTraceService = 0xFFFFu;
+
+/** What happened; selects which TraceEvent fields are meaningful. */
+enum class TraceEventKind : std::uint8_t
+{
+    /** A thread entered privileged mode (invocation dispatched). */
+    InvocationBegin,
+    /** A predictive policy consulted its run-length predictor. */
+    PredictorLookup,
+    /** The off-load decision for one invocation. */
+    Decision,
+    /** A thread migrated between a user core and the OS core. */
+    Migration,
+    /** An off-load request reached a busy OS core and queued. */
+    QueueEnter,
+    /** A queued request was admitted to the OS core. */
+    QueueExit,
+    /** An invocation's outcome (actual run length) became known. */
+    InvocationEnd,
+    /** A dynamic-N controller epoch ended. */
+    EpochEnd,
+    /** The threshold N in force changed (or was initialized). */
+    ThresholdChange,
+    /** Warmup ended; the measured region begins. */
+    MeasurementStart,
+};
+
+/** Stable serialization name of an event kind. */
+const char *traceEventKindName(TraceEventKind kind);
+
+/**
+ * One trace record. A flat struct: every field exists for every kind,
+ * but only the subset listed per kind in DESIGN.md is serialized.
+ */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::InvocationBegin;
+    /** Emission cycle (stamped by the sink when a clock is attached). */
+    Cycle cycle = 0;
+    /** Emitting thread, or kNoTraceThread. */
+    std::uint32_t thread = kNoTraceThread;
+    /** Service id, or kNoTraceService. */
+    std::uint16_t service = kNoTraceService;
+    /** AState hash (begin/lookup events). */
+    std::uint64_t astate = 0;
+    /** Predicted run length (lookup/decision). */
+    InstCount predicted = 0;
+    /** Actual run length: true length at begin, executed at end. */
+    InstCount actual = 0;
+    /** Threshold N in force (lookup/epoch) or the new N (nswitch). */
+    InstCount threshold = 0;
+    /** Previous N (nswitch only). */
+    InstCount thresholdBefore = 0;
+    /** Retired-instruction stamp (epoch/measure events). */
+    InstCount instruction = 0;
+    /** Cycles: decision cost, one-way migration, or queue wait. */
+    Cycle latency = 0;
+    /** Queue depth after enqueue, or controller round count. */
+    std::uint64_t depth = 0;
+    /** Predictor confidence counter value (lookup only). */
+    std::uint8_t confidence = 0;
+    /** Decision outcome / whether an ended invocation was off-loaded. */
+    bool offload = false;
+    /** Prediction came from the global fallback. */
+    bool fromGlobal = false;
+    /** Predictor table hit. */
+    bool tableHit = false;
+    /** A predictor was consulted for this decision. */
+    bool predictorUsed = false;
+    /** Migration direction: true = user core -> OS core. */
+    bool toOs = false;
+    /** Controller feedback value / warmup privileged fraction. */
+    double feedback = 0.0;
+};
+
+/** Serialize one event as a single-line JSON object (no newline). */
+std::string traceEventJson(const TraceEvent &event);
+
+/**
+ * Destination of trace events.
+ *
+ * Emitters hold a `TraceSink *` that is null when tracing is off and
+ * construct events only inside the null check, so disabled tracing is
+ * a single branch per site.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * Record one event. When a clock is attached the event's cycle is
+     * stamped with the current simulated cycle first, so emitters
+     * without cycle knowledge (predictors, the controller) still
+     * produce correctly timed records.
+     */
+    void emit(TraceEvent event);
+
+    /** Stamp subsequent events with this queue's now(); may be null. */
+    void setClock(const EventQueue *queue) { clock = queue; }
+
+    /** Events emitted into this sink (including any later dropped). */
+    std::uint64_t emitted() const { return emittedCount; }
+
+  protected:
+    /** Store or stream one (already stamped) event. */
+    virtual void record(const TraceEvent &event) = 0;
+
+  private:
+    const EventQueue *clock = nullptr;
+    std::uint64_t emittedCount = 0;
+};
+
+/**
+ * In-memory sink for tests and replay verification.
+ *
+ * With capacity 0 every event is kept; otherwise the sink is a ring
+ * buffer holding the most recent `capacity` events (dropped() counts
+ * the evicted ones) — the low-overhead flight-recorder mode.
+ */
+class MemoryTraceSink : public TraceSink
+{
+  public:
+    /** @param capacity Ring size; 0 keeps everything. */
+    explicit MemoryTraceSink(std::size_t capacity = 0);
+
+    /** Recorded events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Events evicted by the ring (0 in unbounded mode). */
+    std::uint64_t dropped() const { return droppedCount; }
+
+    /** Serialize the retained events, one JSON line each. */
+    std::vector<std::string> lines() const;
+
+  protected:
+    void record(const TraceEvent &event) override;
+
+  private:
+    std::size_t cap;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0; ///< next write position in ring mode
+    bool wrapped = false;
+    std::uint64_t droppedCount = 0;
+};
+
+/**
+ * Streaming JSONL writer: one header line (supplied by the caller,
+ * typically via traceHeader() in system/trace_capture.hh) followed by
+ * one line per event.
+ */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /**
+     * @param path Output file, truncated.
+     * @param header_line Complete header JSON object (no newline); may
+     *        be empty to omit the header.
+     */
+    JsonlTraceSink(const std::string &path,
+                   const std::string &header_line);
+
+    ~JsonlTraceSink() override;
+
+    /** False when the file could not be opened (a warning was issued). */
+    bool ok() const { return static_cast<bool>(out); }
+
+    /** Flush buffered lines to disk. */
+    void flush();
+
+  protected:
+    void record(const TraceEvent &event) override;
+
+  private:
+    std::ofstream out;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_TRACE_HH_

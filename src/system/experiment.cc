@@ -94,7 +94,15 @@ ExperimentRunner::profileServices(WorkloadKind workload,
 SimResults
 ExperimentRunner::run(const SystemConfig &config)
 {
+    return run(config, nullptr);
+}
+
+SimResults
+ExperimentRunner::run(const SystemConfig &config, TraceSink *trace)
+{
     System system(config);
+    if (trace != nullptr)
+        system.setTraceSink(trace);
     return system.run();
 }
 

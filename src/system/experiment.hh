@@ -68,6 +68,12 @@ class ExperimentRunner
     static SimResults run(const SystemConfig &config);
 
     /**
+     * Build and run a system with a trace sink attached (see
+     * sim/trace.hh). A null sink behaves exactly like run(config).
+     */
+    static SimResults run(const SystemConfig &config, TraceSink *trace);
+
+    /**
      * Run a configuration and its uni-processor baseline with the same
      * seed, returning variant throughput / baseline throughput — the
      * normalized IPC of Figures 4 and 5.

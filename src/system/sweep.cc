@@ -11,10 +11,13 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
+#include "system/trace_capture.hh"
 
 namespace oscar
 {
@@ -159,17 +162,24 @@ ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index)
         // instead of exiting, so one poisoned point cannot take down
         // the rest of the sweep.
         ScopedFatalThrows fatal_throws;
+        std::unique_ptr<JsonlTraceSink> trace;
+        if (!point.tracePath.empty()) {
+            trace = std::make_unique<JsonlTraceSink>(
+                point.tracePath, traceHeaderJson(point.config));
+        }
         if (point.normalize) {
             const SimResults base = ExperimentRunner::baselineResults(
                 point.config.workload, point.config.seed,
                 point.config.measureInstructions,
                 point.config.warmupInstructions);
-            result.results = ExperimentRunner::run(point.config);
+            result.results =
+                ExperimentRunner::run(point.config, trace.get());
             oscar_assert(base.throughput > 0.0);
             result.normalized =
                 result.results.throughput / base.throughput;
         } else {
-            result.results = ExperimentRunner::run(point.config);
+            result.results =
+                ExperimentRunner::run(point.config, trace.get());
         }
         result.ok = true;
     } catch (const std::exception &e) {
@@ -288,6 +298,28 @@ sweepPointResultsJson(const SweepPointResult &result)
     return w.str();
 }
 
+std::string
+sweepTracePath(const std::string &base, std::size_t index)
+{
+    static const std::string kExt = ".jsonl";
+    const std::string suffix = "." + std::to_string(index) + kExt;
+    if (base.size() > kExt.size() &&
+        base.compare(base.size() - kExt.size(), kExt.size(), kExt) ==
+            0) {
+        return base.substr(0, base.size() - kExt.size()) + suffix;
+    }
+    return base + suffix;
+}
+
+void
+applySweepTracePaths(std::vector<SweepPoint> &points,
+                     const std::string &base)
+{
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i].tracePath = base.empty() ? std::string()
+                                           : sweepTracePath(base, i);
+}
+
 // ---------------------------------------------------------------------
 // BenchOptions
 
@@ -299,7 +331,7 @@ BenchOptions::parse(int argc, char **argv,
     opts.jsonPath = default_json;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--jobs" || arg == "--json") {
+        if (arg == "--jobs" || arg == "--json" || arg == "--trace") {
             if (i + 1 >= argc)
                 oscar_fatal("bench option '%s' requires a value "
                             "(try --help)", arg.c_str());
@@ -316,13 +348,18 @@ BenchOptions::parse(int argc, char **argv,
             opts.jsonPath = argv[++i];
         } else if (arg == "--no-json") {
             opts.jsonPath.clear();
+        } else if (arg == "--trace") {
+            opts.tracePath = argv[++i];
         } else if (arg == "--help") {
-            std::printf("usage: %s [--jobs N] [--json PATH | --no-json]\n"
+            std::printf("usage: %s [--jobs N] [--json PATH | --no-json]"
+                        " [--trace PATH]\n"
                         "  --jobs N   worker threads (0 = all cores; "
                         "default 1)\n"
                         "  --json P   write the sweep report to P "
                         "(default %s)\n"
-                        "  --no-json  skip the report artifact\n",
+                        "  --no-json  skip the report artifact\n"
+                        "  --trace P  stream per-point oscar.trace.v1 "
+                        "files derived from P\n",
                         argv[0], default_json.c_str());
             std::exit(0);
         } else {

@@ -45,6 +45,12 @@ struct SweepPoint
      * points) and report variant/baseline normalized throughput.
      */
     bool normalize = true;
+    /**
+     * When non-empty, the point streams an `oscar.trace.v1` JSONL
+     * trace of its run to this file. Each point owns its file, so the
+     * bytes written are independent of the sweep's job count.
+     */
+    std::string tracePath;
 };
 
 /** Outcome of one sweep point. */
@@ -184,6 +190,7 @@ std::string sweepPointResultsJson(const SweepPointResult &result);
  *   --jobs N     worker threads (default 1; 0 = hardware concurrency)
  *   --json PATH  write the sweep report to PATH
  *   --no-json    suppress the report file
+ *   --trace PATH capture per-point traces as PATH-derived files
  *   --help       print usage and exit
  */
 struct BenchOptions
@@ -191,6 +198,8 @@ struct BenchOptions
     unsigned jobs = 1;
     /** Report destination; empty disables the artifact. */
     std::string jsonPath;
+    /** Per-point trace base path; empty disables tracing. */
+    std::string tracePath;
 
     /**
      * Parse argv; fatal on malformed flags.
@@ -200,6 +209,20 @@ struct BenchOptions
     static BenchOptions parse(int argc, char **argv,
                               const std::string &default_json);
 };
+
+/**
+ * Per-point trace file name derived from a base path: the point index
+ * is spliced in before a trailing ".jsonl" ("fig4.jsonl" -> point 2 ->
+ * "fig4.2.jsonl"), or appended as ".<index>.jsonl" otherwise.
+ */
+std::string sweepTracePath(const std::string &base, std::size_t index);
+
+/**
+ * Set every point's tracePath from a base path (see sweepTracePath);
+ * an empty base clears them all.
+ */
+void applySweepTracePaths(std::vector<SweepPoint> &points,
+                          const std::string &base);
 
 } // namespace oscar
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace oscar
 {
@@ -66,6 +67,18 @@ System::System(const SystemConfig &config)
 }
 
 System::~System() = default;
+
+void
+System::setTraceSink(TraceSink *sink)
+{
+    trace = sink;
+    if (trace != nullptr)
+        trace->setClock(&events);
+    queue.setTraceSink(sink);
+    controller.setTraceSink(sink);
+    for (Thread &thread : threads)
+        thread.policy->setTraceSink(sink, thread.id);
+}
 
 void
 System::buildPolicy(Thread &thread)
@@ -152,7 +165,16 @@ System::retire(Thread &thread, InstCount count, bool privileged)
 
         if (cfg.dynamicThreshold &&
             measuredRetiredAll >= nextEpochBoundary) {
-            controller.onEpochEnd(epochFeedback());
+            const double feedback = epochFeedback();
+            controller.onEpochEnd(feedback);
+            if (trace != nullptr) {
+                TraceEvent event;
+                event.kind = TraceEventKind::EpochEnd;
+                event.instruction = measuredRetiredAll;
+                event.threshold = controller.currentThreshold();
+                event.feedback = feedback;
+                trace->emit(event);
+            }
             thresholdTrajectory.push_back(
                 {measuredRetiredAll, controller.currentThreshold()});
             mem->resetWindow();
@@ -205,6 +227,14 @@ System::enterMeasurement()
         tail = 0;
     invocationsByService.fill(0);
     offloadsByService.fill(0);
+
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::MeasurementStart;
+        event.instruction = warmupRetired;
+        event.feedback = warmupPrivFraction;
+        trace->emit(event);
+    }
 
     if (cfg.dynamicThreshold) {
         controller.begin(warmupPrivFraction);
@@ -261,8 +291,29 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
     Thread &thread = threads[tid];
     const Cycle now = events.now();
 
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::InvocationBegin;
+        event.thread = tid;
+        event.service = static_cast<std::uint16_t>(inv.service->id);
+        event.astate = inv.astate();
+        event.actual = inv.trueLength;
+        trace->emit(event);
+    }
+
     const OffloadDecision decision = thread.policy->decide(inv);
     cores[thread.core].cycles().decision += decision.cost;
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::Decision;
+        event.thread = tid;
+        event.service = static_cast<std::uint16_t>(inv.service->id);
+        event.offload = cfg.offloadEnabled && decision.offload;
+        event.latency = decision.cost;
+        event.predicted = decision.predictedLength;
+        event.predictorUsed = decision.predictorUsed;
+        trace->emit(event);
+    }
     if (measuring) {
         ++invocationsMeasured;
         ++invocationsByService[static_cast<std::size_t>(
@@ -281,6 +332,15 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
         thread.policy->observe(inv, decision, length);
         profile.observe(inv.service->id, length);
         recordInvocationLength(length);
+        if (trace != nullptr) {
+            TraceEvent event;
+            event.kind = TraceEventKind::InvocationEnd;
+            event.thread = tid;
+            event.service = static_cast<std::uint16_t>(inv.service->id);
+            event.actual = length;
+            event.offload = false;
+            trace->emit(event);
+        }
         retire(thread, length, true);
         scheduleThread(tid, now + decision.cost + result.cycles);
         return;
@@ -293,6 +353,14 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
     }
     const Cycle one_way = migration.oneWayLatency();
     cores[thread.core].cycles().migration += one_way;
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::Migration;
+        event.thread = tid;
+        event.toOs = true;
+        event.latency = one_way;
+        trace->emit(event);
+    }
     thread.pendingInv = inv;
     thread.pendingDecision = decision;
     thread.offloadArrival = now + decision.cost + one_way;
@@ -342,11 +410,29 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
                            executed_length);
     profile.observe(thread.pendingInv.service->id, executed_length);
     recordInvocationLength(executed_length);
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::InvocationEnd;
+        event.thread = tid;
+        event.service = static_cast<std::uint16_t>(
+            thread.pendingInv.service->id);
+        event.actual = executed_length;
+        event.offload = true;
+        trace->emit(event);
+    }
     retire(thread, executed_length, true);
 
     // Migrate back to the user core.
     const Cycle one_way = migration.oneWayLatency();
     cores[thread.core].cycles().migration += one_way;
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::Migration;
+        event.thread = tid;
+        event.toOs = false;
+        event.latency = one_way;
+        trace->emit(event);
+    }
     scheduleThread(tid, now + one_way);
 
     // Admit the next queued request, if any.

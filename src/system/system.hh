@@ -38,6 +38,8 @@
 namespace oscar
 {
 
+class TraceSink;
+
 /** One (instruction, N) point of the dynamic-N trajectory. */
 struct ThresholdSample
 {
@@ -151,6 +153,16 @@ class System
     /** Run warmup + measurement and return the results. */
     SimResults run();
 
+    /**
+     * Attach an invocation-level trace recorder (see sim/trace.hh).
+     *
+     * Must be called before run(). The sink is wired through to the
+     * OS-core queue, the dynamic-N controller, and every thread's
+     * decision policy, and its clock is bound to this system's event
+     * queue. Null detaches everything (the default).
+     */
+    void setTraceSink(TraceSink *sink);
+
     /** The configuration in force. */
     const SystemConfig &config() const { return cfg; }
 
@@ -240,6 +252,7 @@ class System
     std::vector<Core> cores;
     std::vector<Thread> threads;
     ServiceProfile profile; ///< filled continuously; used for SI profiling
+    TraceSink *trace = nullptr; ///< optional; null = tracing off
 
     // Phase machinery.
     bool measuring = false;

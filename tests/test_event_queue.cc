@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/random.hh"
 
 namespace oscar
 {
@@ -229,6 +232,124 @@ TEST(EventQueue, CallbackStateIsReleasedOnCancel)
     EXPECT_FALSE(watch.expired());
     q.cancel(id);
     EXPECT_TRUE(watch.expired());
+}
+
+/**
+ * Naive reference model of the event queue: a flat list of
+ * (when, id) pairs, fired in (when, id) order by linear scan. Slot
+ * reuse, the lazy-cancellation heap and the free list in the real
+ * implementation must be observationally identical to this.
+ */
+class ReferenceQueue
+{
+  public:
+    void
+    schedule(Cycle when, std::uint64_t id)
+    {
+        pending.push_back({when, id});
+    }
+
+    bool
+    cancel(std::uint64_t id)
+    {
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->second == id) {
+                pending.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Fire the (when, id)-minimal entry; the queue must be nonempty. */
+    std::pair<Cycle, std::uint64_t>
+    fireNext()
+    {
+        auto best = pending.begin();
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->first < best->first ||
+                (it->first == best->first && it->second < best->second))
+                best = it;
+        }
+        const auto fired = *best;
+        pending.erase(best);
+        return fired;
+    }
+
+    std::size_t
+    size() const
+    {
+        return pending.size();
+    }
+
+    Cycle
+    nextCycle() const
+    {
+        Cycle next = kNoCycle;
+        for (const auto &[when, id] : pending)
+            next = std::min(next, when);
+        return next;
+    }
+
+  private:
+    std::vector<std::pair<Cycle, std::uint64_t>> pending;
+};
+
+TEST(EventQueueDifferential, RandomOpsMatchReferenceModel)
+{
+    EventQueue q;
+    ReferenceQueue model;
+    Rng rng(0x5EED);
+
+    // Each scheduled callback records (id, firing cycle); the id cell
+    // is filled in after schedule() returns it.
+    std::vector<std::pair<std::uint64_t, Cycle>> fired;
+    std::vector<std::uint64_t> ids; // every id ever issued
+
+    for (int step = 0; step < 20'000; ++step) {
+        const double roll = rng.nextDouble();
+        if (roll < 0.45) {
+            // Schedule at now + [0, 50).
+            const Cycle when = q.now() + rng.nextBounded(50);
+            auto cell = std::make_shared<std::uint64_t>(0);
+            const std::uint64_t id =
+                q.schedule(when, [cell, &fired](Cycle at) {
+                    fired.emplace_back(*cell, at);
+                });
+            *cell = id;
+            model.schedule(when, id);
+            ids.push_back(id);
+        } else if (roll < 0.65 && !ids.empty()) {
+            // Cancel a random id: may be live, fired, or already
+            // cancelled — outcomes must agree in every case.
+            const std::uint64_t id =
+                ids[rng.nextBounded(ids.size())];
+            EXPECT_EQ(q.cancel(id), model.cancel(id));
+        } else if (!q.empty()) {
+            const std::size_t before = fired.size();
+            q.runOne();
+            const auto expected = model.fireNext();
+            ASSERT_EQ(fired.size(), before + 1);
+            EXPECT_EQ(fired.back().first, expected.second);
+            EXPECT_EQ(fired.back().second, expected.first);
+            EXPECT_EQ(q.now(), expected.first);
+        }
+        ASSERT_EQ(q.pendingCount(), model.size());
+        ASSERT_EQ(q.empty(), model.size() == 0);
+        ASSERT_EQ(q.nextEventCycle(), model.nextCycle());
+    }
+
+    // Drain what is left; order must match to the end.
+    while (!q.empty()) {
+        const std::size_t before = fired.size();
+        q.runOne();
+        const auto expected = model.fireNext();
+        ASSERT_EQ(fired.size(), before + 1);
+        EXPECT_EQ(fired.back().first, expected.second);
+        EXPECT_EQ(fired.back().second, expected.first);
+    }
+    EXPECT_EQ(model.size(), 0u);
+    EXPECT_EQ(q.firedCount(), fired.size());
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

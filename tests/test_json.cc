@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the JSON emission helpers: escaping of control and quote
+ * characters, UTF-8 passthrough, numeric round-tripping (including
+ * negative zero and near-overflow magnitudes), locale independence,
+ * and writer structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "sim/json.hh"
+
+namespace oscar
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Escaping
+
+TEST(JsonEscape, QuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, NamedControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+}
+
+TEST(JsonEscape, RemainingControlCharactersUseUnicodeEscapes)
+{
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+    EXPECT_EQ(jsonEscape("\x01"), "\\u0001");
+    EXPECT_EQ(jsonEscape("\x1f"), "\\u001f");
+    EXPECT_EQ(jsonEscape("bell\x07!"), "bell\\u0007!");
+}
+
+TEST(JsonEscape, Utf8PassesThroughUntouched)
+{
+    // Multi-byte sequences have all bytes >= 0x80 after the lead, so
+    // the control-character escape must never fire on them.
+    const std::string snowman = "\xe2\x98\x83";       // U+2603
+    const std::string accented = "caf\xc3\xa9";       // café
+    const std::string emoji = "\xf0\x9f\x9a\x80";     // U+1F680
+    EXPECT_EQ(jsonEscape(snowman), snowman);
+    EXPECT_EQ(jsonEscape(accented), accented);
+    EXPECT_EQ(jsonEscape(emoji), emoji);
+}
+
+TEST(JsonEscape, PlainAsciiIsIdentity)
+{
+    const std::string text =
+        "ABCXYZ abcxyz 0189 ~!@#$%^&*()_+-=[]{};':,./<>?";
+    EXPECT_EQ(jsonEscape(text), text);
+}
+
+// ---------------------------------------------------------------------
+// Numbers
+
+double
+parseBack(const std::string &text)
+{
+    // strtod parses '.' regardless of locale only in the "C" locale;
+    // tests that change locale restore it before calling this.
+    return std::strtod(text.c_str(), nullptr);
+}
+
+TEST(JsonNumber, IntegersAndSimpleFractions)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1.0), "1");
+    EXPECT_EQ(jsonNumber(-1.0), "-1");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonNumber(-2.25), "-2.25");
+}
+
+TEST(JsonNumber, NegativeZeroKeepsItsSign)
+{
+    const std::string text = jsonNumber(-0.0);
+    EXPECT_EQ(text, "-0");
+    EXPECT_TRUE(std::signbit(parseBack(text)));
+}
+
+TEST(JsonNumber, RoundTripsExactly)
+{
+    const double cases[] = {
+        0.1,
+        1.0 / 3.0,
+        3.141592653589793,
+        6.02214076e23,
+        5e-324,                  // min subnormal
+        2.2250738585072014e-308, // min normal
+        1.7976931348623157e308,  // max finite
+        123456789.123456789,
+        -9.87654321e-12,
+    };
+    for (double value : cases) {
+        const std::string text = jsonNumber(value);
+        EXPECT_EQ(parseBack(text), value) << text;
+    }
+}
+
+TEST(JsonNumber, NonFiniteClampsToZero)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "0");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "0");
+    EXPECT_EQ(jsonNumber(-HUGE_VAL), "0");
+}
+
+TEST(JsonNumber, StableAcrossLocales)
+{
+    // A comma-decimal locale must not leak into the document. Not all
+    // images ship de_DE; skip (not fail) when unavailable.
+    const char *chosen = nullptr;
+    for (const char *name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8"}) {
+        if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+            chosen = name;
+            break;
+        }
+    }
+    if (chosen == nullptr)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    const std::string text = jsonNumber(0.5);
+    std::setlocale(LC_NUMERIC, "C");
+    EXPECT_EQ(text, "0.5");
+    EXPECT_EQ(text.find(','), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Writer structure
+
+TEST(JsonWriter, NestedDocumentIsDeterministic)
+{
+    auto build = [] {
+        JsonWriter w;
+        w.beginObject();
+        w.field("name", "trace");
+        w.field("count", 3u);
+        w.field("ratio", 0.25);
+        w.field("ok", true);
+        w.key("items");
+        w.beginArray();
+        w.value(1);
+        w.value(2);
+        w.beginObject();
+        w.field("inner", -1);
+        w.endObject();
+        w.endArray();
+        w.endObject();
+        return w.str();
+    };
+    const std::string doc = build();
+    EXPECT_EQ(doc, build());
+    EXPECT_EQ(doc,
+              "{\"name\":\"trace\",\"count\":3,\"ratio\":0.25,"
+              "\"ok\":true,\"items\":[1,2,{\"inner\":-1}]}");
+}
+
+TEST(JsonWriter, CompleteTracksScopeClosure)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_FALSE(w.complete());
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, KeysAreEscaped)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("we\"ird\n", 1);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"we\\\"ird\\n\":1}");
+}
+
+} // namespace
+} // namespace oscar

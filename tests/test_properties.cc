@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <tuple>
 
+#include "core/run_length_predictor.hh"
+#include "sim/random.hh"
 #include "system/experiment.hh"
 
 namespace oscar
@@ -281,6 +285,134 @@ INSTANTIATE_TEST_SUITE_P(Organizations, PredictorOrganizationSweep,
                                  return "Infinite";
                              }
                          });
+
+// ---------------------------------------------------------------------
+// Property 8: predictor invariants under random invocation streams.
+
+std::string
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Cam: return "Cam";
+      case PredictorKind::DirectMapped: return "DirectMapped";
+      case PredictorKind::Infinite: return "Infinite";
+    }
+    return "unknown";
+}
+
+class PredictorRandomStream
+    : public ::testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(PredictorRandomStream, ConfidenceStaysIn2BitRange)
+{
+    auto predictor = makePredictor(GetParam());
+    Rng rng(0xC0FFEEu + static_cast<unsigned>(GetParam()));
+    for (int i = 0; i < 20'000; ++i) {
+        // A small AState pool forces hits, aliasing and retraining.
+        const std::uint64_t astate = rng.nextBounded(64);
+        const RunLengthPrediction pred = predictor->predict(astate);
+        EXPECT_LE(pred.confidence, confidence::kMax);
+        // A run-length distribution with both clustered and wild
+        // values so confidence moves in both directions.
+        const InstCount actual =
+            rng.nextBool(0.7)
+                ? 100 + rng.nextBounded(5)
+                : rng.nextBounded(100'000);
+        predictor->update(astate, actual);
+    }
+}
+
+TEST_P(PredictorRandomStream,
+       GlobalFallbackIsMeanOfLastThreeObservations)
+{
+    auto predictor = makePredictor(GetParam());
+    Rng rng(0xBADC0DEu);
+    std::deque<InstCount> recent;
+    for (int i = 0; i < 5'000; ++i) {
+        const InstCount actual = rng.nextBounded(50'000);
+        predictor->update(rng.next64(), actual);
+        recent.push_back(actual);
+        if (recent.size() > 3)
+            recent.pop_front();
+        // Reference model: integer mean of the last min(3, seen)
+        // observed lengths, regardless of AState.
+        InstCount sum = 0;
+        for (InstCount length : recent)
+            sum += length;
+        const InstCount expected =
+            sum / static_cast<InstCount>(recent.size());
+        EXPECT_EQ(predictor->global().prediction(), expected)
+            << "after observation " << i;
+    }
+}
+
+TEST_P(PredictorRandomStream, ColdPredictorFallsBackToGlobal)
+{
+    auto predictor = makePredictor(GetParam());
+    predictor->update(0x1111, 900);
+    predictor->update(0x2222, 1100);
+    // A never-seen AState must fall back to the global mean.
+    const RunLengthPrediction pred = predictor->predict(0x777777);
+    EXPECT_TRUE(pred.fromGlobal);
+    EXPECT_EQ(pred.length, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Organizations, PredictorRandomStream,
+                         ::testing::Values(PredictorKind::Cam,
+                                           PredictorKind::DirectMapped,
+                                           PredictorKind::Infinite),
+                         [](const auto &info) {
+                             return predictorKindName(info.param);
+                         });
+
+TEST(CamPredictorProperty, OccupancyNeverExceedsCapacity)
+{
+    CamPredictor cam; // paper-sized: 200 entries
+    Rng rng(2026);
+    EXPECT_EQ(cam.capacity(), 200u);
+    for (int i = 0; i < 10'000; ++i) {
+        const std::uint64_t astate = rng.next64();
+        (void)cam.predict(astate);
+        cam.update(astate, rng.nextBounded(10'000));
+        ASSERT_LE(cam.occupancy(), cam.capacity());
+    }
+    // 10k distinct AStates through a 200-entry CAM: it must be full.
+    EXPECT_EQ(cam.occupancy(), cam.capacity());
+}
+
+TEST(CamPredictorProperty, SmallCamStaysBoundedAndRecallsHotEntry)
+{
+    CamPredictor cam(4);
+    Rng rng(7);
+    for (int i = 0; i < 1'000; ++i) {
+        // AState 42 stays hot; a churn of cold entries competes for
+        // the remaining three slots via LRU.
+        (void)cam.predict(42);
+        cam.update(42, 500);
+        const std::uint64_t cold = 1'000 + rng.nextBounded(100);
+        (void)cam.predict(cold);
+        cam.update(cold, rng.nextBounded(10'000));
+        ASSERT_LE(cam.occupancy(), 4u);
+    }
+    const RunLengthPrediction pred = cam.predict(42);
+    EXPECT_TRUE(pred.tableHit);
+    EXPECT_EQ(pred.length, 500u);
+    EXPECT_EQ(pred.confidence, confidence::kMax);
+}
+
+TEST(ConfidenceCounterProperty, UpDownSaturateAtBounds)
+{
+    std::uint8_t c = 0;
+    EXPECT_EQ(confidence::down(c), 0u);
+    for (int i = 0; i < 10; ++i)
+        c = confidence::up(c);
+    EXPECT_EQ(c, confidence::kMax);
+    EXPECT_EQ(confidence::up(c), confidence::kMax);
+    c = confidence::down(c);
+    EXPECT_EQ(c, confidence::kMax - 1);
+}
 
 } // namespace
 } // namespace oscar

@@ -181,6 +181,87 @@ TEST(LogHistogram, FractionAbove)
     EXPECT_NEAR(h.fractionAbove(100000), 0.0, 1e-9);
 }
 
+TEST(LogHistogram, EmptyQuantileIsZeroForEveryQ)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(LogHistogram, QuantileEndpointsFollowTheData)
+{
+    LogHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(8); // everything in bucket 3: [8, 15]
+    // Every quantile of a single-bucket distribution is that bucket's
+    // upper bound — in particular q = 1.0 must not report the top
+    // bucket of the histogram range.
+    EXPECT_EQ(h.quantile(0.0), 15u);
+    EXPECT_EQ(h.quantile(0.5), 15u);
+    EXPECT_EQ(h.quantile(1.0), 15u);
+}
+
+TEST(LogHistogram, QuantileOneTracksLargestSample)
+{
+    LogHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.add(8);
+    h.add(1024); // bucket 10: [1024, 2047]
+    EXPECT_EQ(h.quantile(0.5), 15u);
+    EXPECT_EQ(h.quantile(1.0), 2047u);
+}
+
+TEST(LogHistogram, QuantileSingleSample)
+{
+    LogHistogram h;
+    h.add(100); // bucket 6: [64, 127]
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 127u) << "q=" << q;
+}
+
+TEST(LogHistogram, FractionAboveZeroIsExact)
+{
+    LogHistogram h;
+    h.add(0);
+    h.add(0);
+    h.add(1); // shares bucket 0 with the zeros
+    h.add(5);
+    EXPECT_NEAR(h.fractionAbove(0), 0.5, 1e-12);
+}
+
+TEST(LogHistogram, FractionAboveBucketBoundariesIsExact)
+{
+    LogHistogram h;
+    h.add(1);
+    h.add(7);  // top of bucket 2
+    h.add(8);  // bottom of bucket 3
+    h.add(15); // top of bucket 3
+    // value 1: everything above lives in buckets >= 1 -> exact.
+    EXPECT_NEAR(h.fractionAbove(1), 0.75, 1e-12);
+    // value 7 = bucket 2 upper bound: buckets >= 3 are above -> exact.
+    EXPECT_NEAR(h.fractionAbove(7), 0.5, 1e-12);
+    // value 15 = bucket 3 upper bound: nothing above.
+    EXPECT_NEAR(h.fractionAbove(15), 0.0, 1e-12);
+}
+
+TEST(LogHistogram, FractionAboveEmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_DOUBLE_EQ(h.fractionAbove(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(100), 0.0);
+}
+
+TEST(LogHistogram, ResetForgetsZeroTally)
+{
+    LogHistogram h;
+    h.add(0);
+    h.reset();
+    h.add(3);
+    EXPECT_NEAR(h.fractionAbove(0), 1.0, 1e-12);
+    EXPECT_EQ(h.quantile(1.0), 3u);
+}
+
 TEST(LogHistogram, LargeValuesClampToLastBucket)
 {
     LogHistogram h(8);
