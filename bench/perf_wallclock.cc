@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Self-timing wall-clock performance harness (`oscar.perfbench.v1`).
+ *
+ * Simulator throughput is a first-class deliverable: the paper's
+ * figures are produced by sweeping hundreds of configurations, so a
+ * 1.3x hot-loop speedup is the difference between a coffee break and
+ * an afternoon. This harness times representative end-to-end and
+ * micro scenarios and emits a machine-readable report so the perf
+ * trajectory of the repository is a tracked artifact (BENCH_perf.json
+ * at the repo root) instead of an assertion in a commit message.
+ *
+ * Scenarios:
+ *  - fig5_policy_points: the Figure 5 policy comparison shape —
+ *    SI/DI/HI at the Conservative and Aggressive migration design
+ *    points over apache + specjbb — run through ParallelSweepRunner
+ *    with one worker so the single-thread simulation hot loop is what
+ *    is measured. Baselines and SI profiles are warmed before timing.
+ *  - trace_stream: one apache/HI run streaming an `oscar.trace.v1`
+ *    JSONL trace to disk; measures the trace serialization + write
+ *    path on top of simulation.
+ *  - predictor_cam_hot: CAM predict/update over a Zipf-skewed stream
+ *    of 80 hot AStates (mostly hits — the paper's steady state).
+ *  - predictor_cam_churn: CAM predict/update over 4096 uniform
+ *    AStates (mostly misses — constant eviction pressure).
+ *
+ * Methodology: every scenario runs `--warmup` untimed iterations and
+ * then `--reps` timed repetitions; the report carries each run plus
+ * the median and the median absolute deviation (MAD), which is robust
+ * to the occasional scheduling hiccup of a shared CI box.
+ *
+ * Usage:
+ *   perf_wallclock [--reps N] [--warmup N] [--json PATH]
+ *                  [--compare BASELINE] [--quick]
+ *
+ * `--compare` prints a per-scenario speedup table against a previous
+ * report (e.g. the committed BENCH_perf.json) and never fails the
+ * run: perf tracking is advisory, correctness gates are ctest's job.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/run_length_predictor.hh"
+#include "sim/json.hh"
+#include "sim/random.hh"
+#include "system/sweep.hh"
+#include "system/trace_capture.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+/** Report schema identifier. */
+constexpr const char *kPerfSchema = "oscar.perfbench.v1";
+
+struct PerfOptions
+{
+    int reps = 5;
+    int warmup = 1;
+    std::string jsonPath = "BENCH_perf.json";
+    std::string comparePath;
+    std::string traceOutPath = "perf_wallclock.trace.jsonl";
+};
+
+/** One timed scenario's outcome. */
+struct ScenarioResult
+{
+    std::string name;
+    std::vector<double> runsMs;
+    double medianMs = 0.0;
+    double madMs = 0.0;
+    /** Scenario-specific metadata (printed and serialized verbatim). */
+    std::vector<std::pair<std::string, std::string>> meta;
+};
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n == 0)
+        return 0.0;
+    return n % 2 ? values[n / 2]
+                 : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+medianAbsDeviation(const std::vector<double> &values, double center)
+{
+    std::vector<double> dev;
+    dev.reserve(values.size());
+    for (double v : values)
+        dev.push_back(std::abs(v - center));
+    return median(std::move(dev));
+}
+
+/** Time body() once, in milliseconds. */
+template <typename F>
+double
+timeOnce(F &&body)
+{
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+/** Run warmup + timed reps of body() and reduce to a ScenarioResult. */
+template <typename F>
+ScenarioResult
+measure(const std::string &name, const PerfOptions &opts, F &&body)
+{
+    std::printf("  %-22s", name.c_str());
+    std::fflush(stdout);
+    for (int i = 0; i < opts.warmup; ++i)
+        body();
+    ScenarioResult result;
+    result.name = name;
+    for (int i = 0; i < opts.reps; ++i)
+        result.runsMs.push_back(timeOnce(body));
+    result.medianMs = median(result.runsMs);
+    result.madMs = medianAbsDeviation(result.runsMs, result.medianMs);
+    std::printf("median %9.2f ms   mad %6.2f ms   (%d reps)\n",
+                result.medianMs, result.madMs, opts.reps);
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: fig5 policy-comparison points
+
+std::vector<WorkloadKind>
+fig5Workloads()
+{
+    return {WorkloadKind::Apache, WorkloadKind::SpecJbb};
+}
+
+std::vector<SweepPoint>
+fig5Points(const std::map<WorkloadKind,
+                          std::shared_ptr<const ServiceProfile>> &profiles)
+{
+    constexpr InstCount kMeasure = 1'000'000;
+    constexpr InstCount kWarmup = 400'000;
+    const std::vector<Cycle> design_points = {5000, 100};
+
+    std::vector<SweepPoint> points;
+    for (Cycle latency : design_points) {
+        for (WorkloadKind kind : fig5Workloads()) {
+            const std::string base =
+                workloadName(kind) + "/lat=" + std::to_string(latency);
+            SweepPoint si;
+            si.label = base + "/si";
+            si.config = ExperimentRunner::staticInstrConfig(
+                kind, latency, profiles.at(kind));
+            SweepPoint di;
+            di.label = base + "/di";
+            di.config = ExperimentRunner::dynamicInstrConfig(kind,
+                                                             latency, 100);
+            SweepPoint hi;
+            hi.label = base + "/hi";
+            hi.config = ExperimentRunner::hardwareDynamicConfig(kind,
+                                                                latency);
+            for (SweepPoint *p : {&si, &di, &hi}) {
+                p->config.measureInstructions = kMeasure;
+                p->config.warmupInstructions = kWarmup;
+                points.push_back(std::move(*p));
+            }
+        }
+    }
+    return points;
+}
+
+ScenarioResult
+runFig5Scenario(const PerfOptions &opts)
+{
+    std::map<WorkloadKind, std::shared_ptr<const ServiceProfile>>
+        profiles;
+    for (WorkloadKind kind : fig5Workloads())
+        profiles[kind] = ExperimentRunner::profileServices(kind);
+    const std::vector<SweepPoint> points = fig5Points(profiles);
+
+    // Baselines are cached across reps; warm the cache (and the
+    // allocator) before the clock starts so timed reps measure the
+    // variant simulations, i.e. the hot loop under test.
+    ParallelSweepRunner runner({/*jobs=*/1});
+    std::uint64_t invocations = 0;
+    bool all_ok = true;
+    ScenarioResult result =
+        measure("fig5_policy_points", opts, [&] {
+            const auto results = runner.run(points);
+            invocations = 0;
+            for (const SweepPointResult &point : results) {
+                all_ok = all_ok && point.ok;
+                invocations += point.results.invocations;
+            }
+        });
+    result.meta.emplace_back("points", std::to_string(points.size()));
+    result.meta.emplace_back("invocations",
+                             std::to_string(invocations));
+    result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: trace-enabled run
+
+ScenarioResult
+runTraceScenario(const PerfOptions &opts)
+{
+    SystemConfig config = ExperimentRunner::hardwareConfig(
+        WorkloadKind::Apache, /*static_n=*/1000,
+        /*migration_one_way=*/100);
+    config.warmupInstructions = 200'000;
+    config.measureInstructions = 1'800'000;
+
+    bool wrote = true;
+    ScenarioResult result = measure("trace_stream", opts, [&] {
+        wrote = writeTraceFile(config, opts.traceOutPath) && wrote;
+    });
+
+    std::uint64_t bytes = 0;
+    {
+        std::ifstream in(opts.traceOutPath,
+                         std::ios::binary | std::ios::ate);
+        if (in)
+            bytes = static_cast<std::uint64_t>(in.tellg());
+    }
+    std::remove(opts.traceOutPath.c_str());
+    result.meta.emplace_back("trace_bytes", std::to_string(bytes));
+    result.meta.emplace_back("wrote", wrote ? "true" : "false");
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: predictor microbenchmarks
+
+std::vector<std::uint64_t>
+zipfAStateStream(std::size_t count, std::size_t hot)
+{
+    Rng rng(7);
+    std::vector<std::uint64_t> values(hot);
+    for (auto &v : values)
+        v = rng.next64();
+    ZipfDistribution zipf(values.size(), 0.9);
+    std::vector<std::uint64_t> stream(count);
+    for (auto &v : stream)
+        v = values[zipf.sample(rng)];
+    return stream;
+}
+
+std::vector<std::uint64_t>
+uniformAStateStream(std::size_t count, std::size_t distinct)
+{
+    Rng rng(13);
+    std::vector<std::uint64_t> values(distinct);
+    for (auto &v : values)
+        v = rng.next64();
+    std::vector<std::uint64_t> stream(count);
+    for (auto &v : stream)
+        v = values[rng.nextBounded(values.size())];
+    return stream;
+}
+
+ScenarioResult
+runPredictorScenario(const std::string &name, const PerfOptions &opts,
+                     const std::vector<std::uint64_t> &stream)
+{
+    constexpr std::size_t kOps = 2'000'000;
+    InstCount sink = 0;
+    ScenarioResult result = measure(name, opts, [&] {
+        CamPredictor predictor;
+        const std::size_t mask = stream.size() - 1;
+        for (std::size_t i = 0; i < kOps; ++i) {
+            const std::uint64_t astate = stream[i & mask];
+            sink += predictor.predict(astate).length;
+            predictor.update(astate, 100 + (astate & 1023));
+        }
+        sink += predictor.occupancy();
+    });
+    result.meta.emplace_back("ops", std::to_string(kOps));
+    result.meta.emplace_back("checksum", std::to_string(sink & 0xFFFF));
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Report serialization and comparison
+
+std::string
+reportJson(const std::vector<ScenarioResult> &scenarios,
+           const PerfOptions &opts)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kPerfSchema);
+    w.field("reps", opts.reps);
+    w.field("warmup", opts.warmup);
+    w.key("scenarios");
+    w.beginArray();
+    for (const ScenarioResult &s : scenarios) {
+        w.beginObject();
+        w.field("name", s.name);
+        w.field("median_ms", s.medianMs);
+        w.field("mad_ms", s.madMs);
+        w.key("runs_ms");
+        w.beginArray();
+        for (double run : s.runsMs)
+            w.value(run);
+        w.endArray();
+        w.key("meta");
+        w.beginObject();
+        for (const auto &[key, value] : s.meta)
+            w.field(key, value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * Extract "median_ms" for a scenario name from a perfbench report via
+ * string scanning — enough structure awareness for our own schema
+ * without growing a JSON parser.
+ */
+bool
+extractMedian(const std::string &doc, const std::string &name,
+              double &out)
+{
+    const std::string needle = "\"name\":\"" + name + "\"";
+    const std::size_t at = doc.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const std::string key = "\"median_ms\":";
+    const std::size_t m = doc.find(key, at);
+    if (m == std::string::npos)
+        return false;
+    out = std::strtod(doc.c_str() + m + key.size(), nullptr);
+    return true;
+}
+
+void
+printComparison(const std::vector<ScenarioResult> &scenarios,
+                const std::string &baseline_path)
+{
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+        std::printf("\nno baseline at '%s'; skipping comparison\n",
+                    baseline_path.c_str());
+        return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+
+    std::printf("\n-- comparison vs %s --\n", baseline_path.c_str());
+    TextTable table(
+        {"scenario", "baseline ms", "current ms", "speedup"});
+    for (const ScenarioResult &s : scenarios) {
+        double base = 0.0;
+        if (!extractMedian(doc, s.name, base) || base <= 0.0) {
+            table.addRow({s.name, "n/a", formatDouble(s.medianMs, 2),
+                          "n/a"});
+            continue;
+        }
+        table.addRow({s.name, formatDouble(base, 2),
+                      formatDouble(s.medianMs, 2),
+                      formatDouble(base / s.medianMs, 2) + "x"});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+PerfOptions
+parseArgs(int argc, char **argv)
+{
+    PerfOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--reps") {
+            opts.reps = std::max(1, std::atoi(next("--reps").c_str()));
+        } else if (arg == "--warmup") {
+            opts.warmup =
+                std::max(0, std::atoi(next("--warmup").c_str()));
+        } else if (arg == "--json") {
+            opts.jsonPath = next("--json");
+        } else if (arg == "--compare") {
+            opts.comparePath = next("--compare");
+        } else if (arg == "--trace-out") {
+            opts.traceOutPath = next("--trace-out");
+        } else if (arg == "--quick") {
+            opts.reps = 3;
+            opts.warmup = 0;
+        } else if (arg == "--help") {
+            std::printf(
+                "usage: perf_wallclock [--reps N] [--warmup N] "
+                "[--json PATH] [--compare BASELINE] "
+                "[--trace-out PATH] [--quick]\n");
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const PerfOptions opts = parseArgs(argc, argv);
+
+    std::printf("== perf_wallclock: simulator wall-clock benchmarks "
+                "(%s) ==\n",
+                kPerfSchema);
+
+    std::vector<ScenarioResult> scenarios;
+    scenarios.push_back(runFig5Scenario(opts));
+    scenarios.push_back(runTraceScenario(opts));
+    scenarios.push_back(runPredictorScenario(
+        "predictor_cam_hot", opts, zipfAStateStream(4096, 80)));
+    scenarios.push_back(runPredictorScenario(
+        "predictor_cam_churn", opts, uniformAStateStream(4096, 4096)));
+
+    if (!opts.jsonPath.empty()) {
+        std::ofstream out(opts.jsonPath,
+                          std::ios::binary | std::ios::trunc);
+        if (out) {
+            out << reportJson(scenarios, opts) << '\n';
+            std::printf("\nreport: %s\n", opts.jsonPath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write report to '%s'\n",
+                         opts.jsonPath.c_str());
+        }
+    }
+
+    if (!opts.comparePath.empty())
+        printComparison(scenarios, opts.comparePath);
+    return 0;
+}

@@ -31,10 +31,13 @@ withinTolerance(InstCount predicted, InstCount actual)
 void
 GlobalRunLengthHistory::observe(InstCount length)
 {
+    if (filled == kDepth)
+        sum -= ring[cursor];
+    else
+        ++filled;
+    sum += length;
     ring[cursor] = length;
     cursor = (cursor + 1) % kDepth;
-    if (filled < kDepth)
-        ++filled;
 }
 
 InstCount
@@ -42,9 +45,6 @@ GlobalRunLengthHistory::prediction() const
 {
     if (filled == 0)
         return 0;
-    std::uint64_t sum = 0;
-    for (unsigned i = 0; i < filled; ++i)
-        sum += ring[i];
     return sum / filled;
 }
 
@@ -55,37 +55,67 @@ CamPredictor::CamPredictor(std::size_t entries)
     : table(entries)
 {
     oscar_assert(entries > 0);
+    oscar_assert(entries < kNil);
+    // Sized up front so the hot path never rehashes (or allocates).
+    index.reserve(entries);
 }
 
-CamPredictor::Entry *
-CamPredictor::find(std::uint64_t astate)
+void
+CamPredictor::unlink(std::uint32_t slot)
 {
-    for (Entry &entry : table) {
-        if (entry.valid && entry.astate == astate)
-            return &entry;
-    }
-    return nullptr;
+    Entry &entry = table[slot];
+    if (entry.prev != kNil)
+        table[entry.prev].next = entry.next;
+    else
+        lruHead = entry.next;
+    if (entry.next != kNil)
+        table[entry.next].prev = entry.prev;
+    else
+        lruTail = entry.prev;
+}
+
+void
+CamPredictor::pushFront(std::uint32_t slot)
+{
+    Entry &entry = table[slot];
+    entry.prev = kNil;
+    entry.next = lruHead;
+    if (lruHead != kNil)
+        table[lruHead].prev = slot;
+    lruHead = slot;
+    if (lruTail == kNil)
+        lruTail = slot;
+}
+
+void
+CamPredictor::touch(std::uint32_t slot)
+{
+    if (lruHead == slot)
+        return;
+    unlink(slot);
+    pushFront(slot);
 }
 
 RunLengthPrediction
 CamPredictor::predict(std::uint64_t astate)
 {
     RunLengthPrediction pred;
-    Entry *entry = find(astate);
-    if (entry == nullptr) {
+    const std::uint32_t *slot = index.find(astate);
+    if (slot == nullptr) {
         pred.length = globalHistory.prediction();
         pred.fromGlobal = true;
         return pred;
     }
-    entry->lastUse = ++useClock;
+    touch(*slot);
+    const Entry &entry = table[*slot];
     pred.tableHit = true;
-    pred.confidence = entry->conf;
-    if (entry->conf == 0) {
+    pred.confidence = entry.conf;
+    if (entry.conf == 0) {
         // Low-confidence local entries lose to the global prediction.
         pred.length = globalHistory.prediction();
         pred.fromGlobal = true;
     } else {
-        pred.length = entry->length;
+        pred.length = entry.length;
     }
     return pred;
 }
@@ -94,52 +124,43 @@ void
 CamPredictor::update(std::uint64_t astate, InstCount actual)
 {
     observeGlobal(actual);
-    Entry *entry = find(astate);
-    if (entry != nullptr) {
+    if (const std::uint32_t *hit = index.find(astate)) {
+        Entry &entry = table[*hit];
         // Confidence trains on what this entry *would have* predicted.
-        if (withinTolerance(entry->length, actual))
-            entry->conf = confidence::up(entry->conf);
+        if (withinTolerance(entry.length, actual))
+            entry.conf = confidence::up(entry.conf);
         else
-            entry->conf = confidence::down(entry->conf);
-        entry->length = actual;
-        entry->lastUse = ++useClock;
+            entry.conf = confidence::down(entry.conf);
+        entry.length = actual;
+        touch(*hit);
         return;
     }
 
-    // Allocate, evicting the LRU victim if necessary.
-    Entry *victim = nullptr;
-    for (Entry &candidate : table) {
-        if (!candidate.valid) {
-            victim = &candidate;
-            break;
-        }
-        if (victim == nullptr || candidate.lastUse < victim->lastUse)
-            victim = &candidate;
+    // Allocate a cold slot, or evict the LRU tail when full.
+    std::uint32_t slot;
+    if (liveCount < table.size()) {
+        slot = liveCount++;
+    } else {
+        slot = lruTail;
+        unlink(slot);
+        index.erase(table[slot].astate);
     }
-    victim->valid = true;
-    victim->astate = astate;
-    victim->length = actual;
-    victim->conf = 0;
-    victim->lastUse = ++useClock;
+    Entry &entry = table[slot];
+    entry.astate = astate;
+    entry.length = actual;
+    entry.conf = 0;
+    pushFront(slot);
+    index.insert(astate, slot);
 }
 
 std::uint64_t
 CamPredictor::storageBits() const
 {
     // 64-bit AState tag + 16-bit length + 2-bit confidence per entry;
-    // the paper quotes ~2 KB for 200 entries.
+    // the paper quotes ~2 KB for 200 entries. The hash index and LRU
+    // links are simulation artifacts — the modelled hardware is a
+    // single-cycle associative search — so they carry no storage cost.
     return table.size() * (64 + 16 + 2);
-}
-
-std::size_t
-CamPredictor::occupancy() const
-{
-    std::size_t live = 0;
-    for (const Entry &entry : table) {
-        if (entry.valid)
-            ++live;
-    }
-    return live;
 }
 
 // ---------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/flat_hash.hh"
 #include "sim/types.hh"
 
 namespace oscar
@@ -85,6 +86,8 @@ class GlobalRunLengthHistory
   private:
     static constexpr unsigned kDepth = 3;
     InstCount ring[kDepth] = {0, 0, 0};
+    /** Rolling sum of the live ring entries, so prediction() is O(1). */
+    InstCount sum = 0;
     unsigned cursor = 0;
     unsigned filled = 0;
 };
@@ -141,6 +144,25 @@ down(std::uint8_t c)
 
 /**
  * The paper's 200-entry fully-associative CAM organization.
+ *
+ * The *modelled hardware* is a fully-associative CAM searched in one
+ * cycle; the *simulation* of it used to pay an O(entries) linear scan
+ * per lookup, twice per invocation. This implementation keeps the
+ * exact fully-associative + LRU semantics but makes every operation
+ * O(1):
+ *
+ *  - a flat hash index maps AState -> entry slot (find);
+ *  - entries carry intrusive prev/next links forming a doubly-linked
+ *    LRU list (head = most recent); a hit unlinks and re-links at the
+ *    head, eviction pops the tail;
+ *  - a live-entry counter doubles as the bump allocator for cold
+ *    slots, making occupancy() O(1) as well.
+ *
+ * Because LRU timestamps were unique in the old implementation, the
+ * list order is exactly the old lastUse order and the eviction victim
+ * is identical — the golden traces are byte-for-byte unchanged, and
+ * the randomized differential test in test_predictor_differential.cc
+ * pits this implementation against the old linear scan directly.
  */
 class CamPredictor : public RunLengthPredictor
 {
@@ -153,26 +175,42 @@ class CamPredictor : public RunLengthPredictor
     std::uint64_t storageBits() const override;
     std::string name() const override { return "cam"; }
 
-    /** Number of live entries (tests). */
-    std::size_t occupancy() const;
+    /** Number of live entries; O(1). */
+    std::size_t occupancy() const { return liveCount; }
 
     /** Capacity. */
     std::size_t capacity() const { return table.size(); }
 
   private:
+    /** Sentinel slot id terminating the LRU list. */
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
     struct Entry
     {
         std::uint64_t astate = 0;
         InstCount length = 0;
         std::uint8_t conf = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
+        /** Intrusive LRU list links (slot indices). */
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
     };
 
-    Entry *find(std::uint64_t astate);
+    /** Detach a live slot from the LRU list. */
+    void unlink(std::uint32_t slot);
+
+    /** Make a detached slot the most recently used. */
+    void pushFront(std::uint32_t slot);
+
+    /** Move a live slot to the MRU position. */
+    void touch(std::uint32_t slot);
 
     std::vector<Entry> table;
-    std::uint64_t useClock = 0;
+    /** AState -> slot index of every live entry. */
+    FlatHashMap<std::uint32_t> index;
+    std::uint32_t lruHead = kNil;
+    std::uint32_t lruTail = kNil;
+    /** Live entries; slots [0, liveCount) are allocated in order. */
+    std::uint32_t liveCount = 0;
 };
 
 /**

@@ -43,13 +43,6 @@ SegmentProfile::finalize()
     alias = std::make_unique<AliasTable>(weights);
 }
 
-const RegionAccess &
-SegmentProfile::sampleData(Rng &rng) const
-{
-    oscar_assert(alias != nullptr);
-    return data[alias->sample(rng)];
-}
-
 ExecResult
 ExecEngine::execute(MemorySystem &mem, CoreId core, ExecContext ctx,
                     InstCount instructions, const SegmentProfile &profile,

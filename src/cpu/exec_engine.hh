@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mem/memory_system.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 #include "workload/address_space.hh"
@@ -67,7 +68,12 @@ class SegmentProfile
     double instrPerFetch() const { return instrPerCodeLine; }
 
     /** Sample a data target; finalize() must have run. */
-    const RegionAccess &sampleData(Rng &rng) const;
+    const RegionAccess &
+    sampleData(Rng &rng) const
+    {
+        oscar_assert(alias != nullptr);
+        return data[alias->sample(rng)];
+    }
 
     /** True when the profile has at least one data target. */
     bool hasData() const { return !data.empty(); }

@@ -44,84 +44,6 @@ SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geometry)
     ways.assign(numSets * geom.assoc, Way{});
 }
 
-std::uint64_t
-SetAssocCache::setIndex(Addr line_addr) const
-{
-    return line_addr & (numSets - 1);
-}
-
-SetAssocCache::Way *
-SetAssocCache::findWay(Addr line_addr)
-{
-    const std::uint64_t base = setIndex(line_addr) * geom.assoc;
-    for (unsigned w = 0; w < geom.assoc; ++w) {
-        Way &way = ways[base + w];
-        if (way.state != MesiState::Invalid && way.tag == line_addr)
-            return &way;
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Way *
-SetAssocCache::findWay(Addr line_addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findWay(line_addr);
-}
-
-MesiState
-SetAssocCache::access(Addr line_addr)
-{
-    Way *way = findWay(line_addr);
-    if (way == nullptr) {
-        ++missCount;
-        return MesiState::Invalid;
-    }
-    ++hitCount;
-    way->lastUse = ++useClock;
-    return way->state;
-}
-
-MesiState
-SetAssocCache::probe(Addr line_addr) const
-{
-    const Way *way = findWay(line_addr);
-    return way ? way->state : MesiState::Invalid;
-}
-
-std::optional<Eviction>
-SetAssocCache::insert(Addr line_addr, MesiState state)
-{
-    oscar_assert(state != MesiState::Invalid);
-    // Re-inserting a resident line just refreshes its state.
-    if (Way *way = findWay(line_addr)) {
-        way->state = state;
-        way->lastUse = ++useClock;
-        return std::nullopt;
-    }
-
-    const std::uint64_t base = setIndex(line_addr) * geom.assoc;
-    Way *victim = nullptr;
-    for (unsigned w = 0; w < geom.assoc; ++w) {
-        Way &way = ways[base + w];
-        if (way.state == MesiState::Invalid) {
-            victim = &way;
-            break;
-        }
-        if (victim == nullptr || way.lastUse < victim->lastUse)
-            victim = &way;
-    }
-
-    std::optional<Eviction> evicted;
-    if (victim->state != MesiState::Invalid) {
-        evicted = Eviction{victim->tag, victim->state};
-        ++evictionCount;
-    }
-    victim->tag = line_addr;
-    victim->state = state;
-    victim->lastUse = ++useClock;
-    return evicted;
-}
-
 void
 SetAssocCache::setState(Addr line_addr, MesiState state)
 {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mem/coherence.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace oscar
@@ -62,12 +63,32 @@ class SetAssocCache
     /**
      * Look up a line and touch LRU on hit.
      *
+     * Defined inline (as are probe/findWay/setIndex): MemorySystem
+     * calls these a handful of times per memory reference, and the
+     * cross-TU call overhead was visible in whole-run profiles.
+     *
      * @return The line's MESI state, or Invalid on miss.
      */
-    MesiState access(Addr line_addr);
+    MesiState
+    access(Addr line_addr)
+    {
+        Way *way = findWay(line_addr);
+        if (way == nullptr) {
+            ++missCount;
+            return MesiState::Invalid;
+        }
+        ++hitCount;
+        way->lastUse = ++useClock;
+        return way->state;
+    }
 
     /** Look up without disturbing LRU state. */
-    MesiState probe(Addr line_addr) const;
+    MesiState
+    probe(Addr line_addr) const
+    {
+        const Way *way = findWay(line_addr);
+        return way ? way->state : MesiState::Invalid;
+    }
 
     /**
      * Insert a line with the given state, evicting the LRU way if the
@@ -75,7 +96,39 @@ class SetAssocCache
      *
      * @return The evicted line, if any.
      */
-    std::optional<Eviction> insert(Addr line_addr, MesiState state);
+    std::optional<Eviction>
+    insert(Addr line_addr, MesiState state)
+    {
+        oscar_assert(state != MesiState::Invalid);
+        // Re-inserting a resident line just refreshes its state.
+        if (Way *way = findWay(line_addr)) {
+            way->state = state;
+            way->lastUse = ++useClock;
+            return std::nullopt;
+        }
+
+        const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+        Way *victim = nullptr;
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            Way &way = ways[base + w];
+            if (way.state == MesiState::Invalid) {
+                victim = &way;
+                break;
+            }
+            if (victim == nullptr || way.lastUse < victim->lastUse)
+                victim = &way;
+        }
+
+        std::optional<Eviction> evicted;
+        if (victim->state != MesiState::Invalid) {
+            evicted = Eviction{victim->tag, victim->state};
+            ++evictionCount;
+        }
+        victim->tag = line_addr;
+        victim->state = state;
+        victim->lastUse = ++useClock;
+        return evicted;
+    }
 
     /**
      * Change the state of a resident line.
@@ -121,11 +174,30 @@ class SetAssocCache
     };
 
     /** Set index for a line address. */
-    std::uint64_t setIndex(Addr line_addr) const;
+    std::uint64_t
+    setIndex(Addr line_addr) const
+    {
+        return line_addr & (numSets - 1);
+    }
 
     /** Find the way holding a line, or nullptr. */
-    Way *findWay(Addr line_addr);
-    const Way *findWay(Addr line_addr) const;
+    Way *
+    findWay(Addr line_addr)
+    {
+        const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            Way &way = ways[base + w];
+            if (way.state != MesiState::Invalid && way.tag == line_addr)
+                return &way;
+        }
+        return nullptr;
+    }
+
+    const Way *
+    findWay(Addr line_addr) const
+    {
+        return const_cast<SetAssocCache *>(this)->findWay(line_addr);
+    }
 
     std::string label;
     CacheGeometry geom;

@@ -20,17 +20,17 @@ Directory::Directory(unsigned num_cores)
 DirEntry
 Directory::lookup(Addr line_addr) const
 {
-    auto it = entries.find(line_addr);
-    if (it == entries.end())
+    const DirEntry *entry = entries.find(line_addr);
+    if (entry == nullptr)
         return DirEntry{};
-    return it->second;
+    return *entry;
 }
 
 void
 Directory::addSharer(Addr line_addr, CoreId core)
 {
     oscar_assert(core < cores);
-    DirEntry &entry = entries[line_addr];
+    DirEntry &entry = entries.refOrInsert(line_addr);
     entry.sharerMask |= 1ULL << core;
     entry.exclusive = false;
 }
@@ -39,7 +39,7 @@ void
 Directory::setExclusive(Addr line_addr, CoreId core)
 {
     oscar_assert(core < cores);
-    DirEntry &entry = entries[line_addr];
+    DirEntry &entry = entries.refOrInsert(line_addr);
     entry.sharerMask = 1ULL << core;
     entry.exclusive = true;
 }
@@ -47,23 +47,23 @@ Directory::setExclusive(Addr line_addr, CoreId core)
 void
 Directory::demoteToShared(Addr line_addr)
 {
-    auto it = entries.find(line_addr);
-    oscar_assert(it != entries.end());
-    it->second.exclusive = false;
+    DirEntry *entry = entries.find(line_addr);
+    oscar_assert(entry != nullptr);
+    entry->exclusive = false;
 }
 
 void
 Directory::removeSharer(Addr line_addr, CoreId core)
 {
     oscar_assert(core < cores);
-    auto it = entries.find(line_addr);
-    if (it == entries.end())
+    DirEntry *entry = entries.find(line_addr);
+    if (entry == nullptr)
         return;
-    it->second.sharerMask &= ~(1ULL << core);
-    if (it->second.sharerMask == 0) {
-        entries.erase(it);
-    } else if (it->second.sharerCount() > 1) {
-        it->second.exclusive = false;
+    entry->sharerMask &= ~(1ULL << core);
+    if (entry->sharerMask == 0) {
+        entries.erase(line_addr);
+    } else if (entry->sharerCount() > 1) {
+        entry->exclusive = false;
     }
 }
 

@@ -18,15 +18,25 @@
 #define OSCAR_SIM_EVENT_QUEUE_HH_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace oscar
 {
+
+/**
+ * Inline storage budget for event callbacks, in bytes: sized for the
+ * largest capture scheduled by System ([this, tid, length] — a
+ * pointer, a 32-bit thread id and a 64-bit instruction count), and
+ * static_asserted there. A callable that does not fit is a compile
+ * error, never a heap allocation — schedule() is the per-event hot
+ * path and must stay allocation-free.
+ */
+inline constexpr std::size_t kEventCallbackBytes = 24;
 
 /**
  * Min-heap of (cycle, sequence) ordered callbacks.
@@ -34,7 +44,7 @@ namespace oscar
 class EventQueue
 {
   public:
-    using Callback = std::function<void(Cycle)>;
+    using Callback = InlineFunction<void(Cycle), kEventCallbackBytes>;
 
     /**
      * Schedule a callback at an absolute cycle.

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Small-buffer-only callable wrapper for hot scheduling paths.
+ *
+ * std::function heap-allocates whenever a capture outgrows its
+ * (implementation-defined, libstdc++: 16-byte trivially-copyable)
+ * small-object buffer. EventQueue::schedule() runs once per simulated
+ * event — millions of times per run — and one of the System callbacks
+ * captures 20 bytes, so every off-load completion used to malloc.
+ *
+ * InlineFunction fixes the buffer size at compile time and refuses —
+ * with a static_assert, not a silent heap fallback — any callable
+ * that does not fit. Storing a too-large capture is a compile error
+ * at the call site; the capture-size static_asserts in system.cc and
+ * tests/test_event_queue.cc pin the budget.
+ *
+ * Scope intentionally small: move-only, no copy, no allocator, no
+ * target-type introspection. Moved-from wrappers are empty; invoking
+ * an empty wrapper asserts.
+ */
+
+#ifndef OSCAR_SIM_INLINE_FUNCTION_HH_
+#define OSCAR_SIM_INLINE_FUNCTION_HH_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+/**
+ * Fixed-capacity callable: stores any callable of at most Capacity
+ * bytes inline, never allocates.
+ */
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    /** Inline storage available for the callable's captures. */
+    static constexpr std::size_t kCapacity = Capacity;
+
+    InlineFunction() = default;
+
+    /** Empty wrapper (same as default construction). */
+    InlineFunction(std::nullptr_t) {}
+
+    /** Wrap a callable; it must fit the inline buffer. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&callable)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callable capture exceeds InlineFunction "
+                      "capacity; shrink the capture or raise the "
+                      "buffer size at the owning call site");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "callable is over-aligned for inline storage");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callable must be nothrow-movable");
+        ::new (static_cast<void *>(storage)) Fn(std::forward<F>(callable));
+        invoke = [](void *target, Args... args) -> R {
+            return (*static_cast<Fn *>(target))(
+                std::forward<Args>(args)...);
+        };
+        relocate = [](void *dst, void *src) noexcept {
+            Fn *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        };
+        destroy = [](void *target) noexcept {
+            static_cast<Fn *>(target)->~Fn();
+        };
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    /** Drop the held callable, if any. */
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return invoke != nullptr; }
+
+    /** Call the held callable; asserts when empty. */
+    R
+    operator()(Args... args)
+    {
+        oscar_assert(invoke != nullptr);
+        return invoke(storage, std::forward<Args>(args)...);
+    }
+
+  private:
+    void
+    reset()
+    {
+        if (destroy != nullptr)
+            destroy(storage);
+        invoke = nullptr;
+        relocate = nullptr;
+        destroy = nullptr;
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (other.invoke == nullptr)
+            return;
+        other.relocate(storage, other.storage);
+        invoke = other.invoke;
+        relocate = other.relocate;
+        destroy = other.destroy;
+        other.invoke = nullptr;
+        other.relocate = nullptr;
+        other.destroy = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char storage[Capacity];
+    R (*invoke)(void *, Args...) = nullptr;
+    void (*relocate)(void *, void *) noexcept = nullptr;
+    void (*destroy)(void *) noexcept = nullptr;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_INLINE_FUNCTION_HH_

@@ -27,12 +27,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -44,33 +38,6 @@ Rng::Rng(std::uint64_t seed)
         word = splitMix64(s);
 }
 
-std::uint64_t
-Rng::next64()
-{
-    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
-    const std::uint64_t t = state[1] << 17;
-    state[2] ^= state[0];
-    state[3] ^= state[1];
-    state[1] ^= state[2];
-    state[0] ^= state[3];
-    state[2] ^= t;
-    state[3] = rotl(state[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    oscar_assert(bound > 0);
-    // Lemire-style rejection to remove modulo bias.
-    const std::uint64_t threshold = -bound % bound;
-    for (;;) {
-        const std::uint64_t r = next64();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
@@ -80,18 +47,6 @@ Rng::nextRange(std::int64_t lo, std::int64_t hi)
     if (span == 0) // full 64-bit range
         return static_cast<std::int64_t>(next64());
     return lo + static_cast<std::int64_t>(nextBounded(span));
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 double
@@ -196,13 +151,6 @@ AliasTable::AliasTable(const std::vector<double> &weights)
         probability[s] = 1.0;
 }
 
-std::size_t
-AliasTable::sample(Rng &rng) const
-{
-    const std::size_t column = rng.nextBounded(probability.size());
-    return rng.nextDouble() < probability[column] ? column : alias[column];
-}
-
 double
 AliasTable::outcomeProbability(std::size_t i) const
 {
@@ -223,23 +171,24 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double s)
     for (double &c : cdf)
         c /= sum;
     cdf.back() = 1.0;
-}
 
-std::size_t
-ZipfDistribution::sample(Rng &rng) const
-{
-    const double u = rng.nextDouble();
-    // First rank whose cumulative mass covers u.
-    std::size_t lo = 0;
-    std::size_t hi = cdf.size() - 1;
-    while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        if (cdf[mid] < u)
-            lo = mid + 1;
-        else
-            hi = mid;
+    // Bucket index: for each slice boundary b/kBuckets, run the same
+    // lower-bound search sample() performs and record the result.
+    bucketLo.resize(kBuckets + 1);
+    for (std::size_t b = 0; b <= kBuckets; ++b) {
+        const double u =
+            static_cast<double>(b) / static_cast<double>(kBuckets);
+        std::size_t lo = 0;
+        std::size_t hi = cdf.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        bucketLo[b] = static_cast<std::uint32_t>(lo);
     }
-    return lo;
 }
 
 double

@@ -15,11 +15,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/logging.hh"
+
 namespace oscar
 {
 
 /**
  * Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+ *
+ * The raw draw and the uniform samplers are defined inline: the
+ * execution engine and the address-space models draw tens of millions
+ * of values per simulated second, and a cross-TU call per draw was a
+ * measurable fraction of total runtime.
  */
 class Rng
 {
@@ -28,19 +35,57 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next64();
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        oscar_assert(bound > 0);
+        // Power-of-two bounds (line offsets, alias-table columns of
+        // pow2 size) take a single draw and a mask. This is the value
+        // the general path below produces for the same draw: 2^64 is
+        // divisible by 2^k, so the rejection threshold is 0 and
+        // r % 2^k == r & (2^k - 1). Same stream, no division.
+        if ((bound & (bound - 1)) == 0)
+            return next64() & (bound - 1);
+        // Lemire-style rejection to remove modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial with probability p of returning true. */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
 
     /** Standard normal via Box-Muller (cached second value). */
     double nextGaussian();
@@ -63,6 +108,12 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state;
     double cachedGaussian = 0.0;
     bool hasCachedGaussian = false;
@@ -79,7 +130,13 @@ class AliasTable
     explicit AliasTable(const std::vector<double> &weights);
 
     /** Sample an index in [0, size()). */
-    std::size_t sample(Rng &rng) const;
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const std::size_t column = rng.nextBounded(probability.size());
+        return rng.nextDouble() < probability[column] ? column
+                                                     : alias[column];
+    }
 
     /** Number of outcomes. */
     std::size_t size() const { return probability.size(); }
@@ -94,15 +151,31 @@ class AliasTable
 };
 
 /**
- * Zipf-distributed ranks over [0, n), precomputed for O(log n) sampling
- * via inverse-CDF binary search.
+ * Zipf-distributed ranks over [0, n), sampled by inverse-CDF binary
+ * search.
  *
  * Used to model cache-line popularity inside working-set regions: a few
  * hot lines absorb most references, producing realistic hit-rate curves.
+ *
+ * A bucket index precomputed at construction narrows each search: the
+ * unit interval is cut into kBuckets equal slices and bucketLo[b]
+ * holds the rank the full search would return for u = b/kBuckets.
+ * The answer is monotone in u, so for any u in slice b it lies in
+ * [bucketLo[b], bucketLo[b + 1]] and the binary search over that
+ * subrange returns exactly what the full-range search would. With a
+ * heavy skew most slices collapse to a single rank and sampling is
+ * effectively O(1).
  */
 class ZipfDistribution
 {
   public:
+    /**
+     * Bucket count for the index. A power of two, so u * kBuckets is
+     * exact in floating point and slice membership b <= u*K < b+1 is
+     * a true statement about u itself.
+     */
+    static constexpr std::size_t kBuckets = 1024;
+
     /**
      * @param n Number of ranks.
      * @param s Skew exponent; s = 0 degenerates to uniform.
@@ -110,7 +183,25 @@ class ZipfDistribution
     ZipfDistribution(std::size_t n, double s);
 
     /** Sample a rank in [0, n). Rank 0 is the most popular. */
-    std::size_t sample(Rng &rng) const;
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.nextDouble();
+        const std::size_t b =
+            static_cast<std::size_t>(u * static_cast<double>(kBuckets));
+        // First rank whose cumulative mass covers u, searched only
+        // within the slice's bracket.
+        std::size_t lo = bucketLo[b];
+        std::size_t hi = bucketLo[b + 1];
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
 
     /** Number of ranks. */
     std::size_t size() const { return cdf.size(); }
@@ -120,6 +211,8 @@ class ZipfDistribution
 
   private:
     std::vector<double> cdf;
+    /** kBuckets + 1 entries; bucketLo[b] = lower_bound(cdf, b/kBuckets). */
+    std::vector<std::uint32_t> bucketLo;
 };
 
 } // namespace oscar

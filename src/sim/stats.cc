@@ -75,14 +75,6 @@ RunningStat::merge(const RunningStat &other)
 }
 
 void
-RatioStat::add(bool hit)
-{
-    ++totalCount;
-    if (hit)
-        ++hitCount;
-}
-
-void
 RatioStat::addMany(std::uint64_t hits_in, std::uint64_t total_in)
 {
     oscar_assert(hits_in <= total_in);

@@ -67,7 +67,12 @@ class RatioStat
 {
   public:
     /** Record one event; hit selects the numerator. */
-    void add(bool hit);
+    void
+    add(bool hit)
+    {
+        hitCount += hit ? 1 : 0;
+        ++totalCount;
+    }
 
     /** Record many events at once. */
     void addMany(std::uint64_t hits_in, std::uint64_t total_in);

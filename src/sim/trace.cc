@@ -187,8 +187,11 @@ JsonlTraceSink::JsonlTraceSink(const std::string &path,
                    path.c_str());
         return;
     }
-    if (!header_line.empty())
-        out << header_line << '\n';
+    buffer.reserve(kBufferBytes + 512);
+    if (!header_line.empty()) {
+        buffer += header_line;
+        buffer += '\n';
+    }
 }
 
 JsonlTraceSink::~JsonlTraceSink()
@@ -197,8 +200,18 @@ JsonlTraceSink::~JsonlTraceSink()
 }
 
 void
+JsonlTraceSink::drain()
+{
+    if (out && !buffer.empty())
+        out.write(buffer.data(),
+                  static_cast<std::streamsize>(buffer.size()));
+    buffer.clear();
+}
+
+void
 JsonlTraceSink::flush()
 {
+    drain();
     if (out)
         out.flush();
 }
@@ -206,8 +219,12 @@ JsonlTraceSink::flush()
 void
 JsonlTraceSink::record(const TraceEvent &event)
 {
-    if (out)
-        out << traceEventJson(event) << '\n';
+    if (!out)
+        return;
+    buffer += traceEventJson(event);
+    buffer += '\n';
+    if (buffer.size() >= kBufferBytes)
+        drain();
 }
 
 } // namespace oscar

@@ -200,10 +200,20 @@ class MemoryTraceSink : public TraceSink
  * Streaming JSONL writer: one header line (supplied by the caller,
  * typically via traceHeader() in system/trace_capture.hh) followed by
  * one line per event.
+ *
+ * Lines accumulate in an in-memory buffer that is written out in
+ * kBufferBytes-sized chunks: a busy trace emits tens of events per
+ * invocation, and paying stream formatting + a write per line made
+ * `--trace` runs measurably slower than untraced ones. The buffer is
+ * drained on overflow, on flush(), and at destruction; the bytes
+ * produced are identical to the unbuffered writer's.
  */
 class JsonlTraceSink : public TraceSink
 {
   public:
+    /** Buffered bytes before the sink writes a chunk to the stream. */
+    static constexpr std::size_t kBufferBytes = 64 * 1024;
+
     /**
      * @param path Output file, truncated.
      * @param header_line Complete header JSON object (no newline); may
@@ -224,7 +234,11 @@ class JsonlTraceSink : public TraceSink
     void record(const TraceEvent &event) override;
 
   private:
+    /** Write the accumulated buffer to the stream. */
+    void drain();
+
     std::ofstream out;
+    std::string buffer;
 };
 
 } // namespace oscar

@@ -116,7 +116,10 @@ System::buildPolicy(Thread &thread)
 void
 System::scheduleThread(std::uint32_t tid, Cycle when)
 {
-    events.schedule(when, [this, tid](Cycle) { threadStep(tid); });
+    auto step = [this, tid](Cycle) { threadStep(tid); };
+    static_assert(sizeof(step) <= kEventCallbackBytes,
+                  "thread-step capture must stay inline");
+    events.schedule(when, std::move(step));
 }
 
 InstCount
@@ -364,8 +367,10 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
     thread.pendingInv = inv;
     thread.pendingDecision = decision;
     thread.offloadArrival = now + decision.cost + one_way;
-    events.schedule(thread.offloadArrival,
-                    [this, tid](Cycle) { osCoreArrival(tid); });
+    auto arrival = [this, tid](Cycle) { osCoreArrival(tid); };
+    static_assert(sizeof(arrival) <= kEventCallbackBytes,
+                  "OS-core arrival capture must stay inline");
+    events.schedule(thread.offloadArrival, std::move(arrival));
 }
 
 void
@@ -395,9 +400,14 @@ System::startOsExecution(std::uint32_t tid, Cycle start)
     cores[os_core].cycles().os += result.cycles;
     cores[os_core].retireOs(length);
 
-    events.schedule(start + result.cycles, [this, tid, length](Cycle) {
+    // The largest capture scheduled anywhere: kEventCallbackBytes is
+    // sized for exactly this lambda.
+    auto complete = [this, tid, length](Cycle) {
         osCoreComplete(tid, length);
-    });
+    };
+    static_assert(sizeof(complete) <= kEventCallbackBytes,
+                  "OS-core completion capture must stay inline");
+    events.schedule(start + result.cycles, std::move(complete));
 }
 
 void

@@ -33,52 +33,6 @@ AddressRegion::AddressRegion(Addr base, const RegionParams &params_in)
         reuseRing.assign(params.reuseWindow, 0);
 }
 
-void
-AddressRegion::remember(std::uint64_t line)
-{
-    if (reuseRing.empty())
-        return;
-    reuseRing[ringCursor] = line;
-    ringCursor = (ringCursor + 1) % reuseRing.size();
-    if (ringFilled < reuseRing.size())
-        ++ringFilled;
-}
-
-std::uint64_t
-AddressRegion::scatter(std::uint64_t rank) const
-{
-    // Spread popular ranks across cache sets with a multiplicative
-    // permutation; without this, the hottest lines would be contiguous
-    // and artificially conflict-free.
-    return (rank * 0x9E3779B97F4A7C15ULL) % lines;
-}
-
-Addr
-AddressRegion::nextAccess(Rng &rng)
-{
-    std::uint64_t line;
-    if (ringFilled > 0 && rng.nextBool(params.reuseFraction)) {
-        // Short-term reuse: re-touch a recently referenced line.
-        line = reuseRing[rng.nextBounded(ringFilled)];
-    } else if (params.sequentialFraction > 0.0 &&
-               rng.nextBool(params.sequentialFraction)) {
-        // Streaming: dwell on a line for several references (word
-        // granularity) before advancing to the next line.
-        if (++streamDwell >= params.sequentialRepeats) {
-            streamDwell = 0;
-            streamCursor = (streamCursor + 1) % lines;
-        }
-        line = streamCursor;
-        remember(line);
-    } else {
-        const std::uint64_t rank = zipf.sample(rng);
-        line = scatter(rank);
-        remember(line);
-    }
-    const std::uint64_t offset = rng.nextBounded(params.lineBytes);
-    return baseAddr + line * params.lineBytes + offset;
-}
-
 bool
 AddressRegion::contains(Addr addr) const
 {

@@ -65,8 +65,39 @@ class AddressRegion
      */
     AddressRegion(Addr base, const RegionParams &params);
 
-    /** Draw the next referenced byte address. */
-    Addr nextAccess(Rng &rng);
+    /**
+     * Draw the next referenced byte address.
+     *
+     * Defined inline (with scatter/remember): the execution engine
+     * calls this for every simulated memory reference, and keeping the
+     * RNG and Zipf sampling visible to the caller's optimizer removes
+     * the hottest call edge in whole-run profiles.
+     */
+    Addr
+    nextAccess(Rng &rng)
+    {
+        std::uint64_t line;
+        if (ringFilled > 0 && rng.nextBool(params.reuseFraction)) {
+            // Short-term reuse: re-touch a recently referenced line.
+            line = reuseRing[rng.nextBounded(ringFilled)];
+        } else if (params.sequentialFraction > 0.0 &&
+                   rng.nextBool(params.sequentialFraction)) {
+            // Streaming: dwell on a line for several references (word
+            // granularity) before advancing to the next line.
+            if (++streamDwell >= params.sequentialRepeats) {
+                streamDwell = 0;
+                streamCursor = (streamCursor + 1) % lines;
+            }
+            line = streamCursor;
+            remember(line);
+        } else {
+            const std::uint64_t rank = zipf.sample(rng);
+            line = scatter(rank);
+            remember(line);
+        }
+        const std::uint64_t offset = rng.nextBounded(params.lineBytes);
+        return baseAddr + line * params.lineBytes + offset;
+    }
 
     /** First byte address. */
     Addr base() const { return baseAddr; }
@@ -85,10 +116,26 @@ class AddressRegion
 
   private:
     /** Map a popularity rank to a line index spread across sets. */
-    std::uint64_t scatter(std::uint64_t rank) const;
+    std::uint64_t
+    scatter(std::uint64_t rank) const
+    {
+        // Spread popular ranks across cache sets with a multiplicative
+        // permutation; without this, the hottest lines would be
+        // contiguous and artificially conflict-free.
+        return (rank * 0x9E3779B97F4A7C15ULL) % lines;
+    }
 
     /** Remember a line in the reuse ring. */
-    void remember(std::uint64_t line);
+    void
+    remember(std::uint64_t line)
+    {
+        if (reuseRing.empty())
+            return;
+        reuseRing[ringCursor] = line;
+        ringCursor = (ringCursor + 1) % reuseRing.size();
+        if (ringFilled < reuseRing.size())
+            ++ringFilled;
+    }
 
     Addr baseAddr;
     RegionParams params;

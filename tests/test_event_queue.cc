@@ -352,6 +352,105 @@ TEST(EventQueueDifferential, RandomOpsMatchReferenceModel)
     EXPECT_EQ(q.firedCount(), fired.size());
 }
 
+// ---------------------------------------------------------------------
+// InlineFunction callback storage
+
+// The no-allocation guarantee is structural: every capture System
+// schedules must fit the inline buffer, checked at compile time. These
+// mirror the static_asserts at the call sites in system.cc.
+struct LargestSystemCapture
+{
+    void *self;
+    std::uint32_t tid;
+    std::uint64_t length;
+};
+static_assert(sizeof(LargestSystemCapture) <= kEventCallbackBytes,
+              "the [this, tid, length] completion capture must fit the "
+              "event callback buffer");
+static_assert(EventQueue::Callback::kCapacity == kEventCallbackBytes);
+
+TEST(InlineCallback, InvokesWithArgument)
+{
+    Cycle seen = 0;
+    EventQueue::Callback cb([&seen](Cycle c) { seen = c; });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb(17);
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(InlineCallback, DefaultConstructedIsEmpty)
+{
+    EventQueue::Callback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EventQueue::Callback null_cb(nullptr);
+    EXPECT_FALSE(static_cast<bool>(null_cb));
+}
+
+TEST(InlineCallback, MoveTransfersStateAndEmptiesSource)
+{
+    int hits = 0;
+    EventQueue::Callback a([&hits](Cycle) { ++hits; });
+    EventQueue::Callback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b(0);
+    EXPECT_EQ(hits, 1);
+
+    EventQueue::Callback c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    ASSERT_TRUE(static_cast<bool>(c));
+    c(0);
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, ResetDestroysCapturedState)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    EventQueue::Callback cb([token](Cycle) {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    cb = nullptr;
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, MoveRelocatesNonTrivialCapture)
+{
+    // A shared_ptr capture exercises the relocate (move-construct +
+    // destroy-source) path rather than a memcpy.
+    auto token = std::make_shared<int>(5);
+    std::weak_ptr<int> watch = token;
+    EventQueue::Callback a([token](Cycle) {});
+    token.reset();
+    EventQueue::Callback b(std::move(a));
+    EXPECT_FALSE(watch.expired()); // alive inside b
+    b = nullptr;
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallback, FullCapacityCaptureWorks)
+{
+    // A capture of exactly kEventCallbackBytes must be storable and
+    // invocable: the budget is inclusive.
+    struct Full
+    {
+        unsigned char bytes[kEventCallbackBytes - sizeof(void *)];
+        unsigned char *sink;
+    };
+    static_assert(sizeof(Full) == kEventCallbackBytes);
+    unsigned char seen = 0;
+    Full payload{};
+    payload.bytes[0] = 42;
+    payload.sink = &seen;
+    EventQueue::Callback cb(
+        [payload](Cycle) { *payload.sink = payload.bytes[0]; });
+    static_assert(sizeof(Full) <= EventQueue::Callback::kCapacity);
+    cb(0);
+    EXPECT_EQ(seen, 42);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue q;

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the open-addressing FlatHashMap, including the randomized
+ * differential test against std::unordered_map that the header's
+ * equivalence claim refers to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/flat_hash.hh"
+#include "sim/random.hh"
+
+namespace oscar
+{
+namespace
+{
+
+TEST(FlatHashMap, StartsEmpty)
+{
+    FlatHashMap<int> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatHashMap, InsertThenFind)
+{
+    FlatHashMap<int> map;
+    map.insert(1, 10);
+    map.insert(2, 20);
+    ASSERT_NE(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(1), 10);
+    ASSERT_NE(map.find(2), nullptr);
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMap, RefOrInsertDefaultConstructs)
+{
+    FlatHashMap<int> map;
+    int &v = map.refOrInsert(5);
+    EXPECT_EQ(v, 0);
+    v = 7;
+    EXPECT_EQ(*map.find(5), 7);
+    // Second call returns the same live entry.
+    EXPECT_EQ(map.refOrInsert(5), 7);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, EraseRemovesAndReports)
+{
+    FlatHashMap<int> map;
+    map.insert(1, 10);
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_EQ(map.find(1), nullptr);
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_FALSE(map.erase(1));
+}
+
+TEST(FlatHashMap, ZeroIsAnOrdinaryKey)
+{
+    FlatHashMap<int> map;
+    map.insert(0, 99);
+    ASSERT_NE(map.find(0), nullptr);
+    EXPECT_EQ(*map.find(0), 99);
+    EXPECT_TRUE(map.erase(0));
+    EXPECT_EQ(map.find(0), nullptr);
+}
+
+TEST(FlatHashMap, GrowsPastInitialCapacityWithoutLoss)
+{
+    FlatHashMap<std::uint64_t> map(4);
+    for (std::uint64_t k = 0; k < 10'000; ++k)
+        map.insert(k, k * 3);
+    EXPECT_EQ(map.size(), 10'000u);
+    for (std::uint64_t k = 0; k < 10'000; ++k) {
+        ASSERT_NE(map.find(k), nullptr) << k;
+        EXPECT_EQ(*map.find(k), k * 3);
+    }
+}
+
+TEST(FlatHashMap, ReserveAvoidsRehash)
+{
+    FlatHashMap<int> map;
+    map.reserve(1000);
+    const std::size_t slots = map.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map.refOrInsert(k);
+    EXPECT_EQ(map.capacity(), slots);
+}
+
+TEST(FlatHashMap, ClearKeepsAllocation)
+{
+    FlatHashMap<int> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map.insert(k, 1);
+    const std::size_t slots = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), slots);
+    EXPECT_EQ(map.find(5), nullptr);
+    map.insert(5, 2);
+    EXPECT_EQ(*map.find(5), 2);
+}
+
+TEST(FlatHashMap, BackwardShiftKeepsProbeChainsIntact)
+{
+    // Dense keys in a small map force long probe chains; deleting from
+    // the middle of a chain must not orphan later entries.
+    FlatHashMap<std::uint64_t> map(4);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        map.insert(k, k);
+    for (std::uint64_t k = 0; k < 64; k += 2)
+        EXPECT_TRUE(map.erase(k));
+    for (std::uint64_t k = 1; k < 64; k += 2) {
+        ASSERT_NE(map.find(k), nullptr) << k;
+        EXPECT_EQ(*map.find(k), k);
+    }
+    for (std::uint64_t k = 0; k < 64; k += 2)
+        EXPECT_EQ(map.find(k), nullptr) << k;
+}
+
+/**
+ * Differential test: random find/insert/erase/clear streams must be
+ * observationally identical to std::unordered_map. Keys are drawn from
+ * a small pool so collisions, re-insertions and chain deletions are
+ * constant.
+ */
+TEST(FlatHashMapDifferential, RandomOpsMatchUnorderedMap)
+{
+    for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+        FlatHashMap<std::uint64_t> flat(4);
+        std::unordered_map<std::uint64_t, std::uint64_t> ref;
+        Rng rng(seed);
+
+        for (int op = 0; op < 200'000; ++op) {
+            const std::uint64_t key = rng.nextBounded(512);
+            const unsigned action = static_cast<unsigned>(
+                rng.nextBounded(100));
+            if (action < 45) {
+                const std::uint64_t value = rng.next64();
+                flat.refOrInsert(key) = value;
+                ref[key] = value;
+            } else if (action < 75) {
+                const std::uint64_t *got = flat.find(key);
+                auto it = ref.find(key);
+                if (it == ref.end()) {
+                    ASSERT_EQ(got, nullptr) << "op " << op;
+                } else {
+                    ASSERT_NE(got, nullptr) << "op " << op;
+                    ASSERT_EQ(*got, it->second) << "op " << op;
+                }
+            } else if (action < 99) {
+                ASSERT_EQ(flat.erase(key), ref.erase(key) > 0)
+                    << "op " << op;
+            } else {
+                flat.clear();
+                ref.clear();
+            }
+            ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+        }
+
+        // Final sweep: every key agrees.
+        for (std::uint64_t key = 0; key < 512; ++key) {
+            const std::uint64_t *got = flat.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                ASSERT_EQ(got, nullptr) << key;
+            } else {
+                ASSERT_NE(got, nullptr) << key;
+                ASSERT_EQ(*got, it->second) << key;
+            }
+        }
+    }
+}
+
+TEST(FlatHashMapDifferential, SparseKeysMatchUnorderedMap)
+{
+    // Full-range 64-bit keys: exercises the hash finalizer rather than
+    // probe-chain churn.
+    FlatHashMap<std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(77);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t key = rng.next64();
+        keys.push_back(key);
+        flat.insert(key, static_cast<std::uint64_t>(i));
+        ref.emplace(key, static_cast<std::uint64_t>(i));
+    }
+    for (std::uint64_t key : keys) {
+        ASSERT_NE(flat.find(key), nullptr);
+        EXPECT_EQ(*flat.find(key), ref.at(key));
+    }
+    EXPECT_EQ(flat.size(), ref.size());
+}
+
+} // namespace
+} // namespace oscar

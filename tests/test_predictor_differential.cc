@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Randomized differential test: the O(1) hash + intrusive-LRU
+ * CamPredictor against the original O(entries) linear-scan CAM, kept
+ * here verbatim as the reference model. The two implementations must
+ * agree on every prediction (length, fallback flag, hit flag and
+ * confidence), every eviction (observable through later predictions)
+ * and the occupancy count, over long mixed op streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/run_length_predictor.hh"
+#include "sim/random.hh"
+
+namespace oscar
+{
+namespace
+{
+
+/**
+ * The original CamPredictor: linear tag scan, timestamp LRU. This is
+ * the seed implementation, reproduced as the executable specification
+ * of "200-entry fully-associative CAM with LRU replacement".
+ */
+class ReferenceCam
+{
+  public:
+    explicit ReferenceCam(std::size_t entries)
+        : table(entries)
+    {
+    }
+
+    RunLengthPrediction
+    predict(std::uint64_t astate)
+    {
+        RunLengthPrediction pred;
+        Entry *entry = find(astate);
+        if (entry == nullptr) {
+            pred.length = history.prediction();
+            pred.fromGlobal = true;
+            return pred;
+        }
+        entry->lastUse = ++useClock;
+        pred.tableHit = true;
+        pred.confidence = entry->conf;
+        if (entry->conf == 0) {
+            pred.length = history.prediction();
+            pred.fromGlobal = true;
+        } else {
+            pred.length = entry->length;
+        }
+        return pred;
+    }
+
+    void
+    update(std::uint64_t astate, InstCount actual)
+    {
+        history.observe(actual);
+        Entry *entry = find(astate);
+        if (entry != nullptr) {
+            if (withinTolerance(entry->length, actual))
+                entry->conf = confidence::up(entry->conf);
+            else
+                entry->conf = confidence::down(entry->conf);
+            entry->length = actual;
+            entry->lastUse = ++useClock;
+            return;
+        }
+        Entry *victim = nullptr;
+        for (Entry &candidate : table) {
+            if (!candidate.valid) {
+                victim = &candidate;
+                break;
+            }
+            if (victim == nullptr || candidate.lastUse < victim->lastUse)
+                victim = &candidate;
+        }
+        victim->valid = true;
+        victim->astate = astate;
+        victim->length = actual;
+        victim->conf = 0;
+        victim->lastUse = ++useClock;
+    }
+
+    std::size_t
+    occupancy() const
+    {
+        std::size_t live = 0;
+        for (const Entry &entry : table) {
+            if (entry.valid)
+                ++live;
+        }
+        return live;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t astate = 0;
+        InstCount length = 0;
+        std::uint64_t lastUse = 0;
+        std::uint8_t conf = 0;
+        bool valid = false;
+    };
+
+    Entry *
+    find(std::uint64_t astate)
+    {
+        for (Entry &entry : table) {
+            if (entry.valid && entry.astate == astate)
+                return &entry;
+        }
+        return nullptr;
+    }
+
+    std::vector<Entry> table;
+    GlobalRunLengthHistory history;
+    std::uint64_t useClock = 0;
+};
+
+/** Drive both implementations with an identical mixed op stream. */
+void
+runDifferential(std::size_t entries, std::size_t astate_pool,
+                std::size_t ops, std::uint64_t seed)
+{
+    CamPredictor cam(entries);
+    ReferenceCam ref(entries);
+    Rng rng(seed);
+
+    // Skewed AState stream: a hot set gets most references, a long
+    // uniform tail forces continuous evictions.
+    std::vector<std::uint64_t> pool;
+    pool.reserve(astate_pool);
+    for (std::size_t i = 0; i < astate_pool; ++i)
+        pool.push_back(rng.next64());
+
+    for (std::size_t op = 0; op < ops; ++op) {
+        std::uint64_t astate;
+        if (rng.nextBool(0.7)) {
+            astate = pool[rng.nextBounded(16)]; // hot subset
+        } else {
+            astate = pool[rng.nextBounded(pool.size())];
+        }
+
+        if (rng.nextBool(0.5)) {
+            const RunLengthPrediction got = cam.predict(astate);
+            const RunLengthPrediction want = ref.predict(astate);
+            ASSERT_EQ(got.length, want.length) << "op " << op;
+            ASSERT_EQ(got.fromGlobal, want.fromGlobal) << "op " << op;
+            ASSERT_EQ(got.tableHit, want.tableHit) << "op " << op;
+            ASSERT_EQ(got.confidence, want.confidence) << "op " << op;
+        } else {
+            const InstCount actual = 1 + rng.nextBounded(50'000);
+            cam.update(astate, actual);
+            ref.update(astate, actual);
+        }
+        ASSERT_EQ(cam.occupancy(), ref.occupancy()) << "op " << op;
+    }
+}
+
+TEST(CamDifferential, PaperSizedTableLongMixedStream)
+{
+    // 100k+ ops against the paper's 200-entry table, with a pool
+    // large enough that evictions are constant.
+    runDifferential(200, 1000, 120'000, 0xC0FFEE);
+}
+
+TEST(CamDifferential, TinyTableMaximizesEvictionPressure)
+{
+    // A 4-entry CAM makes every LRU decision observable within a few
+    // ops; disagreement in victim choice surfaces immediately.
+    runDifferential(4, 64, 120'000, 42);
+}
+
+TEST(CamDifferential, SingleEntryTable)
+{
+    runDifferential(1, 16, 30'000, 7);
+}
+
+TEST(CamDifferential, PoolSmallerThanTableNeverEvicts)
+{
+    runDifferential(200, 100, 60'000, 99);
+}
+
+TEST(CamDifferential, MultipleSeedsAgree)
+{
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL})
+        runDifferential(32, 256, 40'000, seed);
+}
+
+} // namespace
+} // namespace oscar

@@ -260,5 +260,98 @@ TEST(Zipf, SingleRank)
         EXPECT_EQ(zipf.sample(rng), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Fast-path equivalence: the hot-path shortcuts must reproduce the
+// general implementations draw for draw, or golden traces would shift.
+
+TEST(Rng, PowerOfTwoBoundMatchesRejectionPath)
+{
+    // For bound 2^k the rejection threshold (2^64 mod 2^k) is zero, so
+    // the general path consumes exactly one draw and reduces it with
+    // %. The mask fast path must return the identical value from the
+    // identical draw.
+    for (unsigned k : {0u, 1u, 3u, 6u, 12u, 31u, 63u}) {
+        const std::uint64_t bound = 1ULL << k;
+        Rng a(1234);
+        Rng b(1234);
+        for (int i = 0; i < 10'000; ++i) {
+            const std::uint64_t expected = b.next64() % bound;
+            ASSERT_EQ(a.nextBounded(bound), expected)
+                << "bound=2^" << k << " i=" << i;
+        }
+    }
+}
+
+TEST(Rng, NonPowerOfTwoBoundStillUnbiased)
+{
+    // Guard against the fast path misfiring: a non-pow2 bound must
+    // keep the Lemire rejection semantics (values cover the full
+    // range, never reach the bound).
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10'000; ++i) {
+        const std::uint64_t v = rng.nextBounded(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+/** The original full-range inverse-CDF search, as a reference. */
+std::size_t
+zipfFullSearch(const std::vector<double> &cdf, double u)
+{
+    std::size_t lo = 0;
+    std::size_t hi = cdf.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/** Rebuild the CDF exactly as ZipfDistribution's constructor does. */
+std::vector<double>
+zipfCdf(std::size_t n, double s)
+{
+    std::vector<double> cdf(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf[i] = sum;
+    }
+    for (double &c : cdf)
+        c /= sum;
+    cdf.back() = 1.0;
+    return cdf;
+}
+
+TEST(Zipf, BucketIndexMatchesFullBinarySearch)
+{
+    // Differential: sample() (bucket-narrowed search) against the
+    // original full-range search on an identically constructed CDF,
+    // over identical RNG streams. Sizes straddle the bucket count so
+    // both the many-ranks-per-bucket and many-buckets-per-rank shapes
+    // are exercised.
+    struct Case { std::size_t n; double s; };
+    for (const Case &c : {Case{3, 0.0}, Case{16, 1.0}, Case{100, 0.8},
+                          Case{1024, 0.5}, Case{5000, 1.2},
+                          Case{70'000, 0.8}}) {
+        ZipfDistribution zipf(c.n, c.s);
+        const std::vector<double> cdf = zipfCdf(c.n, c.s);
+        Rng a(2024);
+        Rng b(2024);
+        for (int i = 0; i < 20'000; ++i) {
+            const std::size_t got = zipf.sample(a);
+            const std::size_t want = zipfFullSearch(cdf, b.nextDouble());
+            ASSERT_EQ(got, want)
+                << "n=" << c.n << " s=" << c.s << " i=" << i;
+        }
+    }
+}
+
 } // namespace
 } // namespace oscar

@@ -134,6 +134,51 @@ TEST(TraceSink, JsonlSinkMatchesMemorySinkSerialization)
     std::remove(path.c_str());
 }
 
+TEST(TraceSink, JsonlSinkBufferedOutputIsByteIdenticalAcrossDrains)
+{
+    // Enough events to overflow the internal buffer several times: the
+    // chunked writes must concatenate to exactly the per-line bytes.
+    const std::string path = tempPath("jsonl_buffered.trace.jsonl");
+    MemoryTraceSink memory;
+    const std::size_t count =
+        (3 * JsonlTraceSink::kBufferBytes) / 40; // ~40 bytes per line
+    {
+        JsonlTraceSink file(path, "{\"schema\":\"oscar.trace.v1\"}");
+        ASSERT_TRUE(file.ok());
+        for (std::size_t i = 0; i < count; ++i) {
+            TraceEvent event = eventWithCycle(static_cast<Cycle>(i));
+            event.thread = static_cast<std::uint32_t>(i % 13);
+            event.astate = 0x1234567890ABCDEFULL + i;
+            event.actual = static_cast<InstCount>(i * 3);
+            memory.emit(event);
+            file.emit(event);
+        }
+    }
+    std::string expected = "{\"schema\":\"oscar.trace.v1\"}\n";
+    for (const std::string &line : memory.lines())
+        expected += line + "\n";
+    EXPECT_GT(expected.size(), 2 * JsonlTraceSink::kBufferBytes);
+    EXPECT_EQ(readFile(path), expected);
+    std::remove(path.c_str());
+}
+
+TEST(TraceSink, JsonlSinkFlushMakesPartialBufferVisible)
+{
+    // flush() must expose buffered lines without waiting for overflow
+    // or destruction (sweep progress reporting relies on this).
+    const std::string path = tempPath("jsonl_flush.trace.jsonl");
+    JsonlTraceSink file(path, "{\"schema\":\"oscar.trace.v1\"}");
+    ASSERT_TRUE(file.ok());
+    TraceEvent event = eventWithCycle(1);
+    file.emit(event);
+    file.flush();
+    const std::string bytes = readFile(path);
+    EXPECT_EQ(bytes,
+              "{\"schema\":\"oscar.trace.v1\"}\n" +
+                  traceEventJson(event) + "\n");
+    std::remove(path.c_str());
+}
+
 TEST(TraceSink, JsonlSinkUnopenablePathReportsNotOk)
 {
     JsonlTraceSink sink("/nonexistent-dir/trace.jsonl", "");
