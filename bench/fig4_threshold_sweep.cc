@@ -133,6 +133,7 @@ main(int argc, char **argv)
 
     std::vector<SweepPoint> points = buildPoints();
     applySweepTracePaths(points, opts.tracePath);
+    applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
     ParallelSweepRunner runner({opts.jobs});
     const auto results = runner.run(points);
     render(results);

@@ -19,6 +19,10 @@
  *  - trace_stream: one apache/HI run streaming an `oscar.trace.v1`
  *    JSONL trace to disk; measures the trace serialization + write
  *    path on top of simulation.
+ *  - metrics_stream: the same apache/HI run with a MetricRegistry
+ *    attached (100k-instruction sampling) and an `oscar.metrics.v1`
+ *    file written at the end; measures the metric shadow-counter and
+ *    sampling overhead on top of simulation.
  *  - predictor_cam_hot: CAM predict/update over a Zipf-skewed stream
  *    of 80 hot AStates (mostly hits — the paper's steady state).
  *  - predictor_cam_churn: CAM predict/update over 4096 uniform
@@ -52,7 +56,9 @@
 
 #include "core/run_length_predictor.hh"
 #include "sim/json.hh"
+#include "sim/metrics.hh"
 #include "sim/random.hh"
+#include "system/metrics_capture.hh"
 #include "system/sweep.hh"
 #include "system/trace_capture.hh"
 
@@ -71,6 +77,7 @@ struct PerfOptions
     std::string jsonPath = "BENCH_perf.json";
     std::string comparePath;
     std::string traceOutPath = "perf_wallclock.trace.jsonl";
+    std::string metricsOutPath = "perf_wallclock.metrics.jsonl";
 };
 
 /** One timed scenario's outcome. */
@@ -243,6 +250,44 @@ runTraceScenario(const PerfOptions &opts)
 }
 
 // ---------------------------------------------------------------------
+// Scenario: metrics-enabled run
+
+ScenarioResult
+runMetricsScenario(const PerfOptions &opts)
+{
+    // Same configuration as trace_stream, so the two scenarios bound
+    // the cost of each observability path over an identical run.
+    SystemConfig config = ExperimentRunner::hardwareConfig(
+        WorkloadKind::Apache, /*static_n=*/1000,
+        /*migration_one_way=*/100);
+    config.warmupInstructions = 200'000;
+    config.measureInstructions = 1'800'000;
+
+    bool wrote = true;
+    std::size_t samples = 0;
+    ScenarioResult result = measure("metrics_stream", opts, [&] {
+        MetricRegistry registry(/*sample_every=*/100'000);
+        (void)ExperimentRunner::run(config, nullptr, &registry);
+        samples = registry.samples().size();
+        wrote = writeMetricsFile(registry, config,
+                                 opts.metricsOutPath) && wrote;
+    });
+
+    std::uint64_t bytes = 0;
+    {
+        std::ifstream in(opts.metricsOutPath,
+                         std::ios::binary | std::ios::ate);
+        if (in)
+            bytes = static_cast<std::uint64_t>(in.tellg());
+    }
+    std::remove(opts.metricsOutPath.c_str());
+    result.meta.emplace_back("samples", std::to_string(samples));
+    result.meta.emplace_back("metrics_bytes", std::to_string(bytes));
+    result.meta.emplace_back("wrote", wrote ? "true" : "false");
+    return result;
+}
+
+// ---------------------------------------------------------------------
 // Scenario: predictor microbenchmarks
 
 std::vector<std::uint64_t>
@@ -405,6 +450,8 @@ parseArgs(int argc, char **argv)
             opts.comparePath = next("--compare");
         } else if (arg == "--trace-out") {
             opts.traceOutPath = next("--trace-out");
+        } else if (arg == "--metrics-out") {
+            opts.metricsOutPath = next("--metrics-out");
         } else if (arg == "--quick") {
             opts.reps = 3;
             opts.warmup = 0;
@@ -412,7 +459,7 @@ parseArgs(int argc, char **argv)
             std::printf(
                 "usage: perf_wallclock [--reps N] [--warmup N] "
                 "[--json PATH] [--compare BASELINE] "
-                "[--trace-out PATH] [--quick]\n");
+                "[--trace-out PATH] [--metrics-out PATH] [--quick]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -436,6 +483,7 @@ main(int argc, char **argv)
     std::vector<ScenarioResult> scenarios;
     scenarios.push_back(runFig5Scenario(opts));
     scenarios.push_back(runTraceScenario(opts));
+    scenarios.push_back(runMetricsScenario(opts));
     scenarios.push_back(runPredictorScenario(
         "predictor_cam_hot", opts, zipfAStateStream(4096, 80)));
     scenarios.push_back(runPredictorScenario(

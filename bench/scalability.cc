@@ -71,7 +71,9 @@ main(int argc, char **argv)
                 "cores ==\n(SPECjbb2005, N=100, 1,000-cycle off-load "
                 "overhead)\n\n");
 
-    const std::vector<SweepPoint> points = buildPoints();
+    std::vector<SweepPoint> points = buildPoints();
+    applySweepTracePaths(points, opts.tracePath);
+    applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
     ParallelSweepRunner runner({opts.jobs});
     const auto results = runner.run(points);
 

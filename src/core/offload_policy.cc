@@ -6,6 +6,7 @@
 #include "core/offload_policy.hh"
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 
 namespace oscar
@@ -153,6 +154,22 @@ PredictivePolicy::PredictivePolicy(RunLengthPredictor &predictor,
                  policy_kind == PolicyKind::HardwarePredictor);
 }
 
+void
+PredictivePolicy::registerMetrics(MetricRegistry &registry,
+                                  const std::string &prefix)
+{
+    oscar_assert(mLookups == nullptr);
+    mLookups = registry.counter(prefix + ".lookups");
+    mGlobalFallbacks = registry.counter(prefix + ".global_fallbacks");
+    mTableHits = registry.counter(prefix + ".table_hits");
+    mObservations = registry.counter(prefix + ".observations");
+    mConfidence = registry.histogram(prefix + ".confidence", 4);
+    RunLengthPredictor *p = &pred;
+    registry.gauge(prefix + ".occupancy", [p] {
+        return static_cast<double>(p->occupancy());
+    });
+}
+
 OffloadDecision
 PredictivePolicy::decide(const OsInvocation &invocation)
 {
@@ -163,6 +180,12 @@ PredictivePolicy::decide(const OsInvocation &invocation)
     decision.cost = cost;
     const InstCount n = thresh.threshold();
     decision.offload = decision.predictedLength > n;
+    if (mLookups != nullptr) {
+        ++*mLookups;
+        *mGlobalFallbacks += decision.prediction.fromGlobal ? 1 : 0;
+        *mTableHits += decision.prediction.tableHit ? 1 : 0;
+        mConfidence->add(decision.prediction.confidence);
+    }
     if (trace != nullptr) {
         TraceEvent event;
         event.kind = TraceEventKind::PredictorLookup;
@@ -185,8 +208,12 @@ PredictivePolicy::observe(const OsInvocation &invocation,
 {
     pred.update(invocation.astate(), actual_length);
     if (decision.predictorUsed) {
-        accuracy.record(decision.prediction, actual_length,
-                        invocation.isWindowTrap());
+        const bool counted = accuracy.record(decision.prediction,
+                                             actual_length,
+                                             invocation.isWindowTrap());
+        // Lockstep with samples(): only count what record() counted.
+        if (counted && mObservations != nullptr)
+            ++*mObservations;
     }
 }
 

@@ -36,6 +36,7 @@
 namespace oscar
 {
 
+class MetricRegistry;
 class TraceSink;
 
 /** What the policy decided for one invocation. */
@@ -262,12 +263,30 @@ class PredictivePolicy : public OffloadPolicy
     /** Mutable accuracy accounting (reset between phases). */
     PredictorStats &stats() { return accuracy; }
 
+    /**
+     * Register this policy's predictor metrics under `<prefix>.`:
+     * lookup/global-fallback/table-hit counters, an observation
+     * counter in exact lockstep with stats().samples() (same
+     * window-trap exclusion), a lookup-confidence histogram, and a
+     * predictor occupancy gauge. Call at most once, before decisions;
+     * the registry must outlive this policy.
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix);
+
   private:
     RunLengthPredictor &pred;
     const ThresholdProvider &thresh;
     Cycle cost;
     PolicyKind policyKind;
     PredictorStats accuracy;
+
+    // Registry handles; null until registerMetrics() (metrics off).
+    std::uint64_t *mLookups = nullptr;
+    std::uint64_t *mGlobalFallbacks = nullptr;
+    std::uint64_t *mTableHits = nullptr;
+    std::uint64_t *mObservations = nullptr;
+    LogHistogram *mConfidence = nullptr;
 };
 
 } // namespace oscar

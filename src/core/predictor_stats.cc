@@ -25,12 +25,12 @@ PredictorStats::PredictorStats(std::vector<InstCount> thresholds,
 {
 }
 
-void
+bool
 PredictorStats::record(const RunLengthPrediction &prediction,
                        InstCount actual, bool is_window_trap)
 {
     if (excludeWindowTraps && is_window_trap)
-        return;
+        return false;
     ++total;
     if (prediction.fromGlobal)
         ++fromGlobal;
@@ -48,6 +48,7 @@ PredictorStats::record(const RunLengthPrediction &prediction,
         const bool actually_over = actual > ns[i];
         binary[i].add(predicted_over == actually_over);
     }
+    return true;
 }
 
 double

@@ -48,8 +48,12 @@ class PredictorStats
      * @param prediction What the predictor said beforehand.
      * @param actual Observed run length (with interrupt extension).
      * @param is_window_trap True for spill/fill traps.
+     * @return True when the outcome was counted, false when the
+     *         window-trap exclusion skipped it — so shadow counters
+     *         (registry metrics) can stay in exact lockstep with
+     *         samples().
      */
-    void record(const RunLengthPrediction &prediction, InstCount actual,
+    bool record(const RunLengthPrediction &prediction, InstCount actual,
                 bool is_window_trap);
 
     /** Invocations counted. */

@@ -210,6 +210,7 @@ DirectMappedPredictor::update(std::uint64_t astate, InstCount actual)
             entry.conf = confidence::down(entry.conf);
     } else {
         entry.valid = true;
+        ++validCount;
         entry.conf = 0;
     }
     entry.length = actual;

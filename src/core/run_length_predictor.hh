@@ -112,6 +112,9 @@ class RunLengthPredictor
     /** Organization name for reports. */
     virtual std::string name() const = 0;
 
+    /** Number of live (trained) entries; an occupancy gauge. */
+    virtual std::size_t occupancy() const = 0;
+
     /** The shared last-three-lengths global history. */
     const GlobalRunLengthHistory &global() const { return globalHistory; }
 
@@ -176,7 +179,7 @@ class CamPredictor : public RunLengthPredictor
     std::string name() const override { return "cam"; }
 
     /** Number of live entries; O(1). */
-    std::size_t occupancy() const { return liveCount; }
+    std::size_t occupancy() const override { return liveCount; }
 
     /** Capacity. */
     std::size_t capacity() const { return table.size(); }
@@ -230,6 +233,9 @@ class DirectMappedPredictor : public RunLengthPredictor
     std::uint64_t storageBits() const override;
     std::string name() const override { return "direct-mapped"; }
 
+    /** Number of valid entries; O(1) via the running count. */
+    std::size_t occupancy() const override { return validCount; }
+
   private:
     struct Entry
     {
@@ -241,6 +247,8 @@ class DirectMappedPredictor : public RunLengthPredictor
     std::size_t index(std::uint64_t astate) const;
 
     std::vector<Entry> table;
+    /** Entries with valid == true. */
+    std::size_t validCount = 0;
 };
 
 /**
@@ -255,7 +263,7 @@ class InfinitePredictor : public RunLengthPredictor
     std::string name() const override { return "infinite"; }
 
     /** Number of distinct AStates seen. */
-    std::size_t occupancy() const { return table.size(); }
+    std::size_t occupancy() const override { return table.size(); }
 
   private:
     struct Entry

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 
 namespace oscar
@@ -72,6 +73,34 @@ ThresholdController::scaledRunCap() const
 }
 
 void
+ThresholdController::setPhase(Phase next)
+{
+    if (next != currentPhase)
+        ++transitionCount;
+    currentPhase = next;
+}
+
+void
+ThresholdController::registerMetrics(MetricRegistry &registry)
+{
+    // currentThreshold() is safe in every phase, Idle included.
+    registry.gauge("controller.n", [this] {
+        return static_cast<double>(currentThreshold());
+    });
+    registry.gauge("controller.phase", [this] {
+        return static_cast<double>(currentPhase);
+    });
+    registry.counterFn("controller.epochs",
+                       [this] { return epochCount; });
+    registry.counterFn("controller.rounds",
+                       [this] { return roundCount; });
+    registry.counterFn("controller.switches",
+                       [this] { return switchCount; });
+    registry.counterFn("controller.transitions",
+                       [this] { return transitionCount; });
+}
+
+void
 ThresholdController::begin(double priv_fraction)
 {
     const InstCount initial = priv_fraction > cfg.privFractionBoundary
@@ -91,7 +120,7 @@ ThresholdController::begin(double priv_fraction)
     sampleUpperRate = -1.0;
     lowerExists = false;
     upperExists = false;
-    currentPhase = Phase::SampleCurrent;
+    setPhase(Phase::SampleCurrent);
     emitThresholdChange(trace, cfg.ladder[currentIndex],
                         cfg.ladder[currentIndex], roundCount);
 }
@@ -166,12 +195,15 @@ ThresholdController::concludeRound()
         // Incumbent confirmed: stretch the undisturbed run.
         runLength = std::min<InstCount>(runLength * 2, scaledRunCap());
     }
-    currentPhase = Phase::Run;
+    setPhase(Phase::Run);
 }
 
 void
 ThresholdController::onEpochEnd(double l2_hit_rate)
 {
+    if (currentPhase == Phase::Idle)
+        oscar_panic("onEpochEnd before begin()");
+    ++epochCount;
     switch (currentPhase) {
       case Phase::Idle:
         oscar_panic("onEpochEnd before begin()");
@@ -182,9 +214,9 @@ ThresholdController::onEpochEnd(double l2_hit_rate)
         sampleLowerRate = -1.0;
         sampleUpperRate = -1.0;
         if (lowerExists) {
-            currentPhase = Phase::SampleLower;
+            setPhase(Phase::SampleLower);
         } else if (upperExists) {
-            currentPhase = Phase::SampleUpper;
+            setPhase(Phase::SampleUpper);
         } else {
             concludeRound();
         }
@@ -192,7 +224,7 @@ ThresholdController::onEpochEnd(double l2_hit_rate)
       case Phase::SampleLower:
         sampleLowerRate = l2_hit_rate;
         if (upperExists) {
-            currentPhase = Phase::SampleUpper;
+            setPhase(Phase::SampleUpper);
         } else {
             concludeRound();
         }
@@ -203,7 +235,7 @@ ThresholdController::onEpochEnd(double l2_hit_rate)
         return;
       case Phase::Run:
         // The undisturbed run ended: start the next sampling round.
-        currentPhase = Phase::SampleCurrent;
+        setPhase(Phase::SampleCurrent);
         return;
     }
 }

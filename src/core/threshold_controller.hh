@@ -27,6 +27,7 @@
 namespace oscar
 {
 
+class MetricRegistry;
 class TraceSink;
 
 /** Tuning knobs of the dynamic-N mechanism (paper defaults). */
@@ -109,6 +110,12 @@ class ThresholdController
     /** Number of completed sampling rounds. */
     std::uint64_t rounds() const { return roundCount; }
 
+    /** Number of epoch-end verdicts processed (onEpochEnd calls). */
+    std::uint64_t epochs() const { return epochCount; }
+
+    /** Number of sampling-state (phase) transitions, begin() included. */
+    std::uint64_t transitions() const { return transitionCount; }
+
     /** Phase name for traces. */
     static std::string phaseName(Phase phase);
 
@@ -117,6 +124,14 @@ class ThresholdController
      * event from begin() and whenever a sampling round moves N.
      */
     void setTraceSink(TraceSink *sink) { trace = sink; }
+
+    /**
+     * Register controller metrics under `controller.`: the N in force
+     * and the phase as gauges, plus epoch/round/switch/transition
+     * counters. Call at most once; the registry must outlive this
+     * controller.
+     */
+    void registerMetrics(MetricRegistry &registry);
 
   private:
     /** Index of the incumbent N in the ladder. */
@@ -129,6 +144,9 @@ class ThresholdController
 
     /** Decide the winner after all samples of a round are in. */
     void concludeRound();
+
+    /** Change phase, counting the transition. */
+    void setPhase(Phase next);
 
     ThresholdConfig cfg;
     Phase currentPhase = Phase::Idle;
@@ -143,6 +161,8 @@ class ThresholdController
 
     std::uint64_t switchCount = 0;
     std::uint64_t roundCount = 0;
+    std::uint64_t epochCount = 0;
+    std::uint64_t transitionCount = 0;
 
     TraceSink *trace = nullptr;
 };

@@ -88,6 +88,44 @@ MemorySystem::invalidateAll()
         cc.l2->invalidateAll();
     }
     dir.clear();
+    ++flushCount;
+}
+
+void
+MemorySystem::registerMetrics(MetricRegistry &registry)
+{
+    oscar_assert(metricHandles.empty());
+    metricHandles.resize(cores.size());
+    for (unsigned c = 0; c < cores.size(); ++c) {
+        const std::string prefix = "mem.core" + std::to_string(c) + ".";
+        CoreMetricHandles &h = metricHandles[c];
+        h.l1i.hits = registry.counter(prefix + "l1i.hits");
+        h.l1i.total = registry.counter(prefix + "l1i.accesses");
+        h.l1d.hits = registry.counter(prefix + "l1d.hits");
+        h.l1d.total = registry.counter(prefix + "l1d.accesses");
+        h.l2User.hits = registry.counter(prefix + "l2.user.hits");
+        h.l2User.total = registry.counter(prefix + "l2.user.accesses");
+        h.l2Os.hits = registry.counter(prefix + "l2.os.hits");
+        h.l2Os.total = registry.counter(prefix + "l2.os.accesses");
+        h.c2cTransfers = registry.counter(prefix + "c2c_transfers");
+        h.invalidationsSent = registry.counter(prefix + "inval.sent");
+        h.invalidationsReceived =
+            registry.counter(prefix + "inval.received");
+        h.upgrades = registry.counter(prefix + "upgrades");
+        h.memoryFetches = registry.counter(prefix + "memory_fetches");
+        // Lifetime tag-store evictions are already counted by the
+        // caches themselves; poll them rather than shadowing.
+        const SetAssocCache *l2c = cores[c].l2.get();
+        registry.counterFn(prefix + "l2.evictions",
+                           [l2c] { return l2c->evictions(); });
+        const SetAssocCache *l1dc = cores[c].l1d.get();
+        registry.counterFn(prefix + "l1d.evictions",
+                           [l1dc] { return l1dc->evictions(); });
+    }
+    registry.counterFn("mem.flushes", [this] { return flushCount; });
+    registry.gauge("mem.directory.lines", [this] {
+        return static_cast<double>(dir.trackedLines());
+    });
 }
 
 void
@@ -127,6 +165,8 @@ MemorySystem::invalidateRemote(Addr line_addr, CoreId except)
         cores[c].l1i->invalidate(line_addr);
         dir.removeSharer(line_addr, c);
         ++coreStats[c].invalidationsReceived;
+        if (!metricHandles.empty())
+            ++*metricHandles[c].invalidationsReceived;
         fabric.countMessage();
         ++invalidated;
     }
@@ -169,6 +209,10 @@ MemorySystem::upgradeLine(CoreId core, Addr line_addr)
     dir.setExclusive(line_addr, core);
     cores[core].l2->setState(line_addr, MesiState::Modified);
     ++coreStats[core].upgrades;
+    if (!metricHandles.empty()) {
+        ++*metricHandles[core].upgrades;
+        *metricHandles[core].invalidationsSent += invalidated;
+    }
     if (invalidated > 0)
         coreStats[core].invalidationsSent += invalidated;
     return latency;
@@ -194,6 +238,8 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
         result.latency += lat.cacheToCache;
         result.source = AccessSource::RemoteCache;
         ++coreStats[core].c2cTransfers;
+        if (!metricHandles.empty())
+            ++*metricHandles[core].c2cTransfers;
         if (is_write) {
             cores[owner].l2->invalidate(line_addr);
             cores[owner].l1d->invalidate(line_addr);
@@ -201,6 +247,10 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
             dir.removeSharer(line_addr, owner);
             ++coreStats[owner].invalidationsReceived;
             ++coreStats[core].invalidationsSent;
+            if (!metricHandles.empty()) {
+                ++*metricHandles[owner].invalidationsReceived;
+                ++*metricHandles[core].invalidationsSent;
+            }
             result.invalidatedRemote = true;
             dir.setExclusive(line_addr, core);
             fillL2(core, line_addr, MesiState::Modified);
@@ -221,12 +271,18 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
             result.invalidatedRemote = invalidated > 0;
             coreStats[core].invalidationsSent += invalidated;
             ++coreStats[core].memoryFetches;
+            if (!metricHandles.empty()) {
+                *metricHandles[core].invalidationsSent += invalidated;
+                ++*metricHandles[core].memoryFetches;
+            }
             dir.setExclusive(line_addr, core);
             fillL2(core, line_addr, MesiState::Modified);
         } else {
             result.latency += lat.memory;
             result.source = AccessSource::Memory;
             ++coreStats[core].memoryFetches;
+            if (!metricHandles.empty())
+                ++*metricHandles[core].memoryFetches;
             dir.addSharer(line_addr, core);
             fillL2(core, line_addr, MesiState::Shared);
         }
@@ -235,6 +291,8 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
         result.latency += lat.memory;
         result.source = AccessSource::Memory;
         ++coreStats[core].memoryFetches;
+        if (!metricHandles.empty())
+            ++*metricHandles[core].memoryFetches;
         dir.setExclusive(line_addr, core);
         fillL2(core, line_addr,
                is_write ? MesiState::Modified : MesiState::Exclusive);
@@ -252,6 +310,8 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
     const bool is_write = type == AccessType::Write;
     CoreCaches &cc = cores[core];
     CoreMemStats &cs = coreStats[core];
+    CoreMetricHandles *mh =
+        metricHandles.empty() ? nullptr : &metricHandles[core];
 
     AccessResult result;
     result.latency = lat.l1Hit;
@@ -260,6 +320,8 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
     RatioStat &l1_stat = is_instr ? cs.l1i : cs.l1d;
     const bool l1_hit = l1.access(line_addr) != MesiState::Invalid;
     l1_stat.add(l1_hit);
+    if (mh)
+        (is_instr ? mh->l1i : mh->l1d).add(l1_hit);
 
     if (l1_hit) {
         if (is_write) {
@@ -285,6 +347,8 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
 
     if (l2_usable) {
         l2_stat.add(true);
+        if (mh)
+            (ctx == ExecContext::User ? mh->l2User : mh->l2Os).add(true);
         ++windowL2Hits;
         ++windowL2Accesses;
         if (is_write && !canWrite(l2_state)) {
@@ -299,6 +363,8 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
     }
 
     l2_stat.add(false);
+    if (mh)
+        (ctx == ExecContext::User ? mh->l2User : mh->l2Os).add(false);
     ++windowL2Accesses;
 
     const AccessResult miss = handleL2Miss(core, line_addr, is_write, ctx);

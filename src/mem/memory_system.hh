@@ -23,6 +23,7 @@
 #include "mem/cache.hh"
 #include "mem/directory.hh"
 #include "mem/interconnect.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -160,6 +161,19 @@ class MemorySystem
     void invalidateAll();
 
     /**
+     * Register this hierarchy's metrics under `mem.` in the registry.
+     *
+     * Adds per-core hit/access counter pairs shadowing the RatioStats
+     * (names like `mem.core0.l2.user.hits`), coherence-event counters,
+     * polled lifetime eviction counters, a `mem.flushes` counter for
+     * full-hierarchy invalidations, and a `mem.directory.lines` gauge.
+     * Unlike CoreMemStats, registry counters are never reset, so the
+     * measured region is read as a difference of samples. At most one
+     * registry may ever be attached; it must outlive this object.
+     */
+    void registerMetrics(MetricRegistry &registry);
+
+    /**
      * Zero all per-core statistics and the measurement window without
      * touching cache contents (warmup-to-measurement transition).
      */
@@ -174,6 +188,38 @@ class MemorySystem
         std::unique_ptr<SetAssocCache> l1i;
         std::unique_ptr<SetAssocCache> l1d;
         std::unique_ptr<SetAssocCache> l2;
+    };
+
+    /** Registry counters shadowing one RatioStat. */
+    struct CounterPair
+    {
+        std::uint64_t *hits = nullptr;
+        std::uint64_t *total = nullptr;
+
+        void
+        add(bool hit)
+        {
+            *hits += hit ? 1 : 0;
+            ++*total;
+        }
+    };
+
+    /**
+     * Registry handles mirroring one core's CoreMemStats. Populated
+     * only by registerMetrics(); when `metricHandles` is empty every
+     * mirror site reduces to one predicted branch.
+     */
+    struct CoreMetricHandles
+    {
+        CounterPair l1i;
+        CounterPair l1d;
+        CounterPair l2User;
+        CounterPair l2Os;
+        std::uint64_t *c2cTransfers = nullptr;
+        std::uint64_t *invalidationsSent = nullptr;
+        std::uint64_t *invalidationsReceived = nullptr;
+        std::uint64_t *upgrades = nullptr;
+        std::uint64_t *memoryFetches = nullptr;
     };
 
     /** Handle an L2 miss: directory transaction + fill. */
@@ -194,10 +240,14 @@ class MemorySystem
 
     std::vector<CoreCaches> cores;
     std::vector<CoreMemStats> coreStats;
+    /** Empty until registerMetrics(); then one entry per core. */
+    std::vector<CoreMetricHandles> metricHandles;
     Directory dir;
     Interconnect fabric;
     MemTimings lat;
     unsigned lineShift;
+    /** Full-hierarchy invalidations (thread-migration flushes). */
+    std::uint64_t flushCount = 0;
 
     // Measurement window for the threshold controller feedback.
     std::uint64_t windowL2Hits = 0;

@@ -6,18 +6,33 @@
 #include "os/os_core_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 
 namespace oscar
 {
 
+void
+OsCoreQueue::registerMetrics(MetricRegistry &registry)
+{
+    oscar_assert(mOffers == nullptr);
+    mOffers = registry.counter("os.queue.offers");
+    mWait = registry.histogram("os.queue.wait");
+    registry.gauge("os.queue.depth",
+                   [this] { return static_cast<double>(depth()); });
+}
+
 bool
 OsCoreQueue::offer(const OffloadRequest &req, Cycle now)
 {
     oscar_assert(req.arrival <= now || req.arrival == now);
+    if (mOffers != nullptr)
+        ++*mOffers;
     if (!coreBusy) {
         coreBusy = true;
         delayStat.add(0.0);
+        if (mWait != nullptr)
+            mWait->add(0);
         ++admittedCount;
         if (trace != nullptr) {
             TraceEvent event;
@@ -51,6 +66,8 @@ OsCoreQueue::completeCurrent(Cycle now, OffloadRequest &next_out)
     waiting.pop_front();
     oscar_assert(now >= next_out.arrival);
     delayStat.add(static_cast<double>(now - next_out.arrival));
+    if (mWait != nullptr)
+        mWait->add(now - next_out.arrival);
     ++admittedCount;
     if (trace != nullptr) {
         TraceEvent event;

@@ -20,6 +20,8 @@
 namespace oscar
 {
 
+class LogHistogram;
+class MetricRegistry;
 class TraceSink;
 
 /** One off-loaded request waiting for the OS core. */
@@ -78,12 +80,24 @@ class OsCoreQueue
      */
     void setTraceSink(TraceSink *sink) { trace = sink; }
 
+    /**
+     * Register queue metrics under `os.queue.`: an offers counter, a
+     * depth gauge, and a wait-time histogram recorded at the same two
+     * sites as queueDelay() (but, like all registry metrics, never
+     * reset). Call at most once; the registry must outlive the queue.
+     */
+    void registerMetrics(MetricRegistry &registry);
+
   private:
     std::deque<OffloadRequest> waiting;
     bool coreBusy = false;
     RunningStat delayStat;
     std::uint64_t admittedCount = 0;
     TraceSink *trace = nullptr;
+
+    // Registry handles; null until registerMetrics() (metrics off).
+    std::uint64_t *mOffers = nullptr;
+    LogHistogram *mWait = nullptr;
 };
 
 } // namespace oscar

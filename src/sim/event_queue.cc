@@ -57,6 +57,7 @@ EventQueue::cancel(std::uint64_t id)
     // The heap still holds a stale {when, id, slot} item; it is
     // skipped when it reaches the top because the id is gone.
     reclaim(id, it->second);
+    ++cancelled;
     checkConsistency();
     return true;
 }

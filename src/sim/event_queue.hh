@@ -83,6 +83,12 @@ class EventQueue
     /** Total events ever fired (for stats/tests). */
     std::uint64_t firedCount() const { return fired; }
 
+    /** Total events ever scheduled (ids are dense, never reused). */
+    std::uint64_t scheduledCount() const { return nextId; }
+
+    /** Total events cancelled before firing. */
+    std::uint64_t cancelledCount() const { return cancelled; }
+
     /** Entry slots allocated (live + reclaimed); bounds memory use. */
     std::size_t slotCount() const { return pool.size(); }
 
@@ -134,6 +140,7 @@ class EventQueue
     Cycle currentCycle = 0;
     std::uint64_t nextId = 0;
     std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
 };
 
 } // namespace oscar

@@ -21,7 +21,9 @@ namespace
 std::string *captureSink = nullptr;
 /** Serializes appends to the capture sink across sweep workers. */
 std::mutex captureMutex;
+std::atomic<LogSink *> structuredSink{nullptr};
 std::atomic<std::uint64_t> warnCounter{0};
+std::atomic<std::uint64_t> informCounter{0};
 thread_local bool fatalThrows = false;
 
 const char *
@@ -55,6 +57,17 @@ emit(LogLevel level, const char *file, int line, const char *fmt,
 
     if (level == LogLevel::Warn)
         warnCounter.fetch_add(1, std::memory_order_relaxed);
+    else if (level == LogLevel::Inform)
+        informCounter.fetch_add(1, std::memory_order_relaxed);
+
+    if (LogSink *sink = structuredSink.load(std::memory_order_acquire)) {
+        LogRecord rec;
+        rec.level = level;
+        rec.message = body;
+        rec.file = file;
+        rec.line = line;
+        sink->record(rec);
+    }
 
     std::lock_guard<std::mutex> lock(captureMutex);
     if (captureSink != nullptr) {
@@ -129,10 +142,29 @@ ScopedFatalThrows::~ScopedFatalThrows()
     fatalThrows = previous;
 }
 
+void
+setLogSink(LogSink *sink)
+{
+    structuredSink.store(sink, std::memory_order_release);
+}
+
 std::uint64_t
 warnCount()
 {
     return warnCounter.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+informCount()
+{
+    return informCounter.load(std::memory_order_relaxed);
+}
+
+void
+resetLogCounts()
+{
+    warnCounter.store(0, std::memory_order_relaxed);
+    informCounter.store(0, std::memory_order_relaxed);
 }
 
 } // namespace oscar

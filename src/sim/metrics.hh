@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Simulator-wide metric registry with epoch time-series sampling.
+ *
+ * The paper's mechanisms are time-varying — the ThresholdController
+ * searches for N epoch by epoch (Section III-B) and the predictor's
+ * confidence counters train over the run (Section III-A) — yet
+ * end-of-run aggregates collapse those trajectories into single
+ * numbers. MetricRegistry gives every layer of the simulator a
+ * hierarchically named metric namespace plus a periodic sampler that
+ * snapshots every registered metric into an in-memory time series,
+ * later exported as an `oscar.metrics.v1` JSONL artifact (see
+ * system/metrics_capture.hh).
+ *
+ * Three metric kinds:
+ *
+ *  - counter: a monotone uint64 owned by the registry. Registration
+ *    returns a bare `std::uint64_t *`, so the hot-path update is a
+ *    single pointer increment — no lookup, no allocation, no branch
+ *    beyond the emitter's own "is a registry attached" check. A polled
+ *    flavour (counterFn) wraps counters that already exist as
+ *    component members and are read only at sample time.
+ *  - gauge: an instantaneous value polled at sample time (queue
+ *    depth, CAM occupancy, the N in force).
+ *  - histogram: a LogHistogram owned by the registry; hot paths add
+ *    through the returned pointer, and sampling expands it into
+ *    derived series (count, mean, p50, p99).
+ *
+ * Metrics never feed back into simulation: attaching a registry
+ * perturbs no event ordering, RNG draw, or decision, so golden traces
+ * are byte-identical with metrics enabled and disabled, and sampling a
+ * deterministic run always yields byte-identical series.
+ *
+ * Naming scheme (DESIGN.md §10): dot-separated lowercase components,
+ * most-general first — `mem.core0.l2.user.hits`, `os.queue.depth`,
+ * `controller.n`. Registration order is fixed by the single-threaded
+ * System wiring, so series order is deterministic too.
+ */
+
+#ifndef OSCAR_SIM_METRICS_HH_
+#define OSCAR_SIM_METRICS_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** Schema identifier of the exported metrics artifact. */
+inline constexpr const char *kMetricsSchema = "oscar.metrics.v1";
+
+/** What a series measures; drives cumulative/delta semantics. */
+enum class MetricKind : std::uint8_t
+{
+    /** Monotone non-decreasing count; delta is events per sample. */
+    Counter,
+    /** Instantaneous value; delta is change since the last sample. */
+    Gauge,
+    /** LogHistogram expanded into count/mean/p50/p99 series. */
+    Histogram,
+};
+
+/** Stable serialization name of a metric kind. */
+const char *metricKindName(MetricKind kind);
+
+/**
+ * Registry of named metrics plus the sampled time series.
+ */
+class MetricRegistry
+{
+  public:
+    /** One exported column of the time series. */
+    struct Series
+    {
+        /** Full dotted name (histograms carry a derived suffix). */
+        std::string name;
+        /** Kind governing delta semantics for this column. */
+        MetricKind kind = MetricKind::Counter;
+    };
+
+    /** One snapshot of every series. */
+    struct Sample
+    {
+        /** Total retired instructions when the snapshot was taken. */
+        std::uint64_t instant = 0;
+        /** Simulated cycle when the snapshot was taken. */
+        Cycle cycle = 0;
+        /** Cumulative values, one per series, in series order. */
+        std::vector<double> values;
+    };
+
+    /** Sentinel for "no measurement-start sample recorded". */
+    static constexpr std::size_t kNoSample =
+        static_cast<std::size_t>(-1);
+
+    /**
+     * @param sample_every Periodic sampling interval in retired
+     *        instructions; 0 disables periodic sampling (forced
+     *        samples are still taken).
+     */
+    explicit MetricRegistry(std::uint64_t sample_every = 1'000'000);
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    // -- registration -------------------------------------------------
+
+    /**
+     * Register a registry-owned counter.
+     *
+     * @param name Unique dotted name; fatal on duplicates.
+     * @return Stable pointer the caller increments directly.
+     */
+    std::uint64_t *counter(const std::string &name);
+
+    /**
+     * Register a polled counter: `poll` is invoked at sample time and
+     * must be monotone non-decreasing over the run.
+     */
+    void counterFn(const std::string &name,
+                   std::function<std::uint64_t()> poll);
+
+    /** Register a gauge polled at sample time. */
+    void gauge(const std::string &name, std::function<double()> poll);
+
+    /**
+     * Register a registry-owned histogram.
+     *
+     * Expands into four series: `<name>.count` (counter), `.mean`,
+     * `.p50` and `.p99` (gauges).
+     *
+     * @return Stable pointer the caller records into directly.
+     */
+    LogHistogram *histogram(const std::string &name,
+                            unsigned buckets = 32);
+
+    // -- inspection ---------------------------------------------------
+
+    /** Exported series, in registration order. */
+    const std::vector<Series> &series() const { return columns; }
+
+    /** Index of a series by full name, or -1 when absent. */
+    std::ptrdiff_t seriesIndex(const std::string &name) const;
+
+    /** Current cumulative value of every series, in series order. */
+    std::vector<double> readSeries() const;
+
+    /** Current cumulative value of one series; fatal when unknown. */
+    double seriesValue(const std::string &name) const;
+
+    // -- sampling -----------------------------------------------------
+
+    /** Periodic sampling interval (instructions); 0 when disabled. */
+    std::uint64_t sampleEvery() const { return interval; }
+
+    /**
+     * Snapshot every series now.
+     *
+     * Instants must be monotone; a snapshot at the same instant as the
+     * previous one is skipped (the existing row already covers it)
+     * unless `refresh_equal` is set, in which case the existing row is
+     * re-read in place — used for the forced end-of-run sample, whose
+     * values may have advanced since a periodic sample at the same
+     * instant. Exported instants stay strictly monotone either way.
+     *
+     * @param instant Total retired instructions.
+     * @param cycle Current simulated cycle.
+     * @param refresh_equal Re-read an existing equal-instant row.
+     * @return Index of the row covering this instant.
+     */
+    std::size_t takeSample(std::uint64_t instant, Cycle cycle,
+                           bool refresh_equal = false);
+
+    /** Recorded samples, oldest first. */
+    const std::vector<Sample> &samples() const { return rows; }
+
+    /**
+     * Mark a sample row as the measurement-start snapshot: the row
+     * taken right after the warmup-to-measurement statistics reset.
+     * Registry counters are never reset, so "final minus this row"
+     * equals the measured-region aggregates — the consistency
+     * cross-check the integration tests assert.
+     */
+    void setMeasurementStartSample(std::size_t index);
+
+    /** Measurement-start row index, or kNoSample. */
+    std::size_t measurementStartSample() const { return measureRow; }
+
+  private:
+    /** Fatal when the name is already taken; records it otherwise. */
+    void claimName(const std::string &name);
+
+    /** Append one series column with its reader. */
+    void addSeries(std::string name, MetricKind kind,
+                   std::function<double()> reader);
+
+    std::uint64_t interval;
+    std::vector<Series> columns;
+    /** One reader per series, index-aligned with `columns`. */
+    std::vector<std::function<double()>> readers;
+    /** Registered metric names (pre-expansion), for duplicate checks. */
+    std::vector<std::string> claimedNames;
+    /** Stable storage for registry-owned counters. */
+    std::deque<std::uint64_t> counterPool;
+    /** Stable storage for registry-owned histograms. */
+    std::deque<LogHistogram> histogramPool;
+    std::vector<Sample> rows;
+    std::size_t measureRow = kNoSample;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_METRICS_HH_

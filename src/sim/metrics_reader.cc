@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Implementation of the `oscar.metrics.v1` reader.
+ *
+ * The scanner is deliberately strict: it accepts exactly the byte
+ * layout metrics_capture.cc produces (keys in writer order, no
+ * whitespace, no string escapes). Anything else is a parse error —
+ * which is what the validation tests and the CI schema check want.
+ */
+
+#include "sim/metrics_reader.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+
+#include "sim/logging.hh"
+
+namespace oscar
+{
+
+namespace
+{
+
+/** Advance past `token` or fail. */
+bool
+expect(std::string_view text, std::size_t &pos, std::string_view token)
+{
+    if (text.substr(pos, token.size()) != token)
+        return false;
+    pos += token.size();
+    return true;
+}
+
+/** Parse a quoted string (writer strings never contain escapes). */
+bool
+parseString(std::string_view text, std::size_t &pos, std::string &out)
+{
+    if (pos >= text.size() || text[pos] != '"')
+        return false;
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string_view::npos)
+        return false;
+    out.assign(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+    return true;
+}
+
+bool
+parseUint(std::string_view text, std::size_t &pos, std::uint64_t &out)
+{
+    const char *begin = text.data() + pos;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr == begin)
+        return false;
+    pos += static_cast<std::size_t>(res.ptr - begin);
+    return true;
+}
+
+bool
+parseInt(std::string_view text, std::size_t &pos, std::int64_t &out)
+{
+    const char *begin = text.data() + pos;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr == begin)
+        return false;
+    pos += static_cast<std::size_t>(res.ptr - begin);
+    return true;
+}
+
+bool
+parseDouble(std::string_view text, std::size_t &pos, double &out)
+{
+    const char *begin = text.data() + pos;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr == begin)
+        return false;
+    pos += static_cast<std::size_t>(res.ptr - begin);
+    return true;
+}
+
+/** Parse `[n,n,...]` (possibly empty). */
+bool
+parseNumberArray(std::string_view text, std::size_t &pos,
+                 std::vector<double> &out)
+{
+    out.clear();
+    if (!expect(text, pos, "["))
+        return false;
+    if (expect(text, pos, "]"))
+        return true;
+    for (;;) {
+        double value = 0;
+        if (!parseDouble(text, pos, value))
+            return false;
+        out.push_back(value);
+        if (expect(text, pos, "]"))
+            return true;
+        if (!expect(text, pos, ","))
+            return false;
+    }
+}
+
+/** Skip a balanced `{...}` object (string-aware, escape-free). */
+bool
+skipObject(std::string_view text, std::size_t &pos)
+{
+    if (pos >= text.size() || text[pos] != '{')
+        return false;
+    int depth = 0;
+    bool in_string = false;
+    for (; pos < text.size(); ++pos) {
+        const char c = text[pos];
+        if (in_string) {
+            if (c == '"')
+                in_string = false;
+        } else if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            if (--depth == 0) {
+                ++pos;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+parseKind(const std::string &name, MetricKind &out)
+{
+    if (name == "counter") {
+        out = MetricKind::Counter;
+    } else if (name == "gauge") {
+        out = MetricKind::Gauge;
+    } else if (name == "histogram") {
+        out = MetricKind::Histogram;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseMetaLine(std::string_view line, MetricsFile &file)
+{
+    std::size_t pos = 0;
+    if (!expect(line, pos, "{\"schema\":") ||
+        !parseString(line, pos, file.schema)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"sample_every\":") ||
+        !parseUint(line, pos, file.sampleEvery)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"measure_sample\":") ||
+        !parseInt(line, pos, file.measureSample)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"config\":") || !skipObject(line, pos))
+        return false;
+    if (!expect(line, pos, ",\"series\":["))
+        return false;
+    if (!expect(line, pos, "]")) {
+        for (;;) {
+            MetricRegistry::Series series;
+            std::string kind;
+            if (!expect(line, pos, "{\"name\":") ||
+                !parseString(line, pos, series.name) ||
+                !expect(line, pos, ",\"kind\":") ||
+                !parseString(line, pos, kind) ||
+                !expect(line, pos, "}") ||
+                !parseKind(kind, series.kind)) {
+                return false;
+            }
+            file.series.push_back(series);
+            if (expect(line, pos, "]"))
+                break;
+            if (!expect(line, pos, ","))
+                return false;
+        }
+    }
+    return expect(line, pos, "}") && pos == line.size();
+}
+
+bool
+parseRowLine(std::string_view line, MetricsRow &row)
+{
+    std::size_t pos = 0;
+    return expect(line, pos, "{\"sample\":") &&
+           parseUint(line, pos, row.sample) &&
+           expect(line, pos, ",\"instant\":") &&
+           parseUint(line, pos, row.instant) &&
+           expect(line, pos, ",\"cycle\":") &&
+           parseUint(line, pos, row.cycle) &&
+           expect(line, pos, ",\"cum\":") &&
+           parseNumberArray(line, pos, row.cum) &&
+           expect(line, pos, ",\"delta\":") &&
+           parseNumberArray(line, pos, row.delta) &&
+           expect(line, pos, "}") && pos == line.size();
+}
+
+MetricsFile
+failParse(std::string error)
+{
+    MetricsFile file;
+    file.ok = false;
+    file.error = std::move(error);
+    return file;
+}
+
+} // namespace
+
+std::ptrdiff_t
+MetricsFile::seriesIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series[i].name == name)
+            return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+MetricsFile
+parseMetricsDocument(const std::string &text)
+{
+    MetricsFile file;
+    std::size_t line_start = 0;
+    std::size_t line_no = 0;
+    bool have_meta = false;
+    while (line_start < text.size()) {
+        std::size_t line_end = text.find('\n', line_start);
+        if (line_end == std::string::npos)
+            line_end = text.size();
+        const std::string_view line(text.data() + line_start,
+                                    line_end - line_start);
+        line_start = line_end + 1;
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (!have_meta) {
+            if (!parseMetaLine(line, file))
+                return failParse("line 1: malformed meta line");
+            have_meta = true;
+            continue;
+        }
+        MetricsRow row;
+        if (!parseRowLine(line, row)) {
+            return failParse("line " + std::to_string(line_no) +
+                             ": malformed sample row");
+        }
+        file.rows.push_back(std::move(row));
+    }
+    if (!have_meta)
+        return failParse("empty document");
+    file.ok = true;
+    return file;
+}
+
+MetricsFile
+loadMetricsFile(const std::string &path)
+{
+    std::FILE *handle = std::fopen(path.c_str(), "rb");
+    if (handle == nullptr)
+        return failParse("cannot open '" + path + "'");
+    std::string text;
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), handle)) > 0)
+        text.append(buffer, got);
+    std::fclose(handle);
+    return parseMetricsDocument(text);
+}
+
+std::vector<std::string>
+validateMetricsFile(const MetricsFile &file)
+{
+    std::vector<std::string> problems;
+    if (!file.ok) {
+        problems.push_back("parse failed: " + file.error);
+        return problems;
+    }
+    if (file.schema != kMetricsSchema) {
+        problems.push_back("schema is '" + file.schema + "', expected '" +
+                           std::string(kMetricsSchema) + "'");
+    }
+    if (file.measureSample >= 0 &&
+        static_cast<std::uint64_t>(file.measureSample) >=
+            file.rows.size()) {
+        problems.push_back("measure_sample " +
+                           std::to_string(file.measureSample) +
+                           " out of range");
+    }
+
+    const std::size_t width = file.series.size();
+    for (std::size_t i = 0; i < file.rows.size(); ++i) {
+        const MetricsRow &row = file.rows[i];
+        const std::string where = "row " + std::to_string(i) + ": ";
+        if (row.sample != i) {
+            problems.push_back(where + "sample index " +
+                               std::to_string(row.sample) +
+                               ", expected " + std::to_string(i));
+        }
+        if (row.cum.size() != width || row.delta.size() != width) {
+            problems.push_back(where + "array width mismatch");
+            continue; // Per-series checks would read out of bounds.
+        }
+        if (i > 0 &&
+            row.instant <= file.rows[i - 1].instant) {
+            problems.push_back(where + "instant " +
+                               std::to_string(row.instant) +
+                               " not strictly monotone");
+        }
+        for (std::size_t s = 0; s < width; ++s) {
+            const double before = i > 0 ? file.rows[i - 1].cum[s] : 0.0;
+            // jsonNumber output round-trips exactly, so delta must
+            // reproduce the writer's subtraction bit-for-bit.
+            if (row.delta[s] != row.cum[s] - before) {
+                problems.push_back(where + "series '" +
+                                   file.series[s].name +
+                                   "' delta != cum - previous cum");
+            }
+            if (file.series[s].kind == MetricKind::Counter &&
+                row.cum[s] < before) {
+                problems.push_back(where + "counter '" +
+                                   file.series[s].name +
+                                   "' not monotone");
+            }
+        }
+    }
+    return problems;
+}
+
+} // namespace oscar

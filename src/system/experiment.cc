@@ -100,9 +100,18 @@ ExperimentRunner::run(const SystemConfig &config)
 SimResults
 ExperimentRunner::run(const SystemConfig &config, TraceSink *trace)
 {
+    return run(config, trace, nullptr);
+}
+
+SimResults
+ExperimentRunner::run(const SystemConfig &config, TraceSink *trace,
+                      MetricRegistry *metrics)
+{
     System system(config);
     if (trace != nullptr)
         system.setTraceSink(trace);
+    if (metrics != nullptr)
+        system.setMetricRegistry(metrics);
     return system.run();
 }
 

@@ -74,6 +74,14 @@ class ExperimentRunner
     static SimResults run(const SystemConfig &config, TraceSink *trace);
 
     /**
+     * Build and run a system with a trace sink and/or metric registry
+     * attached (see sim/metrics.hh). Null arguments behave exactly
+     * like run(config); the registry must outlive the call.
+     */
+    static SimResults run(const SystemConfig &config, TraceSink *trace,
+                          MetricRegistry *metrics);
+
+    /**
      * Run a configuration and its uni-processor baseline with the same
      * seed, returning variant throughput / baseline throughput — the
      * normalized IPC of Figures 4 and 5.

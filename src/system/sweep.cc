@@ -16,7 +16,9 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
+#include "system/metrics_capture.hh"
 #include "system/trace_capture.hh"
 
 namespace oscar
@@ -113,6 +115,7 @@ writePointJson(JsonWriter &w, const SweepPointResult &point,
     w.field("label", point.label);
     w.field("ok", point.ok);
     w.field("error", point.error);
+    w.field("metrics_path", point.metricsPath);
     if (include_wall)
         w.field("wall_ms", point.wallMs);
     w.key("config");
@@ -167,19 +170,29 @@ ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index)
             trace = std::make_unique<JsonlTraceSink>(
                 point.tracePath, traceHeaderJson(point.config));
         }
+        std::unique_ptr<MetricRegistry> metrics;
+        if (!point.metricsPath.empty()) {
+            metrics = std::make_unique<MetricRegistry>(
+                point.metricsSampleEvery);
+        }
         if (point.normalize) {
             const SimResults base = ExperimentRunner::baselineResults(
                 point.config.workload, point.config.seed,
                 point.config.measureInstructions,
                 point.config.warmupInstructions);
-            result.results =
-                ExperimentRunner::run(point.config, trace.get());
+            result.results = ExperimentRunner::run(
+                point.config, trace.get(), metrics.get());
             oscar_assert(base.throughput > 0.0);
             result.normalized =
                 result.results.throughput / base.throughput;
         } else {
-            result.results =
-                ExperimentRunner::run(point.config, trace.get());
+            result.results = ExperimentRunner::run(
+                point.config, trace.get(), metrics.get());
+        }
+        if (metrics &&
+            writeMetricsFile(*metrics, point.config,
+                             point.metricsPath)) {
+            result.metricsPath = point.metricsPath;
         }
         result.ok = true;
     } catch (const std::exception &e) {
@@ -320,6 +333,21 @@ applySweepTracePaths(std::vector<SweepPoint> &points,
                                            : sweepTracePath(base, i);
 }
 
+void
+applySweepMetricsPaths(std::vector<SweepPoint> &points,
+                       const std::string &base,
+                       std::uint64_t sample_every)
+{
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (base.empty()) {
+            points[i].metricsPath.clear();
+            continue;
+        }
+        points[i].metricsPath = sweepTracePath(base, i);
+        points[i].metricsSampleEvery = sample_every;
+    }
+}
+
 // ---------------------------------------------------------------------
 // BenchOptions
 
@@ -331,7 +359,8 @@ BenchOptions::parse(int argc, char **argv,
     opts.jsonPath = default_json;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--jobs" || arg == "--json" || arg == "--trace") {
+        if (arg == "--jobs" || arg == "--json" || arg == "--trace" ||
+            arg == "--metrics" || arg == "--metrics-every") {
             if (i + 1 >= argc)
                 oscar_fatal("bench option '%s' requires a value "
                             "(try --help)", arg.c_str());
@@ -350,16 +379,34 @@ BenchOptions::parse(int argc, char **argv,
             opts.jsonPath.clear();
         } else if (arg == "--trace") {
             opts.tracePath = argv[++i];
+        } else if (arg == "--metrics") {
+            opts.metricsPath = argv[++i];
+        } else if (arg == "--metrics-every") {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            const unsigned long long every =
+                std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0')
+                oscar_fatal("--metrics-every expects a non-negative "
+                            "integer, got '%s'", text);
+            opts.metricsEvery = every;
         } else if (arg == "--help") {
             std::printf("usage: %s [--jobs N] [--json PATH | --no-json]"
-                        " [--trace PATH]\n"
-                        "  --jobs N   worker threads (0 = all cores; "
-                        "default 1)\n"
-                        "  --json P   write the sweep report to P "
-                        "(default %s)\n"
-                        "  --no-json  skip the report artifact\n"
-                        "  --trace P  stream per-point oscar.trace.v1 "
-                        "files derived from P\n",
+                        " [--trace PATH] [--metrics PATH]"
+                        " [--metrics-every N]\n"
+                        "  --jobs N          worker threads (0 = all "
+                        "cores; default 1)\n"
+                        "  --json P          write the sweep report to "
+                        "P (default %s)\n"
+                        "  --no-json         skip the report artifact\n"
+                        "  --trace P         stream per-point "
+                        "oscar.trace.v1 files derived from P\n"
+                        "  --metrics P       write per-point "
+                        "oscar.metrics.v1 files derived from P\n"
+                        "  --metrics-every N metric sampling period in "
+                        "retired instructions\n"
+                        "                    (default 1000000; 0 = "
+                        "endpoints only)\n",
                         argv[0], default_json.c_str());
             std::exit(0);
         } else {

@@ -51,6 +51,19 @@ struct SweepPoint
      * bytes written are independent of the sweep's job count.
      */
     std::string tracePath;
+    /**
+     * When non-empty, the point samples a MetricRegistry during its
+     * run and writes the `oscar.metrics.v1` document to this file.
+     * Like traces, each point owns its file, so the bytes written are
+     * independent of the sweep's job count.
+     */
+    std::string metricsPath;
+    /**
+     * Sampling period (retired instructions) for the point's metric
+     * registry; 0 keeps only the measurement-start and end-of-run
+     * samples. Ignored unless metricsPath is set.
+     */
+    std::uint64_t metricsSampleEvery = 1'000'000;
 };
 
 /** Outcome of one sweep point. */
@@ -65,6 +78,9 @@ struct SweepPointResult
     /** False when the point failed; error holds the reason. */
     bool ok = false;
     std::string error;
+
+    /** Metrics file the point wrote; empty when metrics were off. */
+    std::string metricsPath;
 
     /** Simulation output (valid only when ok). */
     SimResults results;
@@ -122,7 +138,7 @@ class ParallelSweepRunner
  *   "points": [
  *     {
  *       "index": 0, "label": "...", "ok": true, "error": "",
- *       "wall_ms": 12.5,
+ *       "metrics_path": "", "wall_ms": 12.5,
  *       "config": {workload, policy, predictor, user_cores,
  *                  dynamic_threshold, static_threshold,
  *                  migration_one_way_cycles, seed,
@@ -187,11 +203,16 @@ std::string sweepPointResultsJson(const SweepPointResult &result);
  * Command-line options shared by the sweep-driven bench binaries.
  *
  * Recognized flags:
- *   --jobs N     worker threads (default 1; 0 = hardware concurrency)
- *   --json PATH  write the sweep report to PATH
- *   --no-json    suppress the report file
- *   --trace PATH capture per-point traces as PATH-derived files
- *   --help       print usage and exit
+ *   --jobs N          worker threads (default 1; 0 = hardware
+ *                     concurrency)
+ *   --json PATH       write the sweep report to PATH
+ *   --no-json         suppress the report file
+ *   --trace PATH      capture per-point traces as PATH-derived files
+ *   --metrics PATH    capture per-point oscar.metrics.v1 time series
+ *                     as PATH-derived files
+ *   --metrics-every N metric sampling period in retired instructions
+ *                     (default 1000000; 0 = endpoints only)
+ *   --help            print usage and exit
  */
 struct BenchOptions
 {
@@ -200,6 +221,10 @@ struct BenchOptions
     std::string jsonPath;
     /** Per-point trace base path; empty disables tracing. */
     std::string tracePath;
+    /** Per-point metrics base path; empty disables metrics capture. */
+    std::string metricsPath;
+    /** Metric sampling period in retired instructions. */
+    std::uint64_t metricsEvery = 1'000'000;
 
     /**
      * Parse argv; fatal on malformed flags.
@@ -223,6 +248,15 @@ std::string sweepTracePath(const std::string &base, std::size_t index);
  */
 void applySweepTracePaths(std::vector<SweepPoint> &points,
                           const std::string &base);
+
+/**
+ * Set every point's metricsPath from a base path (same derivation as
+ * sweepTracePath) and its sampling period; an empty base clears the
+ * paths and leaves the periods untouched.
+ */
+void applySweepMetricsPaths(std::vector<SweepPoint> &points,
+                            const std::string &base,
+                            std::uint64_t sample_every = 1'000'000);
 
 } // namespace oscar
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 
 namespace oscar
@@ -78,6 +79,59 @@ System::setTraceSink(TraceSink *sink)
     controller.setTraceSink(sink);
     for (Thread &thread : threads)
         thread.policy->setTraceSink(sink, thread.id);
+}
+
+void
+System::setMetricRegistry(MetricRegistry *registry)
+{
+    oscar_assert(registry != nullptr && metrics == nullptr);
+    metrics = registry;
+
+    mRetiredUser = registry->counter("sys.retired.user");
+    mRetiredOs = registry->counter("sys.retired.os");
+    mInvocations = registry->counter("sys.invocations");
+    mOffloads = registry->counter("sys.offloads");
+
+    mem->registerMetrics(*registry);
+    if (cfg.offloadEnabled)
+        queue.registerMetrics(*registry);
+    if (cfg.dynamicThreshold)
+        controller.registerMetrics(*registry);
+    for (Thread &thread : threads) {
+        if (thread.predictive != nullptr) {
+            thread.predictive->registerMetrics(
+                *registry, "pred.t" + std::to_string(thread.id));
+        }
+    }
+
+    registry->counterFn("events.scheduled",
+                        [this] { return events.scheduledCount(); });
+    registry->counterFn("events.fired",
+                        [this] { return events.firedCount(); });
+    registry->counterFn("events.cancelled",
+                        [this] { return events.cancelledCount(); });
+    registry->gauge("events.pending", [this] {
+        return static_cast<double>(events.pendingCount());
+    });
+    registry->gauge("events.slots", [this] {
+        return static_cast<double>(events.slotCount());
+    });
+
+    // Log counts are process-wide; export them relative to attach time
+    // so earlier process activity (other runs, tests) cannot leak into
+    // this run's artifact. Concurrent sweep workers still share the
+    // underlying counters; runs normally emit no logs at all.
+    const std::uint64_t warn_base = warnCount();
+    const std::uint64_t inform_base = informCount();
+    registry->counterFn("log.warn", [warn_base] {
+        return warnCount() - warn_base;
+    });
+    registry->counterFn("log.inform", [inform_base] {
+        return informCount() - inform_base;
+    });
+
+    metricsInterval = registry->sampleEvery();
+    nextMetricsSample = metricsInterval;
 }
 
 void
@@ -160,6 +214,11 @@ System::recordInvocationLength(InstCount length)
 void
 System::retire(Thread &thread, InstCount count, bool privileged)
 {
+    // Before the phase machinery, so a measurement-start mark sample
+    // taken below already includes this retirement.
+    if (metrics != nullptr)
+        *(privileged ? mRetiredOs : mRetiredUser) += count;
+
     if (measuring) {
         thread.measuredRetired += count;
         measuredRetiredAll += count;
@@ -201,6 +260,15 @@ System::retire(Thread &thread, InstCount count, bool privileged)
             cfg.warmupInstructions * threads.size();
         if (warmupRetired >= target)
             enterMeasurement();
+    }
+
+    if (metrics != nullptr && metricsInterval != 0) {
+        const InstCount total = warmupRetired + measuredRetiredAll;
+        if (total >= nextMetricsSample) {
+            metrics->takeSample(total, events.now());
+            nextMetricsSample =
+                (total / metricsInterval + 1) * metricsInterval;
+        }
     }
 }
 
@@ -246,6 +314,15 @@ System::enterMeasurement()
         nextEpochBoundary = measuredRetiredAll + controller.epochLength();
         windowStartInstr = measuredRetiredAll;
         windowStartCycle = events.now();
+    }
+
+    // Mark sample: taken after every Stats reset above, so registry
+    // counters (which never reset) satisfy "final minus this row ==
+    // measured-region Stats aggregates" exactly.
+    if (metrics != nullptr) {
+        const std::size_t row = metrics->takeSample(
+            warmupRetired + measuredRetiredAll, events.now());
+        metrics->setMeasurementStartSample(row);
     }
 }
 
@@ -322,6 +399,8 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
         ++invocationsByService[static_cast<std::size_t>(
             inv.service->id)];
     }
+    if (mInvocations != nullptr)
+        ++*mInvocations;
 
     if (!cfg.offloadEnabled || !decision.offload) {
         // Execute inline on the invoking core.
@@ -354,6 +433,8 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
         ++offloadedMeasured;
         ++offloadsByService[static_cast<std::size_t>(inv.service->id)];
     }
+    if (mOffloads != nullptr)
+        ++*mOffloads;
     const Cycle one_way = migration.oneWayLatency();
     cores[thread.core].cycles().migration += one_way;
     if (trace != nullptr) {
@@ -461,6 +542,13 @@ System::run()
         if (events.empty())
             oscar_panic("event queue drained before all threads finished");
         events.runOne();
+    }
+
+    // Forced final sample so the exported series always ends at the
+    // run's true end state (refreshing an equal-instant periodic row).
+    if (metrics != nullptr) {
+        metrics->takeSample(warmupRetired + measuredRetiredAll,
+                            events.now(), /*refresh_equal=*/true);
     }
     return collectResults();
 }

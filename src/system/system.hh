@@ -38,6 +38,7 @@
 namespace oscar
 {
 
+class MetricRegistry;
 class TraceSink;
 
 /** One (instruction, N) point of the dynamic-N trajectory. */
@@ -163,6 +164,19 @@ class System
      */
     void setTraceSink(TraceSink *sink);
 
+    /**
+     * Attach a metric registry (see sim/metrics.hh).
+     *
+     * Must be called at most once, before run(). Registers every
+     * layer's metrics — memory hierarchy, predictors, dynamic-N
+     * controller, OS-core queue, event queue, system-level counters,
+     * process-wide log counts — and drives the registry's periodic
+     * sampler from instruction retirement. The registry must outlive
+     * this system. Metrics never feed back into simulation, so
+     * attaching one leaves traces and results byte-identical.
+     */
+    void setMetricRegistry(MetricRegistry *registry);
+
     /** The configuration in force. */
     const SystemConfig &config() const { return cfg; }
 
@@ -253,6 +267,18 @@ class System
     std::vector<Thread> threads;
     ServiceProfile profile; ///< filled continuously; used for SI profiling
     TraceSink *trace = nullptr; ///< optional; null = tracing off
+
+    // Metrics (optional; null = metrics off).
+    MetricRegistry *metrics = nullptr;
+    /** Cached registry sampling interval; 0 = periodic sampling off. */
+    InstCount metricsInterval = 0;
+    /** Next total-retired instant to sample at. */
+    InstCount nextMetricsSample = 0;
+    /** Registry-owned system-level counters (null when metrics off). */
+    std::uint64_t *mRetiredUser = nullptr;
+    std::uint64_t *mRetiredOs = nullptr;
+    std::uint64_t *mInvocations = nullptr;
+    std::uint64_t *mOffloads = nullptr;
 
     // Phase machinery.
     bool measuring = false;

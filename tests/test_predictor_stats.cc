@@ -126,6 +126,66 @@ TEST(PredictorStatsDeath, MergeRequiresSameThresholds)
     EXPECT_DEATH(a.merge(b), "");
 }
 
+TEST(PredictorStats, RecordReportsWhetherOutcomeWasCounted)
+{
+    PredictorStats excluding; // window traps excluded (default)
+    EXPECT_TRUE(excluding.record(prediction(100), 100, false));
+    EXPECT_FALSE(excluding.record(prediction(100), 100, true));
+    EXPECT_EQ(excluding.samples(), 1u);
+
+    PredictorStats including({100}, /*exclude_window_traps=*/false);
+    EXPECT_TRUE(including.record(prediction(100), 100, true));
+    EXPECT_EQ(including.samples(), 1u);
+}
+
+TEST(PredictorStats, MergeEqualsPooledRecording)
+{
+    // Property check: splitting a stream across two trackers and
+    // merging must give exactly the same aggregates as recording the
+    // whole stream into one tracker, for every reported rate.
+    PredictorStats a;
+    PredictorStats b;
+    PredictorStats pooled;
+
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+    auto next = [&state] {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    };
+    for (int i = 0; i < 500; ++i) {
+        const InstCount actual = 1 + next() % 20'000;
+        // Mix of exact, near and wild predictions plus global
+        // fallbacks and window traps.
+        InstCount predicted = actual;
+        switch (next() % 4) {
+          case 1: predicted = actual + actual / 25; break;
+          case 2: predicted = actual / 3 + 1; break;
+          case 3: predicted = actual * 2 + 7; break;
+        }
+        const bool from_global = next() % 5 == 0;
+        const bool window_trap = next() % 7 == 0;
+        const RunLengthPrediction p =
+            prediction(predicted, from_global);
+        (i % 2 ? a : b).record(p, actual, window_trap);
+        pooled.record(p, actual, window_trap);
+    }
+
+    a.merge(b);
+    EXPECT_EQ(a.samples(), pooled.samples());
+    EXPECT_DOUBLE_EQ(a.exactRate(), pooled.exactRate());
+    EXPECT_DOUBLE_EQ(a.withinToleranceRate(),
+                     pooled.withinToleranceRate());
+    EXPECT_DOUBLE_EQ(a.missRate(), pooled.missRate());
+    EXPECT_DOUBLE_EQ(a.globalFallbackRate(),
+                     pooled.globalFallbackRate());
+    EXPECT_DOUBLE_EQ(a.underestimateShare(),
+                     pooled.underestimateShare());
+    for (std::size_t i = 0; i < a.thresholds().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.binaryAccuracy(i), pooled.binaryAccuracy(i))
+            << "threshold " << a.thresholds()[i];
+    }
+}
+
 TEST(PredictorStats, DefaultThresholdsMatchFigure3)
 {
     const auto &ns = PredictorStats::defaultThresholds();

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "sim/stats.hh"
 
@@ -276,6 +278,27 @@ TEST(LogHistogram, ToStringMentionsBuckets)
     EXPECT_NE(h.toString().find("1"), std::string::npos);
 }
 
+TEST(LogHistogram, ToStringOfEmptyHistogramIsEmpty)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.toString(), "");
+}
+
+TEST(LogHistogram, ToStringShowsExactBucketBounds)
+{
+    LogHistogram h;
+    h.add(0); // shares bucket 0 with value 1
+    h.add(1);
+    h.add(4);
+    const std::string text = h.toString();
+    EXPECT_NE(text.find("[       0,        1] 2"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("[       4,        7] 1"), std::string::npos)
+        << text;
+    // Only the two occupied buckets are rendered.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
 TEST(Formatting, Percent)
 {
     EXPECT_EQ(formatPercent(0.4575), "45.75%");
@@ -289,6 +312,20 @@ TEST(Formatting, CountSeparators)
     EXPECT_EQ(formatCount(999), "999");
     EXPECT_EQ(formatCount(1000), "1,000");
     EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+TEST(Formatting, PercentEdges)
+{
+    EXPECT_EQ(formatPercent(0.0), "0.00%");
+    EXPECT_EQ(formatPercent(0.0, 0), "0%");
+    EXPECT_EQ(formatPercent(1.0), "100.00%");
+    EXPECT_EQ(formatPercent(2.5, 0), "250%");
+}
+
+TEST(Formatting, CountEdges)
+{
+    EXPECT_EQ(formatCount(100000), "100,000");
+    EXPECT_EQ(formatCount(UINT64_MAX), "18,446,744,073,709,551,615");
 }
 
 } // namespace
