@@ -5,13 +5,17 @@
  * and which off-load decision machinery to deploy.
  *
  * The example runs Apache through the three decision policies of the
- * paper (SI / DI / HI) at both migration design points and prints a
- * recommendation-style report, including where the throughput comes
- * from (cache relief) and what it costs (migration, decision code,
- * coherence).
+ * paper (SI / DI / HI) at both migration design points twice: first
+ * the paper's own metric (normalized instruction throughput), then
+ * the operator's metric — end-to-end request-latency percentiles
+ * under open-loop Poisson arrivals. Tails are reported instead of
+ * means because an SLA is a percentile: a policy that wins 3% mean
+ * IPC but inflates p99 by queueing behind a saturated OS core is not
+ * a win in production.
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "system/experiment.hh"
 
@@ -33,6 +37,22 @@ reportPolicy(const char *label, const SystemConfig &config,
                 r.osCoreUtilization * 100.0,
                 static_cast<unsigned long long>(r.decisionCycles),
                 static_cast<unsigned long long>(r.migrationCycles));
+}
+
+void
+reportServing(const char *label, SystemConfig config,
+              const std::shared_ptr<const ServingConfig> &serving)
+{
+    config.serving = serving;
+    const SimResults r = ExperimentRunner::run(config);
+    const LatencyHistogram &lat = r.requestLatency;
+    std::printf("  %-22s %.4f req/kcy  p50 %llu  p95 %llu  p99 %llu  "
+                "p999 %llu cy\n",
+                label, r.requestThroughput,
+                static_cast<unsigned long long>(lat.quantile(0.50)),
+                static_cast<unsigned long long>(lat.quantile(0.95)),
+                static_cast<unsigned long long>(lat.quantile(0.99)),
+                static_cast<unsigned long long>(lat.quantile(0.999)));
 }
 
 } // namespace
@@ -84,11 +104,39 @@ main()
                  ExperimentRunner::hardwareDynamicConfig(workload, 100),
                  baseline);
 
+    // The operator's view: the same machinery serving an open-loop
+    // request stream. Latencies are end-to-end cycles — dispatch
+    // queueing + service + OS-core queueing + migration.
+    auto serving = std::make_shared<ServingConfig>();
+    serving->arrival = ArrivalModel::OpenLoop;
+    serving->meanInterarrivalCycles = 40'000;
+    serving->meanSegments = 3.0;
+    serving->warmupRequests = 150;
+    serving->measureRequests = 1'000;
+
+    std::printf("\n-- request tails under load (open-loop Poisson, "
+                "mean interarrival %.0f cy) --\n",
+                serving->meanInterarrivalCycles);
+    reportServing("static instr. (SI)",
+                  ExperimentRunner::staticInstrConfig(workload, 100,
+                                                      profile),
+                  serving);
+    reportServing("dynamic instr. (DI)",
+                  ExperimentRunner::dynamicInstrConfig(workload, 100,
+                                                       100),
+                  serving);
+    reportServing("hardware pred. (HI)",
+                  ExperimentRunner::hardwareDynamicConfig(workload, 100),
+                  serving);
+
     std::printf("\nreading the report: >1.000x means the dedicated OS "
                 "core pays for itself.\nThe hardware predictor (HI) "
                 "wins because its decisions cost one cycle and it can\n"
                 "profitably off-load even short OS sequences; software "
                 "instrumentation (DI) pays\nits decision tax on every "
-                "one of the hundreds of OS entry points.\n");
+                "one of the hundreds of OS entry points. The tail "
+                "table\nis the deployment gate: pick the policy whose "
+                "p99/p999 fits the SLA, not the one\nwith the best "
+                "mean.\n");
     return 0;
 }

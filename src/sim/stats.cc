@@ -97,10 +97,40 @@ RatioStat::reset()
     totalCount = 0;
 }
 
+void
+RatioStat::merge(const RatioStat &other)
+{
+    hitCount += other.hitCount;
+    totalCount += other.totalCount;
+    oscar_assert(hitCount <= totalCount);
+}
+
 LogHistogram::LogHistogram(unsigned max_bucket)
     : buckets(max_bucket, 0)
 {
-    oscar_assert(max_bucket >= 1);
+    // 64 buckets already cover every uint64 value; a larger count
+    // would put quantile/toString bound math into undefined shifts.
+    oscar_assert(max_bucket >= 1 && max_bucket <= 64);
+}
+
+std::uint64_t
+LogHistogram::bucketUpperBound(unsigned b)
+{
+    // Bucket b covers [2^b, 2^(b+1)). The naive (2ULL << b) - 1 is an
+    // undefined shift for b = 63; that bucket's bound is all-ones.
+    if (b >= 63)
+        return ~0ULL;
+    return (2ULL << b) - 1;
+}
+
+void
+LogHistogram::accumulate(std::uint64_t value)
+{
+    // Exact modular sum with wrap detection: unsigned overflow is
+    // defined, and a wrapped result is always smaller than one addend.
+    valueSum += value;
+    if (valueSum < value)
+        ++sumWraps;
 }
 
 void
@@ -115,7 +145,7 @@ LogHistogram::add(std::uint64_t value)
     ++samples;
     if (value == 0)
         ++zeroCount;
-    valueSum += static_cast<double>(value);
+    accumulate(value);
 }
 
 std::uint64_t
@@ -130,7 +160,15 @@ LogHistogram::mean() const
 {
     if (samples == 0)
         return 0.0;
-    return valueSum / static_cast<double>(samples);
+    // The common case (no wrap) divides the exact integer sum once, so
+    // the result is the correctly rounded double of the true mean.
+    if (sumWraps == 0)
+        return static_cast<double>(valueSum) /
+               static_cast<double>(samples);
+    const long double sum =
+        static_cast<long double>(sumWraps) * 0x1.0p64L +
+        static_cast<long double>(valueSum);
+    return static_cast<double>(sum / static_cast<long double>(samples));
 }
 
 std::uint64_t
@@ -150,9 +188,10 @@ LogHistogram::quantile(double q) const
     for (unsigned b = 0; b < buckets.size(); ++b) {
         seen += buckets[b];
         if (seen > target)
-            return (2ULL << b) - 1; // upper bound of bucket b
+            return bucketUpperBound(b);
     }
-    return (2ULL << (buckets.size() - 1)) - 1;
+    return bucketUpperBound(
+        static_cast<unsigned>(buckets.size()) - 1);
 }
 
 double
@@ -180,12 +219,25 @@ LogHistogram::fractionAbove(std::uint64_t value) const
 }
 
 void
+LogHistogram::merge(const LogHistogram &other)
+{
+    oscar_assert(buckets.size() == other.buckets.size());
+    for (std::size_t b = 0; b < buckets.size(); ++b)
+        buckets[b] += other.buckets[b];
+    samples += other.samples;
+    zeroCount += other.zeroCount;
+    sumWraps += other.sumWraps;
+    accumulate(other.valueSum);
+}
+
+void
 LogHistogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     samples = 0;
     zeroCount = 0;
-    valueSum = 0.0;
+    valueSum = 0;
+    sumWraps = 0;
 }
 
 std::string
@@ -197,7 +249,7 @@ LogHistogram::toString() const
         if (buckets[b] == 0)
             continue;
         const std::uint64_t lower = b == 0 ? 0 : (1ULL << b);
-        const std::uint64_t upper = (2ULL << b) - 1;
+        const std::uint64_t upper = bucketUpperBound(b);
         std::snprintf(line, sizeof(line), "[%8llu, %8llu] %llu\n",
                       static_cast<unsigned long long>(lower),
                       static_cast<unsigned long long>(upper),
@@ -205,6 +257,146 @@ LogHistogram::toString() const
         out += line;
     }
     return out;
+}
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+
+LatencyHistogram::LatencyHistogram(unsigned sub_bucket_bits)
+    : bits(sub_bucket_bits)
+{
+    oscar_assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+    // One linear region of 2^bits unit slots for values below 2^bits,
+    // then 2^bits sub-buckets per power-of-two range [2^t, 2^(t+1))
+    // for t = bits..63 — every uint64 value has a slot.
+    const std::size_t m = std::size_t{1} << bits;
+    slots.assign(m * (64 - bits + 1), 0);
+}
+
+std::size_t
+LatencyHistogram::slotFor(std::uint64_t value) const
+{
+    const std::uint64_t m = std::uint64_t{1} << bits;
+    if (value < m)
+        return static_cast<std::size_t>(value);
+    const unsigned top =
+        63u - static_cast<unsigned>(__builtin_clzll(value));
+    const unsigned group = top - bits; // 0-based; sub-bucket width 2^group
+    const std::uint64_t offset = (value - (std::uint64_t{1} << top))
+                                 >> group;
+    return static_cast<std::size_t>(m + group * m + offset);
+}
+
+std::uint64_t
+LatencyHistogram::slotUpperBound(std::size_t slot) const
+{
+    const std::uint64_t m = std::uint64_t{1} << bits;
+    if (slot < m)
+        return slot;
+    const std::uint64_t group = (slot - m) >> bits;
+    const std::uint64_t offset = (slot - m) & (m - 1);
+    const unsigned top = bits + static_cast<unsigned>(group);
+    const std::uint64_t width = std::uint64_t{1} << group;
+    const std::uint64_t lower =
+        (std::uint64_t{1} << top) + offset * width;
+    // lower + width can be 2^64 for the topmost slot; add width - 1.
+    return lower + (width - 1);
+}
+
+void
+LatencyHistogram::add(std::uint64_t value)
+{
+    ++slots[slotFor(value)];
+    if (samples == 0) {
+        lo = value;
+        hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    ++samples;
+    valueSum += value;
+    if (valueSum < value)
+        ++sumWraps;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (samples == 0)
+        return 0.0;
+    if (sumWraps == 0)
+        return static_cast<double>(valueSum) /
+               static_cast<double>(samples);
+    const long double sum =
+        static_cast<long double>(sumWraps) * 0x1.0p64L +
+        static_cast<long double>(valueSum);
+    return static_cast<double>(sum / static_cast<long double>(samples));
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    oscar_assert(q >= 0.0 && q <= 1.0);
+    if (samples == 0)
+        return 0;
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples));
+    target = std::min(target, samples - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        seen += slots[s];
+        if (seen > target)
+            return std::min(slotUpperBound(s), hi);
+    }
+    return hi; // unreachable: every sample lands in some slot
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    oscar_assert(bits == other.bits);
+    if (other.samples == 0)
+        return;
+    for (std::size_t s = 0; s < slots.size(); ++s)
+        slots[s] += other.slots[s];
+    lo = samples == 0 ? other.lo : std::min(lo, other.lo);
+    hi = samples == 0 ? other.hi : std::max(hi, other.hi);
+    samples += other.samples;
+    sumWraps += other.sumWraps;
+    valueSum += other.valueSum;
+    if (valueSum < other.valueSum)
+        ++sumWraps;
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(slots.begin(), slots.end(), 0);
+    samples = 0;
+    lo = 0;
+    hi = 0;
+    valueSum = 0;
+    sumWraps = 0;
+}
+
+std::string
+LatencyHistogram::toString() const
+{
+    if (samples == 0)
+        return "";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu min=%llu mean=%.1f p50=%llu p95=%llu "
+                  "p99=%llu p999=%llu max=%llu",
+                  static_cast<unsigned long long>(samples),
+                  static_cast<unsigned long long>(min()), mean(),
+                  static_cast<unsigned long long>(quantile(0.50)),
+                  static_cast<unsigned long long>(quantile(0.95)),
+                  static_cast<unsigned long long>(quantile(0.99)),
+                  static_cast<unsigned long long>(quantile(0.999)),
+                  static_cast<unsigned long long>(max()));
+    return buf;
 }
 
 std::string

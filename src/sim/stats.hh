@@ -89,6 +89,14 @@ class RatioStat
     /** Forget all events. */
     void reset();
 
+    /**
+     * Merge another counter into this one. Pooling counts is exact, so
+     * merging per-shard ratios is byte-identical to having recorded
+     * every event into a single counter — the property the parallel
+     * sweep aggregation relies on.
+     */
+    void merge(const RatioStat &other);
+
   private:
     std::uint64_t hitCount = 0;
     std::uint64_t totalCount = 0;
@@ -101,7 +109,11 @@ class RatioStat
 class LogHistogram
 {
   public:
-    /** @param max_bucket Number of power-of-two buckets (default 2^0..2^31). */
+    /**
+     * @param max_bucket Number of power-of-two buckets (default
+     *        2^0..2^31). At most 64: bucket 63 already covers values
+     *        up to 2^64 - 1, so more buckets could never be occupied.
+     */
     explicit LogHistogram(unsigned max_bucket = 32);
 
     /** Record one value. */
@@ -140,6 +152,15 @@ class LogHistogram
      */
     double fractionAbove(std::uint64_t value) const;
 
+    /**
+     * Merge another histogram into this one. Both must share the same
+     * bucket count (fatal otherwise). Bucket-wise pooling is exact:
+     * the merged histogram equals one that recorded every sample of
+     * both inputs, so sweep aggregation can combine per-point
+     * distributions instead of collapsing them to means.
+     */
+    void merge(const LogHistogram &other);
+
     /** Forget all samples. */
     void reset();
 
@@ -147,11 +168,108 @@ class LogHistogram
     std::string toString() const;
 
   private:
+    /** Largest value bucket b can hold (2^64 - 1 for bucket 63). */
+    static std::uint64_t bucketUpperBound(unsigned b);
+
+    /** Add to the exact value sum, counting 2^64 wrap-arounds. */
+    void accumulate(std::uint64_t value);
+
     std::vector<std::uint64_t> buckets;
     std::uint64_t samples = 0;
     /** Samples with value 0 (shares bucket 0 with value 1). */
     std::uint64_t zeroCount = 0;
-    double valueSum = 0.0;
+    /**
+     * Exact sum of recorded values, modulo 2^64. Accumulating in a
+     * double would silently round past 2^53 and let mean() drift on
+     * long runs; the wrap counter keeps the sum exact to 2^128.
+     */
+    std::uint64_t valueSum = 0;
+    /** Times valueSum wrapped past 2^64. */
+    std::uint64_t sumWraps = 0;
+};
+
+/**
+ * Mergeable latency histogram in the HdrHistogram mould: power-of-two
+ * ranges each split into 2^sub_bucket_bits linear sub-buckets, so any
+ * recorded value — and therefore any reported quantile — carries a
+ * bounded relative error of 2^-sub_bucket_bits, across the full
+ * uint64 range with no configuration of an expected maximum.
+ *
+ * This is the recording structure behind request tail latencies: each
+ * request's end-to-end latency (queueing + service + migration) is
+ * add()ed in cycles, and p50/p95/p99/p999 are read with quantile().
+ * Merging is bucket-wise and exact, so per-shard (or per-sweep-point)
+ * histograms combine into the same distribution a single recorder
+ * would have seen — results stay byte-identical at any job count.
+ */
+class LatencyHistogram
+{
+  public:
+    /**
+     * @param sub_bucket_bits log2 of linear sub-buckets per
+     *        power-of-two range (1..16). The default 5 (32 sub-buckets)
+     *        bounds quantile error at ~3%.
+     */
+    explicit LatencyHistogram(unsigned sub_bucket_bits = 5);
+
+    /** Record one value. */
+    void add(std::uint64_t value);
+
+    /** Total samples. */
+    std::uint64_t count() const { return samples; }
+
+    /** Mean of recorded values; 0 when empty. */
+    double mean() const;
+
+    /** Smallest recorded value; 0 when empty. */
+    std::uint64_t min() const { return samples ? lo : 0; }
+
+    /** Largest recorded value; 0 when empty. */
+    std::uint64_t max() const { return samples ? hi : 0; }
+
+    /**
+     * Quantile with bounded relative error: the upper bound of the
+     * sub-bucket holding the sample of 0-based rank
+     * min(floor(q * count), count - 1), clamped to the observed
+     * maximum (so quantile(1) == max()). 0 when empty.
+     *
+     * @param q Quantile in [0, 1].
+     */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Merge another histogram into this one; both must share the same
+     * sub-bucket geometry (fatal otherwise).
+     */
+    void merge(const LatencyHistogram &other);
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Sub-bucket geometry (for merge compatibility checks). */
+    unsigned subBucketBits() const { return bits; }
+
+    /** Number of internal slots (geometry inspection). */
+    std::size_t slotCount() const { return slots.size(); }
+
+    /** Render min/mean/percentiles as one line; "" when empty. */
+    std::string toString() const;
+
+  private:
+    /** Slot holding a value. */
+    std::size_t slotFor(std::uint64_t value) const;
+
+    /** Largest value a slot can hold. */
+    std::uint64_t slotUpperBound(std::size_t slot) const;
+
+    unsigned bits;
+    std::vector<std::uint64_t> slots;
+    std::uint64_t samples = 0;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    /** Exact sum modulo 2^64 plus wrap count (see LogHistogram). */
+    std::uint64_t valueSum = 0;
+    std::uint64_t sumWraps = 0;
 };
 
 /** Format a double as a fixed-width percentage string, e.g. "45.75%". */

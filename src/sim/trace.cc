@@ -26,6 +26,8 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::EpochEnd: return "epoch";
       case TraceEventKind::ThresholdChange: return "nswitch";
       case TraceEventKind::MeasurementStart: return "measure";
+      case TraceEventKind::RequestStart: return "reqstart";
+      case TraceEventKind::RequestEnd: return "reqend";
     }
     oscar_panic("unknown trace event kind %u",
                 static_cast<unsigned>(kind));
@@ -105,6 +107,17 @@ traceEventJson(const TraceEvent &event)
       case TraceEventKind::MeasurementStart:
         w.field("i", event.instruction);
         w.field("fb", event.feedback);
+        break;
+      case TraceEventKind::RequestStart:
+        w.field("id", event.requestId);
+        w.field("tn", event.tenant);
+        w.field("segs", event.actual);
+        w.field("wait", event.latency);
+        break;
+      case TraceEventKind::RequestEnd:
+        w.field("id", event.requestId);
+        w.field("tn", event.tenant);
+        w.field("lat", event.latency);
         break;
     }
     w.endObject();

@@ -75,6 +75,10 @@ enum class TraceEventKind : std::uint8_t
     ThresholdChange,
     /** Warmup ended; the measured region begins. */
     MeasurementStart,
+    /** A request started service on a server thread (serving mode). */
+    RequestStart,
+    /** A request completed; latency carries its end-to-end cycles. */
+    RequestEnd,
 };
 
 /** Stable serialization name of an event kind. */
@@ -123,6 +127,10 @@ struct TraceEvent
     bool toOs = false;
     /** Controller feedback value / warmup privileged fraction. */
     double feedback = 0.0;
+    /** Request id (request events only). */
+    std::uint64_t requestId = 0;
+    /** Issuing tenant (request events only). */
+    std::uint32_t tenant = 0;
 };
 
 /** Serialize one event as a single-line JSON object (no newline). */

@@ -92,6 +92,24 @@ writeResultsJson(JsonWriter &w, const SweepPointResult &point)
     w.field("global_fallback_rate", r.accuracy.globalFallbackRate());
     w.endObject();
 
+    w.key("serving");
+    w.beginObject();
+    w.field("enabled", r.servingEnabled);
+    w.field("requests_completed", r.requestsCompleted);
+    w.field("requests_offered", r.requestsOffered);
+    w.field("request_throughput_kcy", r.requestThroughput);
+    w.field("latency_count", r.requestLatency.count());
+    w.field("latency_min", r.requestLatency.min());
+    w.field("latency_mean", r.requestLatency.mean());
+    w.field("latency_p50", r.requestLatency.quantile(0.50));
+    w.field("latency_p95", r.requestLatency.quantile(0.95));
+    w.field("latency_p99", r.requestLatency.quantile(0.99));
+    w.field("latency_p999", r.requestLatency.quantile(0.999));
+    w.field("latency_max", r.requestLatency.max());
+    w.field("dispatch_wait_mean", r.requestDispatchWait.mean());
+    w.field("dispatch_wait_max", r.requestDispatchWait.max());
+    w.endObject();
+
     w.field("final_threshold", r.finalThreshold);
     w.field("threshold_switches", r.thresholdSwitches);
     w.key("threshold_trajectory");
@@ -128,6 +146,25 @@ writePointJson(JsonWriter &w, const SweepPointResult &point,
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------
+// SweepAggregate
+
+void
+SweepAggregate::add(const SweepPointResult &result)
+{
+    if (!result.ok)
+        return;
+    ++points;
+    throughput.add(result.results.throughput);
+    if (result.normalized > 0.0)
+        normalized.add(result.normalized);
+    offload.merge(result.results.offloadRatio);
+    invocationLengths.merge(result.results.invocationLengths);
+    requestLatency.merge(result.results.requestLatency);
+    if (result.results.servingEnabled)
+        requestThroughput.add(result.results.requestThroughput);
+}
 
 // ---------------------------------------------------------------------
 // ParallelSweepRunner

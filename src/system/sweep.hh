@@ -91,6 +91,36 @@ struct SweepPointResult
     double wallMs = 0.0;
 };
 
+/**
+ * Distribution-preserving aggregate over sweep points (typically the
+ * seed replicas of one configuration). Counts pool via
+ * RatioStat::merge, invocation lengths via LogHistogram::merge, and
+ * request latencies via LatencyHistogram::merge — so a percentile of
+ * the aggregate equals the percentile of a single run that recorded
+ * every sample, not an average of per-point percentiles (which is
+ * not a percentile of anything).
+ */
+struct SweepAggregate
+{
+    /** Successful points folded in. */
+    std::uint64_t points = 0;
+    /** Instruction throughput across points. */
+    RunningStat throughput;
+    /** Normalized throughput across points (normalized points only). */
+    RunningStat normalized;
+    /** Pooled off-loaded / total invocation counts. */
+    RatioStat offload;
+    /** Merged invocation-length distribution. */
+    LogHistogram invocationLengths{32};
+    /** Merged end-to-end request-latency distribution (serving). */
+    LatencyHistogram requestLatency;
+    /** Request throughput across points (serving). */
+    RunningStat requestThroughput;
+
+    /** Fold one point in; failed points are skipped. */
+    void add(const SweepPointResult &result);
+};
+
 /** Sweep execution knobs. */
 struct SweepOptions
 {

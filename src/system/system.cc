@@ -104,6 +104,20 @@ System::setMetricRegistry(MetricRegistry *registry)
         }
     }
 
+    if (cfg.serving) {
+        mRequestsOffered = registry->counter("serving.offered");
+        mRequestsCompleted = registry->counter("serving.completed");
+        mRequestLatency = registry->histogram("serving.latency", 48);
+        registry->gauge("serving.inflight", [this] {
+            std::uint64_t inflight = 0;
+            for (const auto &queued : requestQueues)
+                inflight += queued.size();
+            for (const Thread &thread : threads)
+                inflight += thread.servingRequest ? 1 : 0;
+            return static_cast<double>(inflight);
+        });
+    }
+
     registry->counterFn("events.scheduled",
                         [this] { return events.scheduledCount(); });
     registry->counterFn("events.fired",
@@ -205,6 +219,7 @@ System::recordInvocationLength(InstCount length)
     if (!measuring)
         return;
     invocationLength.add(static_cast<double>(length));
+    invocationLengthHist.add(length);
     for (std::size_t i = 0; i < 4; ++i) {
         if (length > SimResults::kTailThresholds[i])
             osInstrAboveTail[i] += length;
@@ -246,7 +261,9 @@ System::retire(Thread &thread, InstCount count, bool privileged)
                 measuredRetiredAll + controller.epochLength();
         }
 
-        if (!thread.quotaReached &&
+        // Serving mode's horizon is completed requests, not a
+        // per-thread instruction quota.
+        if (!servingMode() && !thread.quotaReached &&
             thread.measuredRetired >= cfg.measureInstructions) {
             thread.quotaReached = true;
             thread.finishCycle = events.now();
@@ -258,7 +275,7 @@ System::retire(Thread &thread, InstCount count, bool privileged)
             warmupOsRetired += count;
         const InstCount target =
             cfg.warmupInstructions * threads.size();
-        if (warmupRetired >= target)
+        if (!servingMode() && warmupRetired >= target)
             enterMeasurement();
     }
 
@@ -294,6 +311,7 @@ System::enterMeasurement()
     invocationsMeasured = 0;
     offloadedMeasured = 0;
     invocationLength.reset();
+    invocationLengthHist.reset();
     for (InstCount &tail : osInstrAboveTail)
         tail = 0;
     invocationsByService.fill(0);
@@ -344,8 +362,25 @@ void
 System::threadStep(std::uint32_t tid)
 {
     Thread &thread = threads[tid];
-    if (finishedThreads >= threads.size())
+    if (servingMode()) {
+        if (servingDone)
+            return;
+        // A step lands here (a) woken by a dispatch, (b) resuming
+        // after a token's execution, or (c) after the final segment
+        // of a request — whose completion cycle is exactly now.
+        if (thread.servingRequest && thread.segmentsLeft == 0) {
+            completeRequest(tid, events.now());
+            if (servingDone)
+                return;
+        }
+        if (!thread.servingRequest &&
+            !beginRequest(tid, events.now())) {
+            thread.idle = true;
+            return;
+        }
+    } else if (finishedThreads >= threads.size()) {
         return;
+    }
 
     const WorkloadToken token = thread.workload->next(thread.rng,
                                                       thread.arch);
@@ -424,6 +459,11 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
             trace->emit(event);
         }
         retire(thread, length, true);
+        if (servingMode()) {
+            oscar_assert(thread.servingRequest &&
+                         thread.segmentsLeft > 0);
+            --thread.segmentsLeft;
+        }
         scheduleThread(tid, now + decision.cost + result.cycles);
         return;
     }
@@ -524,6 +564,10 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
         event.latency = one_way;
         trace->emit(event);
     }
+    if (servingMode()) {
+        oscar_assert(thread.servingRequest && thread.segmentsLeft > 0);
+        --thread.segmentsLeft;
+    }
     scheduleThread(tid, now + one_way);
 
     // Admit the next queued request, if any.
@@ -532,9 +576,178 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
         startOsExecution(next.threadId, now);
 }
 
+// ---------------------------------------------------------------------
+// Serving mode
+
+void
+System::scheduleNextArrival()
+{
+    pendingArrival = requests->nextArrival();
+    auto deliver = [this](Cycle) {
+        const Request request = pendingArrival;
+        // Commit the successor first: dispatch can complete requests
+        // transitively, and only one arrival is ever outstanding.
+        scheduleNextArrival();
+        dispatchRequest(dispatchTarget(request), request);
+    };
+    static_assert(sizeof(deliver) <= kEventCallbackBytes,
+                  "arrival capture must stay inline");
+    events.schedule(pendingArrival.issued, std::move(deliver));
+}
+
+void
+System::scheduleClientIssue(std::uint32_t client, Cycle when)
+{
+    auto issue = [this, client](Cycle now) {
+        const Request request = requests->issueRequest(client, now);
+        dispatchRequest(client % static_cast<std::uint32_t>(
+                            threads.size()),
+                        request);
+    };
+    static_assert(sizeof(issue) <= kEventCallbackBytes,
+                  "client-issue capture must stay inline");
+    events.schedule(when, std::move(issue));
+}
+
+std::uint32_t
+System::dispatchTarget(const Request &request) const
+{
+    const auto n = static_cast<std::uint32_t>(threads.size());
+    if (cfg.serving->dispatch == DispatchPolicy::TenantAffinity)
+        return request.tenant % n;
+    return static_cast<std::uint32_t>(request.id % n);
+}
+
+void
+System::dispatchRequest(std::uint32_t tid, const Request &request)
+{
+    if (servingDone)
+        return;
+    if (mRequestsOffered != nullptr)
+        ++*mRequestsOffered;
+    if (measuring)
+        ++requestsOfferedMeasured;
+    requestQueues[tid].push_back(request);
+    Thread &thread = threads[tid];
+    if (thread.idle) {
+        thread.idle = false;
+        scheduleThread(tid, events.now());
+    }
+}
+
+bool
+System::beginRequest(std::uint32_t tid, Cycle now)
+{
+    Thread &thread = threads[tid];
+    if (requestQueues[tid].empty())
+        return false;
+    thread.currentRequest = requestQueues[tid].front();
+    requestQueues[tid].pop_front();
+    thread.servingRequest = true;
+    thread.segmentsLeft = thread.currentRequest.segments;
+    oscar_assert(now >= thread.currentRequest.issued);
+    const Cycle waited = now - thread.currentRequest.issued;
+    if (measuring)
+        requestDispatchWait.add(static_cast<double>(waited));
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::RequestStart;
+        event.thread = tid;
+        event.requestId = thread.currentRequest.id;
+        event.tenant = thread.currentRequest.tenant;
+        event.actual = thread.currentRequest.segments;
+        event.latency = waited;
+        trace->emit(event);
+    }
+    return true;
+}
+
+void
+System::completeRequest(std::uint32_t tid, Cycle now)
+{
+    Thread &thread = threads[tid];
+    oscar_assert(thread.servingRequest && thread.segmentsLeft == 0);
+    thread.servingRequest = false;
+    const Cycle latency = now - thread.currentRequest.issued;
+
+    ++requestsCompletedTotal;
+    if (mRequestsCompleted != nullptr)
+        ++*mRequestsCompleted;
+    if (mRequestLatency != nullptr)
+        mRequestLatency->add(latency);
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::RequestEnd;
+        event.thread = tid;
+        event.requestId = thread.currentRequest.id;
+        event.tenant = thread.currentRequest.tenant;
+        event.latency = latency;
+        trace->emit(event);
+    }
+
+    if (measuring) {
+        requestLatency.add(latency);
+        ++requestsCompletedMeasured;
+        if (requestsCompletedMeasured >= cfg.serving->measureRequests) {
+            servingDone = true;
+            servingEndCycle = now;
+        }
+    } else if (requestsCompletedTotal >= cfg.serving->warmupRequests) {
+        enterMeasurement();
+    }
+
+    if (cfg.serving->arrival == ArrivalModel::ClosedLoop &&
+        !servingDone) {
+        scheduleClientIssue(thread.currentRequest.client,
+                            now + requests->thinkTime());
+    }
+}
+
+SimResults
+System::runServing()
+{
+    // The stream's seed is decorrelated from the simulator's root so
+    // attaching the front-end perturbs no workload/interrupt stream.
+    requests = std::make_unique<RequestStream>(
+        *cfg.serving, cfg.seed ^ 0x5245515354ULL);
+    requestQueues.resize(threads.size());
+    for (Thread &thread : threads)
+        thread.idle = true;
+
+    if (cfg.serving->arrival == ArrivalModel::OpenLoop) {
+        scheduleNextArrival();
+    } else {
+        const auto clients =
+            cfg.serving->clientsPerCore *
+            static_cast<std::uint32_t>(threads.size());
+        for (std::uint32_t c = 0; c < clients; ++c)
+            scheduleClientIssue(c, requests->thinkTime());
+    }
+
+    while (!servingDone) {
+        if (events.empty())
+            oscar_panic("event queue drained before the serving "
+                        "horizon (%llu of %llu measured requests)",
+                        static_cast<unsigned long long>(
+                            requestsCompletedMeasured),
+                        static_cast<unsigned long long>(
+                            cfg.serving->measureRequests));
+        events.runOne();
+    }
+
+    if (metrics != nullptr) {
+        metrics->takeSample(warmupRetired + measuredRetiredAll,
+                            events.now(), /*refresh_equal=*/true);
+    }
+    return collectResults();
+}
+
 SimResults
 System::run()
 {
+    if (cfg.serving)
+        return runServing();
+
     for (std::uint32_t t = 0; t < threads.size(); ++t)
         scheduleThread(t, 0);
 
@@ -561,8 +774,14 @@ System::collectResults() const
     results.policy = policyShortName(cfg.policy);
 
     Cycle last_finish = measureStart;
-    for (const Thread &thread : threads)
-        last_finish = std::max(last_finish, thread.finishCycle);
+    if (servingMode()) {
+        // The serving horizon ends at the closing request, not at a
+        // per-thread instruction quota.
+        last_finish = std::max(servingEndCycle, measureStart);
+    } else {
+        for (const Thread &thread : threads)
+            last_finish = std::max(last_finish, thread.finishCycle);
+    }
     results.makespan = last_finish - measureStart;
     results.retired = measuredRetiredAll;
     results.throughput =
@@ -604,6 +823,21 @@ System::collectResults() const
             ? static_cast<double>(offloadedMeasured) / invocationsMeasured
             : 0.0;
     results.meanInvocationLength = invocationLength.mean();
+    results.offloadRatio.addMany(offloadedMeasured, invocationsMeasured);
+    results.invocationLengths = invocationLengthHist;
+
+    if (servingMode()) {
+        results.servingEnabled = true;
+        results.requestsCompleted = requestsCompletedMeasured;
+        results.requestsOffered = requestsOfferedMeasured;
+        results.requestThroughput =
+            results.makespan
+                ? static_cast<double>(requestsCompletedMeasured) *
+                      1000.0 / static_cast<double>(results.makespan)
+                : 0.0;
+        results.requestLatency = requestLatency;
+        results.requestDispatchWait = requestDispatchWait;
+    }
 
     if (cfg.offloadEnabled) {
         const Core &os_core = cores[cfg.osCoreId()];

@@ -33,7 +33,10 @@
 #include "sim/stats.hh"
 #include "system/system_config.hh"
 #include "workload/address_space.hh"
+#include "workload/request_stream.hh"
 #include "workload/workload.hh"
+
+#include <deque>
 
 namespace oscar
 {
@@ -136,6 +139,30 @@ struct SimResults
     std::array<std::uint64_t, kNumServices> invocationsByService{};
     /** Measured off-load count per service. */
     std::array<std::uint64_t, kNumServices> offloadsByService{};
+
+    /**
+     * Off-loaded / total invocations as a mergeable counter pair —
+     * the distribution-preserving form of offloadFraction for sweep
+     * aggregation (pooled counts, not averaged ratios).
+     */
+    RatioStat offloadRatio;
+    /** Measured invocation-length distribution (mergeable). */
+    LogHistogram invocationLengths{32};
+
+    // --- Request serving (set when SystemConfig::serving is) ---------
+    /** True when the run was driven by the request front-end. */
+    bool servingEnabled = false;
+    /** Requests completed inside the measured region. */
+    std::uint64_t requestsCompleted = 0;
+    /** Requests that arrived inside the measured region. */
+    std::uint64_t requestsOffered = 0;
+    /** Completed requests per 1,000 cycles of measured makespan. */
+    double requestThroughput = 0.0;
+    /** End-to-end request latency in cycles (queueing + service +
+     *  migration), measured region, mergeable across points. */
+    LatencyHistogram requestLatency;
+    /** Cycles requests waited for a server thread before starting. */
+    RunningStat requestDispatchWait;
 };
 
 /**
@@ -215,6 +242,16 @@ class System
         OsInvocation pendingInv;
         OffloadDecision pendingDecision;
         Cycle offloadArrival = 0;
+
+        // --- Serving mode --------------------------------------------
+        /** The request in service on this thread. */
+        Request currentRequest;
+        /** OS-invocation segments left before the request completes. */
+        std::uint32_t segmentsLeft = 0;
+        /** A request is in service. */
+        bool servingRequest = false;
+        /** No request in service and none queued; a dispatch wakes. */
+        bool idle = false;
     };
 
     /** Advance one thread by one workload token. */
@@ -249,6 +286,31 @@ class System
 
     /** Gather results after the run. */
     SimResults collectResults() const;
+
+    // --- Serving mode (see workload/request_stream.hh) ---------------
+    /** True when the run is driven by the request front-end. */
+    bool servingMode() const { return requests != nullptr; }
+
+    /** Serving-mode run loop: traffic in, request latencies out. */
+    SimResults runServing();
+
+    /** Open loop: commit and schedule the next fleet arrival. */
+    void scheduleNextArrival();
+
+    /** Closed loop: schedule a client's next issue. */
+    void scheduleClientIssue(std::uint32_t client, Cycle when);
+
+    /** Server thread an arriving request is dispatched to. */
+    std::uint32_t dispatchTarget(const Request &request) const;
+
+    /** Enqueue a request on a thread, waking it when idle. */
+    void dispatchRequest(std::uint32_t tid, const Request &request);
+
+    /** Pop the next queued request into service; false when empty. */
+    bool beginRequest(std::uint32_t tid, Cycle now);
+
+    /** The request in service on a thread finished its last segment. */
+    void completeRequest(std::uint32_t tid, Cycle now);
 
     SystemConfig cfg;
     ServiceTable services;
@@ -301,9 +363,28 @@ class System
     std::uint64_t invocationsMeasured = 0;
     std::uint64_t offloadedMeasured = 0;
     RunningStat invocationLength;
+    LogHistogram invocationLengthHist{32};
     InstCount osInstrAboveTail[4] = {0, 0, 0, 0};
     std::array<std::uint64_t, kNumServices> invocationsByService{};
     std::array<std::uint64_t, kNumServices> offloadsByService{};
+
+    // Serving-mode state (null / unused in classic segment mode).
+    std::unique_ptr<RequestStream> requests;
+    /** Per-thread dispatch queues. */
+    std::vector<std::deque<Request>> requestQueues;
+    /** Open loop: the committed arrival the next event delivers. */
+    Request pendingArrival;
+    std::uint64_t requestsCompletedTotal = 0;
+    std::uint64_t requestsCompletedMeasured = 0;
+    std::uint64_t requestsOfferedMeasured = 0;
+    LatencyHistogram requestLatency;
+    RunningStat requestDispatchWait;
+    bool servingDone = false;
+    Cycle servingEndCycle = 0;
+    // Registry-owned serving counters (null when metrics off).
+    std::uint64_t *mRequestsOffered = nullptr;
+    std::uint64_t *mRequestsCompleted = nullptr;
+    LogHistogram *mRequestLatency = nullptr;
 
     /** Tail accounting for one completed invocation. */
     void recordInvocationLength(InstCount length);

@@ -27,6 +27,8 @@ SystemConfig::validate() const
     }
     if (measureInstructions == 0)
         oscar_fatal("measureInstructions must be positive");
+    if (serving)
+        serving->validate();
     if (geometry.l1i.lineBytes != geometry.l2.lineBytes ||
         geometry.l1d.lineBytes != geometry.l2.lineBytes) {
         oscar_fatal("L1/L2 line sizes must match");

@@ -17,6 +17,7 @@
 #include "os/interrupts.hh"
 #include "os/migration.hh"
 #include "workload/profiles.hh"
+#include "workload/request_stream.hh"
 
 namespace oscar
 {
@@ -98,6 +99,16 @@ struct SystemConfig
      * (coherence-coupling ablation; 1 = calibrated).
      */
     double osCouplingScale = 1.0;
+
+    /**
+     * Request-serving front-end (see workload/request_stream.hh).
+     * Null (the default) runs the classic open-ended segment
+     * generator; set, the system is driven by client-fleet requests,
+     * the run horizon is ServingConfig's request counts (per-thread
+     * measureInstructions is ignored), and SimResults carries request
+     * throughput and the end-to-end latency distribution.
+     */
+    std::shared_ptr<const ServingConfig> serving;
 
     /** Root RNG seed. */
     std::uint64_t seed = 42;

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Request-level serving front-end: a model of the client fleet that
+ * drives a server with datacenter traffic.
+ *
+ * The paper's motivation is *server* performance, yet the simulator's
+ * native workloads are open-loop instruction-segment generators: they
+ * show what off-loading does to IPC, not to the metric operators
+ * provision for — request tail latency. RequestStream closes that gap.
+ * It models a fleet of clients issuing *requests*; each request
+ * expands into a chain of user/OS invocation segments executed by the
+ * existing System machinery, and the serving layer records every
+ * request's end-to-end latency (dispatch queueing + service + OS-core
+ * queueing + migration) into a mergeable LatencyHistogram.
+ *
+ * Two arrival disciplines:
+ *
+ *  - open loop: a fleet-wide Poisson process whose rate is modulated
+ *    by a diurnal ramp (sinusoidal, like day/night traffic) and by
+ *    Markov-modulated burst episodes (flash crowds). Requests arrive
+ *    whether or not the server keeps up — the discipline that exposes
+ *    queueing collapse and coordinated omission.
+ *  - closed loop: a fixed client fleet with exponential think times;
+ *    each client waits for its response before issuing again — the
+ *    discipline of connection-bounded benchmark harnesses (YCSB-style
+ *    client threads).
+ *
+ * Tenants are Zipf-skewed: a few hot tenants dominate traffic, and a
+ * request's tenant steers its dispatch affinity so hot tenants can
+ * hotspot one server thread (TenantAffinity) or be spread round-robin.
+ */
+
+#ifndef OSCAR_WORKLOAD_REQUEST_STREAM_HH_
+#define OSCAR_WORKLOAD_REQUEST_STREAM_HH_
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/** How requests are generated. */
+enum class ArrivalModel : std::uint8_t
+{
+    /** Rate-driven arrivals independent of completions. */
+    OpenLoop,
+    /** Fixed client fleet, think time between response and reissue. */
+    ClosedLoop,
+};
+
+/** How an arriving request picks a server thread. */
+enum class DispatchPolicy : std::uint8_t
+{
+    /** Spread arrivals evenly across server threads. */
+    RoundRobin,
+    /** Pin each tenant to one thread (tenant mod threads). */
+    TenantAffinity,
+};
+
+/**
+ * Complete description of the client fleet and the request shape.
+ * Attached to SystemConfig::serving to switch a System into
+ * request-serving mode.
+ */
+struct ServingConfig
+{
+    ArrivalModel arrival = ArrivalModel::OpenLoop;
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+
+    // --- open-loop arrivals ------------------------------------------
+    /** Mean cycles between arrivals (fleet-wide) at the base rate. */
+    double meanInterarrivalCycles = 30'000.0;
+    /**
+     * Diurnal ramp: the instantaneous rate is scaled by
+     * 1 + diurnalAmplitude * sin(2*pi*t / diurnalPeriodCycles).
+     * 0 disables the ramp.
+     */
+    double diurnalAmplitude = 0.0;
+    /** Period of the diurnal ramp in cycles. */
+    Cycle diurnalPeriodCycles = 4'000'000;
+    /**
+     * Probability an arrival outside a burst episode starts one.
+     * During an episode the arrival rate is multiplied by
+     * burstRateMultiplier for a geometrically distributed number of
+     * requests with mean burstMeanRequests. 0 disables bursts.
+     */
+    double burstProbability = 0.0;
+    double burstRateMultiplier = 4.0;
+    double burstMeanRequests = 32.0;
+
+    // --- closed-loop fleet -------------------------------------------
+    /** Clients per server thread (user core). */
+    unsigned clientsPerCore = 4;
+    /** Mean exponential think time between response and reissue. */
+    double meanThinkCycles = 60'000.0;
+
+    // --- tenancy and request shape -----------------------------------
+    /** Distinct tenants issuing requests. */
+    unsigned tenants = 64;
+    /** Zipf skew over tenants (0 = uniform). */
+    double tenantSkew = 0.99;
+    /**
+     * Mean OS-invocation segments per request; each segment is one
+     * user burst plus one OS invocation drawn from the workload's
+     * calibrated mix. Log-normally distributed with sigma
+     * segmentsSigma, minimum 1.
+     */
+    double meanSegments = 4.0;
+    double segmentsSigma = 0.5;
+
+    // --- run horizon --------------------------------------------------
+    /** Completed requests before the measured region starts. */
+    std::uint64_t warmupRequests = 200;
+    /** Measured completed requests; the run stops after these. */
+    std::uint64_t measureRequests = 2'000;
+
+    /** Sanity-check the configuration; fatal on user error. */
+    void validate() const;
+};
+
+/** One request issued by the client fleet. */
+struct Request
+{
+    /** Monotone id in issue order. */
+    std::uint64_t id = 0;
+    /** Cycle the request entered the system. */
+    Cycle issued = 0;
+    /** Issuing tenant (Zipf rank; 0 is the hottest). */
+    std::uint32_t tenant = 0;
+    /** User/OS segment pairs this request expands into (>= 1). */
+    std::uint32_t segments = 1;
+    /** Issuing client (closed loop only). */
+    std::uint32_t client = 0;
+};
+
+/**
+ * Deterministic generator of the request stream. All randomness flows
+ * through a private Rng forked from the serving seed, so the stream
+ * is reproducible and independent of the simulator's own streams.
+ */
+class RequestStream
+{
+  public:
+    /**
+     * @param config Fleet description (validated here).
+     * @param seed Seed of the stream's private Rng.
+     */
+    RequestStream(const ServingConfig &config, std::uint64_t seed);
+
+    /**
+     * Open loop: generate the next arrival. Arrival cycles are
+     * strictly increasing by at least one cycle; tenant and shape are
+     * sampled per request.
+     */
+    Request nextArrival();
+
+    /**
+     * Closed loop: materialize the request a client issues at `now`
+     * (after its think time elapsed).
+     */
+    Request issueRequest(std::uint32_t client, Cycle now);
+
+    /** Closed loop: sample a think time (>= 1 cycle). */
+    Cycle thinkTime();
+
+    /** Requests generated so far. */
+    std::uint64_t generated() const { return count; }
+
+    /** True while inside a burst episode (open loop; tests). */
+    bool inBurst() const { return burstRemaining > 0; }
+
+    /** The configuration in force. */
+    const ServingConfig &config() const { return cfg; }
+
+  private:
+    /** Sample tenant and segment count into a request. */
+    void shapeRequest(Request &request);
+
+    /** Instantaneous rate multiplier at cycle t (diurnal * burst). */
+    double rateMultiplier(Cycle t) const;
+
+    ServingConfig cfg;
+    Rng rng;
+    ZipfDistribution tenantDist;
+    /** Next open-loop arrival cycle (already committed). */
+    Cycle nextCycle = 0;
+    std::uint64_t count = 0;
+    /** Requests left in the current burst episode (open loop). */
+    std::uint64_t burstRemaining = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_WORKLOAD_REQUEST_STREAM_HH_

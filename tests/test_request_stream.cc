@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the request-stream generator (serving front-end).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "workload/request_stream.hh"
+
+namespace oscar
+{
+namespace
+{
+
+ServingConfig
+openLoopConfig()
+{
+    ServingConfig cfg;
+    cfg.arrival = ArrivalModel::OpenLoop;
+    cfg.meanInterarrivalCycles = 1'000.0;
+    cfg.tenants = 16;
+    cfg.meanSegments = 3.0;
+    return cfg;
+}
+
+TEST(ServingConfig, DefaultsValidate)
+{
+    ServingConfig cfg;
+    cfg.validate();
+}
+
+TEST(ServingConfig, RejectsNonPositiveRate)
+{
+    ServingConfig cfg;
+    cfg.meanInterarrivalCycles = 0.0;
+    EXPECT_DEATH(cfg.validate(), "");
+}
+
+TEST(ServingConfig, RejectsBadDiurnalAmplitude)
+{
+    ServingConfig cfg;
+    cfg.diurnalAmplitude = 1.0; // rate would hit zero at the trough
+    EXPECT_DEATH(cfg.validate(), "");
+}
+
+TEST(ServingConfig, RejectsZeroTenants)
+{
+    ServingConfig cfg;
+    cfg.tenants = 0;
+    EXPECT_DEATH(cfg.validate(), "");
+}
+
+TEST(ServingConfig, RejectsZeroMeasureRequests)
+{
+    ServingConfig cfg;
+    cfg.measureRequests = 0;
+    EXPECT_DEATH(cfg.validate(), "");
+}
+
+TEST(RequestStream, SameSeedSameStream)
+{
+    RequestStream a(openLoopConfig(), 42);
+    RequestStream b(openLoopConfig(), 42);
+    for (int i = 0; i < 500; ++i) {
+        const Request ra = a.nextArrival();
+        const Request rb = b.nextArrival();
+        EXPECT_EQ(ra.id, rb.id);
+        EXPECT_EQ(ra.issued, rb.issued);
+        EXPECT_EQ(ra.tenant, rb.tenant);
+        EXPECT_EQ(ra.segments, rb.segments);
+    }
+}
+
+TEST(RequestStream, DifferentSeedsDecorrelate)
+{
+    RequestStream a(openLoopConfig(), 1);
+    RequestStream b(openLoopConfig(), 2);
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (a.nextArrival().issued == b.nextArrival().issued)
+            ++same;
+    }
+    EXPECT_LT(same, 10);
+}
+
+TEST(RequestStream, ArrivalsStrictlyIncrease)
+{
+    RequestStream stream(openLoopConfig(), 7);
+    Cycle last = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Request r = stream.nextArrival();
+        EXPECT_GT(r.issued, last);
+        last = r.issued;
+        EXPECT_EQ(r.id, static_cast<std::uint64_t>(i));
+        EXPECT_GE(r.segments, 1u);
+        EXPECT_LT(r.tenant, stream.config().tenants);
+    }
+    EXPECT_EQ(stream.generated(), 2000u);
+}
+
+TEST(RequestStream, MeanInterarrivalTracksConfig)
+{
+    RequestStream stream(openLoopConfig(), 11);
+    const int n = 20'000;
+    Cycle last = 0;
+    for (int i = 0; i < n; ++i)
+        last = stream.nextArrival().issued;
+    const double mean = static_cast<double>(last) / n;
+    EXPECT_NEAR(mean, 1'000.0, 50.0);
+}
+
+TEST(RequestStream, MeanSegmentsTracksConfig)
+{
+    RequestStream stream(openLoopConfig(), 13);
+    double total = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        total += stream.nextArrival().segments;
+    // Log-normal with the configured mean, discretized with min 1:
+    // rounding adds up to half a segment of bias.
+    EXPECT_NEAR(total / n, 3.0, 0.6);
+}
+
+TEST(RequestStream, ZipfTenantsAreSkewed)
+{
+    ServingConfig cfg = openLoopConfig();
+    cfg.tenantSkew = 1.2;
+    RequestStream stream(cfg, 17);
+    std::map<std::uint32_t, int> counts;
+    for (int i = 0; i < 10'000; ++i)
+        ++counts[stream.nextArrival().tenant];
+    // Rank 0 is the hottest tenant and must dominate the coldest by a
+    // wide margin.
+    EXPECT_GT(counts[0], counts[cfg.tenants - 1] * 5);
+    // And it must not be a degenerate point mass.
+    EXPECT_LT(counts[0], 8'000);
+}
+
+TEST(RequestStream, UniformTenantsWhenSkewIsZero)
+{
+    ServingConfig cfg = openLoopConfig();
+    cfg.tenantSkew = 0.0;
+    RequestStream stream(cfg, 19);
+    std::vector<int> counts(cfg.tenants, 0);
+    const int n = 16'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[stream.nextArrival().tenant];
+    for (unsigned t = 0; t < cfg.tenants; ++t)
+        EXPECT_NEAR(counts[t], n / int(cfg.tenants), 250)
+            << "tenant " << t;
+}
+
+TEST(RequestStream, BurstEpisodesRaiseTheRate)
+{
+    ServingConfig calm = openLoopConfig();
+    ServingConfig bursty = openLoopConfig();
+    bursty.burstProbability = 0.05;
+    bursty.burstRateMultiplier = 8.0;
+    bursty.burstMeanRequests = 16.0;
+
+    RequestStream a(calm, 23);
+    RequestStream b(bursty, 23);
+    const int n = 20'000;
+    Cycle endCalm = 0;
+    Cycle endBursty = 0;
+    bool sawBurst = false;
+    for (int i = 0; i < n; ++i) {
+        endCalm = a.nextArrival().issued;
+        endBursty = b.nextArrival().issued;
+        sawBurst = sawBurst || b.inBurst();
+    }
+    EXPECT_TRUE(sawBurst);
+    // Burst episodes compress interarrivals, so the bursty stream
+    // covers the same request count in less simulated time.
+    EXPECT_LT(endBursty, endCalm);
+}
+
+TEST(RequestStream, DiurnalRampModulatesInterarrivals)
+{
+    ServingConfig cfg = openLoopConfig();
+    cfg.diurnalAmplitude = 0.8;
+    cfg.diurnalPeriodCycles = 1'000'000;
+    RequestStream stream(cfg, 29);
+    // Bucket interarrival gaps by phase; the peak half-period (rate
+    // scaled up) must show visibly shorter gaps than the trough.
+    double peakGap = 0.0;
+    double troughGap = 0.0;
+    int peakCount = 0;
+    int troughCount = 0;
+    Cycle last = 0;
+    for (int i = 0; i < 40'000; ++i) {
+        const Request r = stream.nextArrival();
+        const Cycle phase = r.issued % cfg.diurnalPeriodCycles;
+        const double gap = static_cast<double>(r.issued - last);
+        last = r.issued;
+        if (phase < cfg.diurnalPeriodCycles / 2) {
+            peakGap += gap;
+            ++peakCount;
+        } else {
+            troughGap += gap;
+            ++troughCount;
+        }
+    }
+    ASSERT_GT(peakCount, 0);
+    ASSERT_GT(troughCount, 0);
+    EXPECT_LT(peakGap / peakCount, 0.6 * (troughGap / troughCount));
+}
+
+TEST(RequestStream, ClosedLoopIssueStampsClientAndCycle)
+{
+    ServingConfig cfg;
+    cfg.arrival = ArrivalModel::ClosedLoop;
+    cfg.tenants = 8;
+    RequestStream stream(cfg, 31);
+    const Request r0 = stream.issueRequest(3, 12'345);
+    EXPECT_EQ(r0.client, 3u);
+    EXPECT_EQ(r0.issued, 12'345u);
+    EXPECT_EQ(r0.id, 0u);
+    EXPECT_GE(r0.segments, 1u);
+    const Request r1 = stream.issueRequest(5, 20'000);
+    EXPECT_EQ(r1.id, 1u);
+    EXPECT_EQ(stream.generated(), 2u);
+}
+
+TEST(RequestStream, ThinkTimesArePositiveWithConfiguredMean)
+{
+    ServingConfig cfg;
+    cfg.arrival = ArrivalModel::ClosedLoop;
+    cfg.meanThinkCycles = 5'000.0;
+    RequestStream stream(cfg, 37);
+    double total = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        const Cycle t = stream.thinkTime();
+        EXPECT_GE(t, 1u);
+        total += static_cast<double>(t);
+    }
+    EXPECT_NEAR(total / n, 5'000.0, 250.0);
+}
+
+} // namespace
+} // namespace oscar

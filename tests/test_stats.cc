@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
+#include "sim/random.hh"
 #include "sim/stats.hh"
 
 namespace oscar
@@ -297,6 +299,323 @@ TEST(LogHistogram, ToStringShowsExactBucketBounds)
         << text;
     // Only the two occupied buckets are rendered.
     EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+// Regression: bucket b's upper bound used to be computed as
+// (2ULL << b) - 1, which for the top bucket overflows 2^64 and leans
+// on wraparound — and with the bucket count unvalidated, a 65-bucket
+// histogram turned that into a shift past the type width, genuine UB
+// under UBSan. Bucket 63 must report 2^64 - 1 through the clamped
+// bound math, and out-of-range bucket counts must be rejected at
+// construction (the death test below).
+TEST(LogHistogram, TopBucketQuantileIsDefined)
+{
+    LogHistogram h(64);
+    h.add(1ULL << 63);
+    EXPECT_EQ(h.quantile(0.0), UINT64_MAX);
+    EXPECT_EQ(h.quantile(1.0), UINT64_MAX);
+    EXPECT_NEAR(h.fractionAbove(1ULL << 62), 1.0, 1e-12);
+    EXPECT_NE(h.toString().find("18446744073709551615"),
+              std::string::npos);
+}
+
+TEST(LogHistogram, ConstructorRejectsInvalidBucketCounts)
+{
+    EXPECT_DEATH(LogHistogram h(0), "");
+    EXPECT_DEATH(LogHistogram h(65), "");
+}
+
+// Regression: valueSum used to accumulate in a double, which silently
+// rounds once the running sum passes 2^53 — every +1 after a 2^53
+// sample was absorbed (2^53 + 1 rounds back to 2^53), so the mean
+// drifted low by ~1000/1001 here, hundreds of ulps. The integer sum
+// keeps every addend and rounds exactly once, at the division.
+TEST(LogHistogram, MeanIsExactPastDoublePrecision)
+{
+    LogHistogram h(64);
+    h.add(1ULL << 53);
+    for (int i = 0; i < 1000; ++i)
+        h.add(1);
+    EXPECT_DOUBLE_EQ(h.mean(), (0x1.0p53 + 1000.0) / 1001.0);
+}
+
+TEST(LogHistogram, MeanSurvivesSumWraparound)
+{
+    LogHistogram h(64);
+    h.add(UINT64_MAX);
+    h.add(UINT64_MAX);
+    h.add(UINT64_MAX);
+    h.add(UINT64_MAX);
+    // Sum is 4 * (2^64 - 1), two wraps past 2^64; the mean must come
+    // back as 2^64 - 1 up to double rounding, not a wrapped residue.
+    EXPECT_NEAR(h.mean(), 0x1.0p64, 0x1.0p12);
+    EXPECT_GT(h.mean(), 0x1.0p63);
+}
+
+// Property: mean() after a randomized integer stream equals a
+// reference sum carried in __int128 — exact accumulation, not
+// floating-point drift.
+TEST(LogHistogram, MeanMatchesExactReferenceOnRandomStreams)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 8; ++round) {
+        LogHistogram h(64);
+        unsigned __int128 reference = 0;
+        const int n = 1 + static_cast<int>(rng.nextBounded(4000));
+        for (int i = 0; i < n; ++i) {
+            // Mix magnitudes: many values near 2^53..2^63 so the sum
+            // leaves double territory quickly.
+            const std::uint64_t v =
+                rng.next64() >> rng.nextBounded(24);
+            h.add(v);
+            reference += v;
+        }
+        const double expected = static_cast<double>(
+            static_cast<long double>(reference) / n);
+        // Within EXPECT_DOUBLE_EQ's 4-ulp slack of the exact mean;
+        // double accumulation drifted by tens-to-hundreds of ulps on
+        // these streams.
+        EXPECT_DOUBLE_EQ(h.mean(), expected)
+            << "round " << round << " n=" << n;
+    }
+}
+
+TEST(RatioStat, MergeMatchesPooled)
+{
+    RatioStat a;
+    RatioStat b;
+    RatioStat pooled;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        const bool hit = rng.nextBool(0.3);
+        a.add(hit);
+        pooled.add(hit);
+    }
+    for (int i = 0; i < 300; ++i) {
+        const bool hit = rng.nextBool(0.8);
+        b.add(hit);
+        pooled.add(hit);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.hits(), pooled.hits());
+    EXPECT_EQ(a.total(), pooled.total());
+    EXPECT_DOUBLE_EQ(a.ratio(), pooled.ratio());
+}
+
+TEST(RatioStat, MergeWithEmptyIsIdentity)
+{
+    RatioStat a;
+    a.addMany(3, 10);
+    RatioStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.hits(), 3u);
+    EXPECT_EQ(a.total(), 10u);
+    empty.merge(a);
+    EXPECT_EQ(empty.hits(), 3u);
+    EXPECT_EQ(empty.total(), 10u);
+}
+
+// Mirrors the PredictorStats merge test: merging shards must be
+// indistinguishable from having recorded every sample into one
+// histogram — the property the sweep aggregation depends on.
+TEST(LogHistogram, MergeMatchesPooled)
+{
+    LogHistogram a(64);
+    LogHistogram b(64);
+    LogHistogram pooled(64);
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.next64() >> rng.nextBounded(60);
+        if (i % 3 == 0) {
+            a.add(v);
+        } else {
+            b.add(v);
+        }
+        pooled.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+    for (unsigned bkt = 0; bkt < 64; ++bkt)
+        EXPECT_EQ(a.bucketCount(bkt), pooled.bucketCount(bkt))
+            << "bucket " << bkt;
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(a.quantile(q), pooled.quantile(q)) << "q=" << q;
+    EXPECT_EQ(a.toString(), pooled.toString());
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedBucketCounts)
+{
+    LogHistogram a(32);
+    LogHistogram b(16);
+    EXPECT_DEATH(a.merge(b), "");
+}
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+    EXPECT_EQ(h.toString(), "");
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    // Values below 2^sub_bucket_bits land in unit-width slots, so
+    // quantiles of small distributions are exact.
+    LatencyHistogram h(5);
+    for (std::uint64_t v = 0; v <= 31; ++v)
+        h.add(v);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 16u);
+    EXPECT_EQ(h.quantile(1.0), 31u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.5);
+}
+
+TEST(LatencyHistogram, QuantileOneIsObservedMax)
+{
+    LatencyHistogram h;
+    h.add(1'000'000);
+    h.add(123);
+    EXPECT_EQ(h.quantile(1.0), 1'000'000u);
+    EXPECT_EQ(h.max(), 1'000'000u);
+}
+
+// The headline guarantee: every quantile is within a relative
+// 2^-sub_bucket_bits of an exact reference computed from the sorted
+// sample vector.
+TEST(LatencyHistogram, QuantileRelativeErrorIsBounded)
+{
+    for (unsigned bits : {3u, 5u, 8u}) {
+        LatencyHistogram h(bits);
+        std::vector<std::uint64_t> values;
+        Rng rng(31 + bits);
+        for (int i = 0; i < 5000; ++i) {
+            // Latency-like spread: exponential bulk plus a heavy tail.
+            const double x = rng.nextExponential(50'000.0) +
+                             rng.nextBoundedPareto(1.0, 1e9, 1.2);
+            values.push_back(static_cast<std::uint64_t>(x));
+            h.add(values.back());
+        }
+        std::sort(values.begin(), values.end());
+        const double tolerance = std::pow(2.0, -double(bits));
+        for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+            const std::uint64_t exact = values[static_cast<size_t>(
+                q * static_cast<double>(values.size()))];
+            const std::uint64_t approx = h.quantile(q);
+            // The reported value is an upper bound of the exact
+            // sample's sub-bucket: never below it, and at most one
+            // sub-bucket width (2^-bits relative) above.
+            EXPECT_GE(approx, exact) << "bits=" << bits << " q=" << q;
+            EXPECT_LE(static_cast<double>(approx - exact),
+                      tolerance * static_cast<double>(exact) + 1.0)
+                << "bits=" << bits << " q=" << q;
+        }
+    }
+}
+
+TEST(LatencyHistogram, FullRangeValuesDoNotOverflow)
+{
+    LatencyHistogram h;
+    h.add(UINT64_MAX);
+    h.add(UINT64_MAX - 1);
+    h.add(1ULL << 63);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max(), UINT64_MAX);
+    EXPECT_EQ(h.quantile(1.0), UINT64_MAX);
+    EXPECT_GE(h.quantile(0.0), 1ULL << 63);
+}
+
+TEST(LatencyHistogram, MeanIsExactPastDoublePrecision)
+{
+    LatencyHistogram h;
+    h.add(1ULL << 53);
+    for (int i = 0; i < 1000; ++i)
+        h.add(1);
+    EXPECT_DOUBLE_EQ(h.mean(), (0x1.0p53 + 1000.0) / 1001.0);
+}
+
+TEST(LatencyHistogram, MergeMatchesPooled)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram pooled;
+    Rng rng(55);
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t v = rng.next64() >> rng.nextBounded(50);
+        if (rng.nextBool(0.4)) {
+            a.add(v);
+        } else {
+            b.add(v);
+        }
+        pooled.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_EQ(a.min(), pooled.min());
+    EXPECT_EQ(a.max(), pooled.max());
+    EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0})
+        EXPECT_EQ(a.quantile(q), pooled.quantile(q)) << "q=" << q;
+    EXPECT_EQ(a.toString(), pooled.toString());
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram a;
+    a.add(100);
+    a.add(200);
+    LatencyHistogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.max(), 200u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.min(), 100u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 150.0);
+}
+
+TEST(LatencyHistogram, MergeRejectsMismatchedGeometry)
+{
+    LatencyHistogram a(5);
+    LatencyHistogram b(6);
+    EXPECT_DEATH(a.merge(b), "");
+}
+
+TEST(LatencyHistogram, ConstructorRejectsInvalidGeometry)
+{
+    EXPECT_DEATH(LatencyHistogram h(0), "");
+    EXPECT_DEATH(LatencyHistogram h(17), "");
+}
+
+TEST(LatencyHistogram, ResetForgets)
+{
+    LatencyHistogram h;
+    h.add(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    h.add(7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.quantile(1.0), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(LatencyHistogram, ToStringReportsPercentiles)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<std::uint64_t>(i));
+    const std::string text = h.toString();
+    EXPECT_NE(text.find("n=1000"), std::string::npos) << text;
+    EXPECT_NE(text.find("p99"), std::string::npos) << text;
+    EXPECT_NE(text.find("max=1000"), std::string::npos) << text;
 }
 
 TEST(Formatting, Percent)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/metrics.hh"
+#include "system/experiment.hh"
 #include "system/system.hh"
 
 namespace oscar
@@ -199,6 +201,80 @@ TEST(System, TailSharesAreMonotone)
     EXPECT_GE(r.osShareAbove[2], r.osShareAbove[3]);
     EXPECT_LE(r.osShareAbove[0], r.privFraction + 0.02);
     EXPECT_DOUBLE_EQ(r.osShareAboveN(100), r.osShareAbove[0]);
+}
+
+// The three canonical OS-core queue regimes, each cross-checked
+// against the registry's os.queue.* series. Warmup is zero so the
+// never-reset registry metrics and the measurement-reset SimResults
+// cover the same cycles.
+
+TEST(System, QueueDelayZeroWhenNothingOffloads)
+{
+    SystemConfig config = quickBaseline();
+    config.warmupInstructions = 0;
+    config.offloadEnabled = true;
+    config.policy = PolicyKind::HardwarePredictor;
+    config.staticThreshold = 1ULL << 40; // unreachable: no off-loads
+    MetricRegistry registry;
+    const SimResults r =
+        ExperimentRunner::run(config, nullptr, &registry);
+    EXPECT_EQ(r.offloaded, 0u);
+    EXPECT_DOUBLE_EQ(r.meanQueueDelay, 0.0);
+    EXPECT_DOUBLE_EQ(r.maxQueueDelay, 0.0);
+    EXPECT_DOUBLE_EQ(registry.seriesValue("os.queue.offers"), 0.0);
+    EXPECT_DOUBLE_EQ(registry.seriesValue("os.queue.wait.count"), 0.0);
+}
+
+TEST(System, SingleOffloaderNeverQueues)
+{
+    // One user thread blocks while its off-load runs, so the OS core
+    // is always idle at offer time: every wait sample is exactly zero.
+    SystemConfig config = quickBaseline();
+    config.warmupInstructions = 0;
+    config.offloadEnabled = true;
+    config.policy = PolicyKind::HardwarePredictor;
+    config.staticThreshold = 100;
+    config.migrationOneWayCycles = 100;
+    MetricRegistry registry;
+    const SimResults r =
+        ExperimentRunner::run(config, nullptr, &registry);
+    EXPECT_GT(r.offloaded, 0u);
+    EXPECT_DOUBLE_EQ(r.meanQueueDelay, 0.0);
+    EXPECT_DOUBLE_EQ(r.maxQueueDelay, 0.0);
+    EXPECT_DOUBLE_EQ(registry.seriesValue("os.queue.offers"),
+                     static_cast<double>(r.offloaded));
+    EXPECT_DOUBLE_EQ(registry.seriesValue("os.queue.wait.count"),
+                     static_cast<double>(r.offloaded));
+    EXPECT_DOUBLE_EQ(registry.seriesValue("os.queue.wait.mean"), 0.0);
+}
+
+TEST(System, SaturatedOsCoreQueueDelayMatchesRegistry)
+{
+    // Four eager off-loaders behind one OS core: requests stack up and
+    // the per-request delays recorded by SimResults must agree with
+    // the registry's wait histogram sample for sample.
+    SystemConfig config = quickBaseline();
+    config.warmupInstructions = 0;
+    config.userCores = 4;
+    config.offloadEnabled = true;
+    config.policy = PolicyKind::HardwarePredictor;
+    config.staticThreshold = 100;
+    config.migrationOneWayCycles = 100;
+    MetricRegistry registry;
+    const SimResults r =
+        ExperimentRunner::run(config, nullptr, &registry);
+    EXPECT_GT(r.offloaded, 0u);
+    EXPECT_GT(r.meanQueueDelay, 0.0);
+    EXPECT_GE(r.maxQueueDelay, r.meanQueueDelay);
+    EXPECT_DOUBLE_EQ(registry.seriesValue("os.queue.offers"),
+                     static_cast<double>(r.offloaded));
+    // Same samples, different accumulators (Welford vs exact integer
+    // sum), so compare to a relative tolerance.
+    EXPECT_NEAR(registry.seriesValue("os.queue.wait.mean"),
+                r.meanQueueDelay, 1e-6 * (1.0 + r.meanQueueDelay));
+    // Every admitted request waited no longer than the recorded max.
+    EXPECT_LE(registry.seriesValue("os.queue.wait.p99"),
+              2.0 * r.maxQueueDelay + 1.0);
 }
 
 TEST(SystemDeath, PolicyWithoutOffloadIsFatal)
