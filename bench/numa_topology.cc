@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Multi-OS-core NUMA topology sweep: when does a second OS core pay
+ * for itself?
+ *
+ * The paper provisions exactly one dedicated OS core. On a two-node
+ * CMP serving datacenter traffic that choice is a real capacity
+ * question: a single OS core saturates under heavy off-load and makes
+ * half the user cores pay an inter-node migration on every request,
+ * while a second OS core costs a user core's worth of silicon. This
+ * sweep holds the machine fixed (four user cores over two NUMA nodes,
+ * distance-dependent migration) and varies the OS-core count,
+ * placement (packed on node 0 vs one per node), and balance policy
+ * (home-node affinity, least-loaded, work stealing with overflow
+ * spill) under two offered loads, reporting per-cell end-to-end
+ * request percentiles, pooled OS-queue wait percentiles, and the
+ * steal/spill traffic.
+ *
+ * Seed replicas fold through SweepAggregate: request latencies and
+ * per-queue wait histograms merge sample-exact, so printed
+ * percentiles are those of the union distribution. The
+ * oscar.sweep.v1 report is byte-identical at any --jobs count.
+ *
+ * Flags: the shared sweep options (see BenchOptions) plus --tiny,
+ * which shrinks the request horizon for CI smoke runs.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/sweep.hh"
+
+namespace
+{
+
+using namespace oscar;
+
+/** One topology cell of the sweep. */
+struct Scenario
+{
+    const char *name;
+    TopologyConfig topology;
+};
+
+/** Open-loop client fleet shared by every point. */
+std::shared_ptr<const ServingConfig>
+makeServing(double mean_interarrival, bool tiny)
+{
+    auto serving = std::make_shared<ServingConfig>();
+    serving->arrival = ArrivalModel::OpenLoop;
+    // Tenant state stays node-local, so off-loads hit a same-node
+    // home OS core whenever the placement provides one.
+    serving->dispatch = DispatchPolicy::NodeAffinity;
+    serving->meanInterarrivalCycles = mean_interarrival;
+    serving->diurnalAmplitude = 0.3;
+    serving->diurnalPeriodCycles = 2'000'000;
+    serving->burstProbability = 0.02;
+    serving->burstRateMultiplier = 3.0;
+    serving->burstMeanRequests = 16.0;
+    serving->tenants = 64;
+    serving->tenantSkew = 0.99;
+    serving->meanSegments = 3.0;
+    serving->segmentsSigma = 0.5;
+    serving->warmupRequests = tiny ? 40 : 150;
+    serving->measureRequests = tiny ? 150 : 1'000;
+    return serving;
+}
+
+TopologyConfig
+makeTopology(unsigned os_cores, OsPlacement placement,
+             OsDispatchPolicy dispatch)
+{
+    TopologyConfig topo;
+    topo.osCores = os_cores;
+    topo.numaNodes = 2;
+    topo.placement = placement;
+    topo.dispatch = dispatch;
+    // A same-node hop is nearly free; crossing the interconnect costs
+    // as much again as the base context transfer.
+    topo.intraNodeHopCycles = 50;
+    topo.interNodeHopCycles = 1'000;
+    if (dispatch == OsDispatchPolicy::WorkStealing)
+        topo.spillDepth = 2;
+    return topo;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace oscar;
+
+    // --tiny (CI smoke scale) is ours; everything else is shared.
+    bool tiny = false;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::strcmp(argv[i], "--tiny") == 0) {
+            tiny = true;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    const BenchOptions opts =
+        BenchOptions::parse(static_cast<int>(args.size()), args.data(),
+                            "numa_topology.sweep.json");
+
+    const WorkloadKind workload = WorkloadKind::Apache;
+    const unsigned user_cores = 4;
+    const InstCount static_n = 1'000;
+    const Cycle migration = 1'000;
+    const std::vector<std::uint64_t> seeds =
+        tiny ? std::vector<std::uint64_t>{42}
+             : std::vector<std::uint64_t>{42, 1337};
+
+    struct Load
+    {
+        const char *name;
+        double meanInterarrival;
+    };
+    const std::vector<Load> loads = {{"moderate", 26'000.0},
+                                     {"heavy", 14'000.0}};
+
+    // The K=1 baseline runs on the *same* two-node machine (the OS
+    // core packed on node 0, node-1 users paying the interconnect on
+    // every off-load) so the comparison isolates the second OS core.
+    const std::vector<Scenario> scenarios = {
+        {"K1",
+         makeTopology(1, OsPlacement::Packed, OsDispatchPolicy::HomeNode)},
+        {"K2/packed/home",
+         makeTopology(2, OsPlacement::Packed, OsDispatchPolicy::HomeNode)},
+        {"K2/packed/ll",
+         makeTopology(2, OsPlacement::Packed,
+                      OsDispatchPolicy::LeastLoaded)},
+        {"K2/packed/steal",
+         makeTopology(2, OsPlacement::Packed,
+                      OsDispatchPolicy::WorkStealing)},
+        {"K2/spread/home",
+         makeTopology(2, OsPlacement::Spread, OsDispatchPolicy::HomeNode)},
+        {"K2/spread/ll",
+         makeTopology(2, OsPlacement::Spread,
+                      OsDispatchPolicy::LeastLoaded)},
+        {"K2/spread/steal",
+         makeTopology(2, OsPlacement::Spread,
+                      OsDispatchPolicy::WorkStealing)},
+    };
+
+    std::printf("=== Request latency by OS-core topology (Apache, %u "
+                "user cores, 2 NUMA nodes, open-loop) ===\n\n",
+                user_cores);
+
+    std::vector<SweepPoint> points;
+    for (const Load &load : loads) {
+        for (const Scenario &scenario : scenarios) {
+            for (const std::uint64_t seed : seeds) {
+                SweepPoint point;
+                point.config = ExperimentRunner::hardwareConfig(
+                    workload, static_n, migration, seed);
+                point.config.userCores = user_cores;
+                point.config.topology = scenario.topology;
+                point.config.serving =
+                    makeServing(load.meanInterarrival, tiny);
+                point.normalize = false;
+                point.label = std::string(scenario.name) + "/" +
+                              load.name +
+                              "/seed=" + std::to_string(seed);
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    applySweepTracePaths(points, opts.tracePath);
+    applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
+
+    const ParallelSweepRunner runner({opts.jobs});
+    const auto results = runner.run(points);
+
+    for (const SweepPointResult &result : results) {
+        if (!result.ok) {
+            std::printf("point %s FAILED: %s\n", result.label.c_str(),
+                        result.error.c_str());
+        }
+    }
+
+    // Fold seed replicas: one aggregate per (load, scenario) cell;
+    // every percentile is over the merged sample population.
+    std::size_t index = 0;
+    for (const Load &load : loads) {
+        std::printf("-- %s load (mean interarrival %.0f cy) --\n",
+                    load.name, load.meanInterarrival);
+        TextTable table({"topology", "req/kcy", "p50", "p95", "p99",
+                         "p999", "qwait p99", "steals", "spills"});
+        for (const Scenario &scenario : scenarios) {
+            SweepAggregate agg;
+            for (std::size_t s = 0; s < seeds.size(); ++s)
+                agg.add(results[index++]);
+            const LatencyHistogram &lat = agg.requestLatency;
+            table.addRow({
+                scenario.name,
+                formatDouble(agg.requestThroughput.mean(), 4),
+                std::to_string(lat.quantile(0.50)),
+                std::to_string(lat.quantile(0.95)),
+                std::to_string(lat.quantile(0.99)),
+                std::to_string(lat.quantile(0.999)),
+                std::to_string(agg.queueWait.quantile(0.99)),
+                std::to_string(agg.steals),
+                std::to_string(agg.spills),
+            });
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("reading the tables: a second OS core pays for itself "
+                "when the K1 row's qwait p99\ndominates its request "
+                "tail — queueing at the lone OS core, not service, "
+                "sets p99.\nAt low load K1 wins: the second core only "
+                "adds cache-cold off-load targets.\nSpread placement "
+                "beats packed once inter-node hops cost more than "
+                "queue slack,\nand stealing converts the idle remote "
+                "core into overflow capacity for bursts.\n");
+
+    if (!opts.jsonPath.empty()) {
+        SweepReport report("numa_topology",
+                           runner.effectiveJobs(points.size()));
+        report.addAll(results);
+        if (report.writeTo(opts.jsonPath)) {
+            std::printf("sweep report: %s (%zu points)\n",
+                        opts.jsonPath.c_str(), report.size());
+        }
+    }
+    return 0;
+}

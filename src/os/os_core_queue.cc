@@ -13,13 +13,32 @@ namespace oscar
 {
 
 void
-OsCoreQueue::registerMetrics(MetricRegistry &registry)
+OsCoreQueue::registerMetrics(MetricRegistry &registry,
+                             const std::string &prefix)
 {
     oscar_assert(mOffers == nullptr);
-    mOffers = registry.counter("os.queue.offers");
-    mWait = registry.histogram("os.queue.wait");
-    registry.gauge("os.queue.depth",
+    mOffers = registry.counter(prefix + "offers");
+    mWait = registry.histogram(prefix + "wait");
+    registry.gauge(prefix + "depth",
                    [this] { return static_cast<double>(depth()); });
+}
+
+void
+OsCoreQueue::setQueueId(std::uint32_t id, bool annotate_events)
+{
+    queueIndex = id;
+    annotate = annotate_events;
+}
+
+void
+OsCoreQueue::recordWait(Cycle waited)
+{
+    delayStat.add(static_cast<double>(waited));
+    waitHist.add(waited);
+    if (mWait != nullptr)
+        mWait->add(waited);
+    ++admittedCount;
+    ++admittedEverCount;
 }
 
 bool
@@ -30,15 +49,14 @@ OsCoreQueue::offer(const OffloadRequest &req, Cycle now)
         ++*mOffers;
     if (!coreBusy) {
         coreBusy = true;
-        delayStat.add(0.0);
-        if (mWait != nullptr)
-            mWait->add(0);
-        ++admittedCount;
+        recordWait(0);
         if (trace != nullptr) {
             TraceEvent event;
             event.kind = TraceEventKind::QueueEnter;
             event.thread = req.threadId;
             event.depth = 0;
+            if (annotate)
+                event.queue = queueIndex;
             trace->emit(event);
         }
         return true;
@@ -49,6 +67,8 @@ OsCoreQueue::offer(const OffloadRequest &req, Cycle now)
         event.kind = TraceEventKind::QueueEnter;
         event.thread = req.threadId;
         event.depth = waiting.size();
+        if (annotate)
+            event.queue = queueIndex;
         trace->emit(event);
     }
     return false;
@@ -65,25 +85,49 @@ OsCoreQueue::completeCurrent(Cycle now, OffloadRequest &next_out)
     next_out = waiting.front();
     waiting.pop_front();
     oscar_assert(now >= next_out.arrival);
-    delayStat.add(static_cast<double>(now - next_out.arrival));
-    if (mWait != nullptr)
-        mWait->add(now - next_out.arrival);
-    ++admittedCount;
+    recordWait(now - next_out.arrival);
     if (trace != nullptr) {
         TraceEvent event;
         event.kind = TraceEventKind::QueueExit;
         event.thread = next_out.threadId;
         event.latency = now - next_out.arrival;
+        if (annotate)
+            event.queue = queueIndex;
         trace->emit(event);
     }
     return true;
+}
+
+OffloadRequest
+OsCoreQueue::stealOldest()
+{
+    oscar_assert(!waiting.empty());
+    const OffloadRequest req = waiting.front();
+    waiting.pop_front();
+    ++stealsOutCount;
+    return req;
+}
+
+void
+OsCoreQueue::adoptStolen(const OffloadRequest &req, Cycle start)
+{
+    oscar_assert(!coreBusy);
+    oscar_assert(start >= req.arrival);
+    coreBusy = true;
+    ++stealsInCount;
+    recordWait(start - req.arrival);
 }
 
 void
 OsCoreQueue::resetStats()
 {
     delayStat.reset();
+    waitHist.reset();
     admittedCount = 0;
+    stealsInCount = 0;
+    stealsOutCount = 0;
+    spillsInCount = 0;
+    spillsOutCount = 0;
 }
 
 } // namespace oscar

@@ -1,11 +1,19 @@
 /**
  * @file
- * Request queue of the dedicated (non-SMT) OS core.
+ * Request queue of a dedicated (non-SMT) OS core.
  *
  * Section V-C: "if the OS core is handling an off-loading request when
  * an additional request comes in, the new request must be stalled
  * until the OS core becomes free." The queue records the delay each
  * request waits, the statistic the scalability study reports.
+ *
+ * The multi-OS-core topology generalization instantiates one queue per
+ * OS core. Each queue keeps its own delay statistics (as a RunningStat
+ * and as a mergeable LatencyHistogram, so per-queue distributions pool
+ * exactly into the system-wide one), and supports the two balancing
+ * moves of the work-stealing dispatch policy: stealOldest() lets an
+ * idle peer take this queue's longest-waiting request, and
+ * adoptStolen() admits such a request on the stealing core's queue.
  */
 
 #ifndef OSCAR_OS_OS_CORE_QUEUE_HH_
@@ -13,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -58,17 +67,63 @@ class OsCoreQueue
      */
     bool completeCurrent(Cycle now, OffloadRequest &next_out);
 
+    /**
+     * Remove and return the oldest waiting request so an idle peer
+     * queue can execute it (work stealing). The in-service request is
+     * untouched; its wait is recorded by the adopting queue. Must not
+     * be called on an empty queue.
+     */
+    OffloadRequest stealOldest();
+
+    /**
+     * Admit a request stolen from a peer queue: the core becomes busy
+     * and the request's wait (start - arrival) is recorded here, on
+     * the queue that actually serves it. Must be idle.
+     *
+     * @param req The stolen request.
+     * @param start Cycle service will start (completion time of the
+     *        steal transfer).
+     */
+    void adoptStolen(const OffloadRequest &req, Cycle start);
+
     /** True while a request occupies the OS core. */
     bool busy() const { return coreBusy; }
 
     /** Requests waiting (excluding the one in service). */
     std::size_t depth() const { return waiting.size(); }
 
+    /** In-flight load: waiting requests plus the one in service. */
+    std::size_t load() const { return waiting.size() + (coreBusy ? 1 : 0); }
+
     /** Distribution of cycles requests waited before starting. */
     const RunningStat &queueDelay() const { return delayStat; }
 
+    /** Wait distribution as a mergeable histogram (same samples). */
+    const LatencyHistogram &waitHistogram() const { return waitHist; }
+
     /** Total requests ever admitted (started service). */
     std::uint64_t admitted() const { return admittedCount; }
+
+    /** Admissions since construction; unlike admitted(), never reset. */
+    std::uint64_t admittedEver() const { return admittedEverCount; }
+
+    /** Requests this queue's core stole from peers. */
+    std::uint64_t stealsIn() const { return stealsInCount; }
+
+    /** Requests peers stole out of this queue. */
+    std::uint64_t stealsOut() const { return stealsOutCount; }
+
+    /** Arrivals that overflowed into this queue. */
+    std::uint64_t spillsIn() const { return spillsInCount; }
+
+    /** Arrivals that overflowed out of this queue. */
+    std::uint64_t spillsOut() const { return spillsOutCount; }
+
+    /** Record one overflow into this queue (spill bookkeeping). */
+    void countSpillIn() { ++spillsInCount; }
+
+    /** Record one overflow away from this queue (spill bookkeeping). */
+    void countSpillOut() { ++spillsOutCount; }
 
     /** Reset statistics (not occupancy). */
     void resetStats();
@@ -81,18 +136,44 @@ class OsCoreQueue
     void setTraceSink(TraceSink *sink) { trace = sink; }
 
     /**
-     * Register queue metrics under `os.queue.`: an offers counter, a
+     * Identify this queue among K: its index and whether queue events
+     * should carry it. Single-queue systems leave annotation off so
+     * their traces stay byte-identical to the legacy single-OS-core
+     * format.
+     */
+    void setQueueId(std::uint32_t id, bool annotate_events);
+
+    /** Queue index among the K OS-core queues. */
+    std::uint32_t queueId() const { return queueIndex; }
+
+    /**
+     * Register queue metrics under `<prefix>`: an offers counter, a
      * depth gauge, and a wait-time histogram recorded at the same two
      * sites as queueDelay() (but, like all registry metrics, never
      * reset). Call at most once; the registry must outlive the queue.
+     * The default prefix preserves the legacy single-queue names
+     * (`os.queue.offers`, ...); multi-queue systems pass
+     * `os.queue.q<k>.`.
      */
-    void registerMetrics(MetricRegistry &registry);
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix = "os.queue.");
 
   private:
+    /** Record one admission wait in every delay statistic. */
+    void recordWait(Cycle waited);
+
     std::deque<OffloadRequest> waiting;
     bool coreBusy = false;
     RunningStat delayStat;
+    LatencyHistogram waitHist;
     std::uint64_t admittedCount = 0;
+    std::uint64_t admittedEverCount = 0;
+    std::uint64_t stealsInCount = 0;
+    std::uint64_t stealsOutCount = 0;
+    std::uint64_t spillsInCount = 0;
+    std::uint64_t spillsOutCount = 0;
+    std::uint32_t queueIndex = 0;
+    bool annotate = false;
     TraceSink *trace = nullptr;
 
     // Registry handles; null until registerMetrics() (metrics off).

@@ -28,6 +28,8 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::MeasurementStart: return "measure";
       case TraceEventKind::RequestStart: return "reqstart";
       case TraceEventKind::RequestEnd: return "reqend";
+      case TraceEventKind::Steal: return "steal";
+      case TraceEventKind::Spill: return "spill";
     }
     oscar_panic("unknown trace event kind %u",
                 static_cast<unsigned>(kind));
@@ -83,12 +85,18 @@ traceEventJson(const TraceEvent &event)
       case TraceEventKind::Migration:
         w.field("dir", event.toOs ? "os" : "user");
         w.field("lat", event.latency);
+        if (event.queue != kNoTraceQueue)
+            w.field("q", event.queue);
         break;
       case TraceEventKind::QueueEnter:
         w.field("d", event.depth);
+        if (event.queue != kNoTraceQueue)
+            w.field("q", event.queue);
         break;
       case TraceEventKind::QueueExit:
         w.field("wait", event.latency);
+        if (event.queue != kNoTraceQueue)
+            w.field("q", event.queue);
         break;
       case TraceEventKind::InvocationEnd:
         w.field("len", event.actual);
@@ -117,6 +125,17 @@ traceEventJson(const TraceEvent &event)
       case TraceEventKind::RequestEnd:
         w.field("id", event.requestId);
         w.field("tn", event.tenant);
+        w.field("lat", event.latency);
+        break;
+      case TraceEventKind::Steal:
+        w.field("from", event.queueFrom);
+        w.field("q", event.queue);
+        w.field("lat", event.latency);
+        break;
+      case TraceEventKind::Spill:
+        w.field("from", event.queueFrom);
+        w.field("q", event.queue);
+        w.field("d", event.depth);
         w.field("lat", event.latency);
         break;
     }

@@ -52,6 +52,9 @@ inline constexpr std::uint32_t kNoTraceThread = 0xFFFFFFFFu;
 /** Sentinel for "no service attached to this event". */
 inline constexpr std::uint16_t kNoTraceService = 0xFFFFu;
 
+/** Sentinel for "no OS-core queue attached to this event". */
+inline constexpr std::uint32_t kNoTraceQueue = 0xFFFFFFFFu;
+
 /** What happened; selects which TraceEvent fields are meaningful. */
 enum class TraceEventKind : std::uint8_t
 {
@@ -79,6 +82,10 @@ enum class TraceEventKind : std::uint8_t
     RequestStart,
     /** A request completed; latency carries its end-to-end cycles. */
     RequestEnd,
+    /** An idle OS core stole a waiting request from a peer queue. */
+    Steal,
+    /** An arrival overflowed from its home queue to a peer queue. */
+    Spill,
 };
 
 /** Stable serialization name of an event kind. */
@@ -131,6 +138,16 @@ struct TraceEvent
     std::uint64_t requestId = 0;
     /** Issuing tenant (request events only). */
     std::uint32_t tenant = 0;
+    /**
+     * OS-core queue the event concerns (admitting/receiving queue for
+     * steal and spill), or kNoTraceQueue. Multi-queue topologies
+     * annotate queue and migration events with it; single-queue runs
+     * leave the sentinel so their serialization stays byte-identical
+     * to the legacy single-OS-core format.
+     */
+    std::uint32_t queue = kNoTraceQueue;
+    /** Queue a steal/spill moved the request away from. */
+    std::uint32_t queueFrom = kNoTraceQueue;
 };
 
 /** Serialize one event as a single-line JSON object (no newline). */

@@ -54,6 +54,25 @@ writeConfigJson(JsonWriter &w, const SystemConfig &config)
     w.field("seed", config.seed);
     w.field("warmup_instructions", config.warmupInstructions);
     w.field("measure_instructions", config.measureInstructions);
+    // The paper's one-OS-core machine emits no topology block, so
+    // every pre-existing artifact stays byte-identical.
+    if (config.offloadEnabled && !config.topology.isDefault()) {
+        w.key("topology");
+        w.beginObject();
+        w.field("os_cores", config.topology.osCores);
+        w.field("numa_nodes", config.topology.numaNodes);
+        w.field("placement",
+                osPlacementName(config.topology.placement));
+        w.field("dispatch",
+                osDispatchPolicyName(config.topology.dispatch));
+        w.field("intra_node_hop_cycles",
+                config.topology.intraNodeHopCycles);
+        w.field("inter_node_hop_cycles",
+                config.topology.interNodeHopCycles);
+        w.field("spill_depth", static_cast<std::uint64_t>(
+                                   config.topology.spillDepth));
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -110,6 +129,41 @@ writeResultsJson(JsonWriter &w, const SweepPointResult &point)
     w.field("dispatch_wait_max", r.requestDispatchWait.max());
     w.endObject();
 
+    // Same gate as writeConfigJson: default-topology points keep the
+    // legacy byte layout; multi-queue points add a numa block.
+    if (point.config.offloadEnabled &&
+        !point.config.topology.isDefault()) {
+        w.key("numa");
+        w.beginObject();
+        w.field("migrations_intra", r.numaMigrationsIntra);
+        w.field("migrations_inter", r.numaMigrationsInter);
+        w.field("steals", r.steals);
+        w.field("spills", r.spills);
+        w.key("queues");
+        w.beginArray();
+        for (const OsQueueResult &q : r.osQueues) {
+            w.beginObject();
+            w.field("queue", q.queue);
+            w.field("core", static_cast<std::uint64_t>(q.core));
+            w.field("node", q.node);
+            w.field("admitted", q.admitted);
+            w.field("steals_in", q.stealsIn);
+            w.field("steals_out", q.stealsOut);
+            w.field("spills_in", q.spillsIn);
+            w.field("spills_out", q.spillsOut);
+            w.field("utilization", q.utilization);
+            w.field("wait_mean", q.wait.mean());
+            w.field("wait_p50", q.wait.quantile(0.50));
+            w.field("wait_p95", q.wait.quantile(0.95));
+            w.field("wait_p99", q.wait.quantile(0.99));
+            w.field("wait_p999", q.wait.quantile(0.999));
+            w.field("wait_max", q.wait.max());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
     w.field("final_threshold", r.finalThreshold);
     w.field("threshold_switches", r.thresholdSwitches);
     w.key("threshold_trajectory");
@@ -164,6 +218,12 @@ SweepAggregate::add(const SweepPointResult &result)
     requestLatency.merge(result.results.requestLatency);
     if (result.results.servingEnabled)
         requestThroughput.add(result.results.requestThroughput);
+    for (const OsQueueResult &q : result.results.osQueues) {
+        queueDelay.merge(q.queueDelay);
+        queueWait.merge(q.wait);
+    }
+    steals += result.results.steals;
+    spills += result.results.spills;
 }
 
 // ---------------------------------------------------------------------

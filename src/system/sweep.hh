@@ -116,6 +116,19 @@ struct SweepAggregate
     LatencyHistogram requestLatency;
     /** Request throughput across points (serving). */
     RunningStat requestThroughput;
+    /**
+     * Pooled OS-core queue delay over every queue of every point.
+     * Earlier revisions read only the point-level meanQueueDelay
+     * scalar, which silently collapses a K-queue point to one value;
+     * folding each OsQueueResult keeps replica pooling exact for any
+     * queue count.
+     */
+    RunningStat queueDelay;
+    /** Merged per-queue admission-wait distribution (same samples). */
+    LatencyHistogram queueWait;
+    /** Work-stealing balance actions summed across points. */
+    std::uint64_t steals = 0;
+    std::uint64_t spills = 0;
 
     /** Fold one point in; failed points are skipped. */
     void add(const SweepPointResult &result);
@@ -172,7 +185,10 @@ class ParallelSweepRunner
  *       "config": {workload, policy, predictor, user_cores,
  *                  dynamic_threshold, static_threshold,
  *                  migration_one_way_cycles, seed,
- *                  warmup_instructions, measure_instructions},
+ *                  warmup_instructions, measure_instructions,
+ *                  topology?: {os_cores, numa_nodes, placement,
+ *                              dispatch, intra/inter_node_hop_cycles,
+ *                              spill_depth}},
  *       "results": {throughput, normalized_throughput, priv_fraction,
  *                   user/os/combined_l2_hit_rate, invocations,
  *                   offloaded, offload_fraction,
@@ -182,8 +198,17 @@ class ParallelSweepRunner
  *                   predictor {samples, exact_rate,
  *                              within_tolerance_rate, miss_rate,
  *                              global_fallback_rate},
+ *                   numa?: {migrations_intra, migrations_inter,
+ *                           steals, spills,
+ *                           queues: [{queue, core, node, admitted,
+ *                                     steals/spills in/out,
+ *                                     utilization, wait_*}, ...]},
  *                   final_threshold, threshold_switches,
  *                   threshold_trajectory: [{instruction, n}, ...]}
+ *
+ * The topology and numa blocks appear only for points whose topology
+ * departs from the paper's one-OS-core default, so every pre-existing
+ * artifact remains byte-identical.
  *     }, ...
  *   ]
  * }

@@ -33,13 +33,20 @@ controllerConfig(const SystemConfig &config)
 
 System::System(const SystemConfig &config)
     : cfg(config),
-      migration(cfg.migrationOneWayCycles),
       interrupts(cfg.interrupts, services, Rng(cfg.seed ^ 0xA5A5A5A5ULL)),
       controller(controllerConfig(config)),
       staticThreshold(cfg.staticThreshold),
       dynamicThreshold(controller)
 {
     cfg.validate();
+
+    // Offload-disabled systems still get a (trivial) topology so node
+    // queries are always answerable; the configured one only matters
+    // when OS cores exist.
+    topo = Topology(cfg.userCores,
+                    cfg.offloadEnabled ? cfg.topology : TopologyConfig{},
+                    cfg.migrationOneWayCycles);
+    queues.build(topo);
 
     WorkloadSpec spec = makeWorkloadSpec(cfg.workload);
     spec.osCouplingScale = cfg.osCouplingScale;
@@ -52,8 +59,10 @@ System::System(const SystemConfig &config)
     cores.reserve(cfg.totalCores());
     for (unsigned c = 0; c < cfg.userCores; ++c)
         cores.emplace_back(c, CoreRole::User);
-    if (cfg.offloadEnabled)
-        cores.emplace_back(cfg.osCoreId(), CoreRole::Os);
+    if (cfg.offloadEnabled) {
+        for (unsigned k = 0; k < topo.osCoreCount(); ++k)
+            cores.emplace_back(topo.osCoreId(k), CoreRole::Os);
+    }
 
     threads.resize(cfg.userCores);
     for (unsigned t = 0; t < cfg.userCores; ++t) {
@@ -75,7 +84,7 @@ System::setTraceSink(TraceSink *sink)
     trace = sink;
     if (trace != nullptr)
         trace->setClock(&events);
-    queue.setTraceSink(sink);
+    queues.setTraceSink(sink);
     controller.setTraceSink(sink);
     for (Thread &thread : threads)
         thread.policy->setTraceSink(sink, thread.id);
@@ -93,8 +102,15 @@ System::setMetricRegistry(MetricRegistry *registry)
     mOffloads = registry->counter("sys.offloads");
 
     mem->registerMetrics(*registry);
-    if (cfg.offloadEnabled)
-        queue.registerMetrics(*registry);
+    if (cfg.offloadEnabled) {
+        queues.registerMetrics(*registry);
+        mMigIntra = registry->counter("numa.migrations.intra");
+        mMigInter = registry->counter("numa.migrations.inter");
+        if (topo.config().dispatch == OsDispatchPolicy::WorkStealing) {
+            mSteals = registry->counter("numa.steals");
+            mSpills = registry->counter("numa.spills");
+        }
+    }
     if (cfg.dynamicThreshold)
         controller.registerMetrics(*registry);
     for (Thread &thread : threads) {
@@ -303,13 +319,15 @@ System::enterMeasurement()
     mem->resetStats();
     for (Core &core : cores)
         core.resetStats();
-    queue.resetStats();
+    queues.resetStats();
     for (Thread &thread : threads) {
         if (thread.predictive != nullptr)
             thread.predictive->stats().reset();
     }
     invocationsMeasured = 0;
     offloadedMeasured = 0;
+    migIntraMeasured = 0;
+    migInterMeasured = 0;
     invocationLength.reset();
     invocationLengthHist.reset();
     for (InstCount &tail : osInstrAboveTail)
@@ -468,25 +486,32 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
         return;
     }
 
-    // Off-load: migrate to the OS core.
+    // Off-load: migrate to the dispatched OS core.
     if (measuring) {
         ++offloadedMeasured;
         ++offloadsByService[static_cast<std::size_t>(inv.service->id)];
     }
     if (mOffloads != nullptr)
         ++*mOffloads;
-    const Cycle one_way = migration.oneWayLatency();
+    const unsigned target = queues.dispatchQueue(thread.core);
+    const CoreId os_core = topo.osCoreId(target);
+    const Cycle one_way = topo.migrationOneWay(thread.core, os_core);
     cores[thread.core].cycles().migration += one_way;
+    countMigration(thread.core, os_core);
     if (trace != nullptr) {
         TraceEvent event;
         event.kind = TraceEventKind::Migration;
         event.thread = tid;
         event.toOs = true;
         event.latency = one_way;
+        if (queues.size() > 1)
+            event.queue = target;
         trace->emit(event);
     }
     thread.pendingInv = inv;
     thread.pendingDecision = decision;
+    thread.pendingQueue = target;
+    thread.spilled = false;
     thread.offloadArrival = now + decision.cost + one_way;
     auto arrival = [this, tid](Cycle) { osCoreArrival(tid); };
     static_assert(sizeof(arrival) <= kEventCallbackBytes,
@@ -497,17 +522,67 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
 void
 System::osCoreArrival(std::uint32_t tid)
 {
+    Thread &thread = threads[tid];
     const Cycle now = events.now();
+    const unsigned home = thread.pendingQueue;
+
+    // Work-stealing overflow: an arrival finding its home queue deep
+    // spills (once) to a strictly less-loaded peer, paying the OS-to-
+    // OS-core transfer before queueing there.
+    if (!thread.spilled) {
+        const unsigned spill = queues.spillTarget(home);
+        if (spill != kNoQueue) {
+            thread.spilled = true;
+            const CoreId from_core = topo.osCoreId(home);
+            const CoreId to_core = topo.osCoreId(spill);
+            const Cycle transfer =
+                topo.migrationOneWay(from_core, to_core);
+            cores[thread.core].cycles().migration += transfer;
+            countMigration(from_core, to_core);
+            queues.queue(home).countSpillOut();
+            queues.queue(spill).countSpillIn();
+            if (mSpills != nullptr)
+                ++*mSpills;
+            if (trace != nullptr) {
+                TraceEvent event;
+                event.kind = TraceEventKind::Spill;
+                event.thread = tid;
+                event.queueFrom = home;
+                event.queue = spill;
+                event.depth = static_cast<std::uint32_t>(
+                    queues.queue(home).depth());
+                event.latency = transfer;
+                trace->emit(event);
+            }
+            thread.pendingQueue = spill;
+            thread.offloadArrival = now + transfer;
+            auto arrival = [this, tid](Cycle) { osCoreArrival(tid); };
+            static_assert(sizeof(arrival) <= kEventCallbackBytes,
+                          "spill re-arrival capture must stay inline");
+            events.schedule(thread.offloadArrival, std::move(arrival));
+            return;
+        }
+    }
+
     const OffloadRequest request{tid, now};
-    if (queue.offer(request, now))
-        startOsExecution(tid, now);
+    if (queues.queue(home).offer(request, now)) {
+        startOsExecution(tid, now, home);
+    } else {
+        // The request queued behind a busy core; a completely idle
+        // peer (which, never completing, would otherwise never get a
+        // chance to steal) takes it immediately.
+        const unsigned thief = queues.idleThief(home);
+        if (thief != kNoQueue)
+            maybeSteal(thief, now);
+    }
 }
 
 void
-System::startOsExecution(std::uint32_t tid, Cycle start)
+System::startOsExecution(std::uint32_t tid, Cycle start, unsigned target)
 {
     Thread &thread = threads[tid];
-    const CoreId os_core = cfg.osCoreId();
+    const CoreId os_core = topo.osCoreId(target);
+    thread.servingOsCore = os_core;
 
     oscar_assert(start >= thread.offloadArrival);
     const Cycle waited = start - thread.offloadArrival;
@@ -536,6 +611,7 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
 {
     Thread &thread = threads[tid];
     const Cycle now = events.now();
+    const unsigned queue_idx = topo.queueOf(thread.servingOsCore);
 
     thread.policy->observe(thread.pendingInv, thread.pendingDecision,
                            executed_length);
@@ -554,14 +630,18 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
     retire(thread, executed_length, true);
 
     // Migrate back to the user core.
-    const Cycle one_way = migration.oneWayLatency();
+    const Cycle one_way =
+        topo.migrationOneWay(thread.servingOsCore, thread.core);
     cores[thread.core].cycles().migration += one_way;
+    countMigration(thread.servingOsCore, thread.core);
     if (trace != nullptr) {
         TraceEvent event;
         event.kind = TraceEventKind::Migration;
         event.thread = tid;
         event.toOs = false;
         event.latency = one_way;
+        if (queues.size() > 1)
+            event.queue = queue_idx;
         trace->emit(event);
     }
     if (servingMode()) {
@@ -570,10 +650,67 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
     }
     scheduleThread(tid, now + one_way);
 
-    // Admit the next queued request, if any.
+    // Admit the next queued request; an empty work-stealing queue
+    // raids the deepest peer instead of going idle.
     OffloadRequest next{};
-    if (queue.completeCurrent(now, next))
-        startOsExecution(next.threadId, now);
+    if (queues.queue(queue_idx).completeCurrent(now, next))
+        startOsExecution(next.threadId, now, queue_idx);
+    else
+        maybeSteal(queue_idx, now);
+}
+
+void
+System::maybeSteal(unsigned thief, Cycle now)
+{
+    const unsigned victim = queues.stealVictim(thief);
+    if (victim == kNoQueue)
+        return;
+    const OffloadRequest req = queues.queue(victim).stealOldest();
+    Thread &thread = threads[req.threadId];
+    const CoreId from_core = topo.osCoreId(victim);
+    const CoreId to_core = topo.osCoreId(thief);
+    const Cycle transfer = topo.migrationOneWay(from_core, to_core);
+    cores[thread.core].cycles().migration += transfer;
+    countMigration(from_core, to_core);
+    if (mSteals != nullptr)
+        ++*mSteals;
+    if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::Steal;
+        event.thread = req.threadId;
+        event.queueFrom = victim;
+        event.queue = thief;
+        event.latency = transfer;
+        trace->emit(event);
+    }
+    thread.pendingQueue = thief;
+    // The thief is committed now (so later arrivals queue behind the
+    // stolen request) but service starts after the transfer.
+    const Cycle start = now + transfer;
+    queues.queue(thief).adoptStolen(req, start);
+    const std::uint32_t stolen_tid = req.threadId;
+    auto go = [this, stolen_tid, thief](Cycle when) {
+        startOsExecution(stolen_tid, when, thief);
+    };
+    static_assert(sizeof(go) <= kEventCallbackBytes,
+                  "steal hand-off capture must stay inline");
+    events.schedule(start, std::move(go));
+}
+
+void
+System::countMigration(CoreId from, CoreId to)
+{
+    if (topo.nodeOf(from) == topo.nodeOf(to)) {
+        if (mMigIntra != nullptr)
+            ++*mMigIntra;
+        if (measuring)
+            ++migIntraMeasured;
+    } else {
+        if (mMigInter != nullptr)
+            ++*mMigInter;
+        if (measuring)
+            ++migInterMeasured;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -615,6 +752,15 @@ System::dispatchTarget(const Request &request) const
     const auto n = static_cast<std::uint32_t>(threads.size());
     if (cfg.serving->dispatch == DispatchPolicy::TenantAffinity)
         return request.tenant % n;
+    if (cfg.serving->dispatch == DispatchPolicy::NodeAffinity) {
+        // User cores interleave over nodes (c mod N), so node `node`
+        // owns user cores node, node+N, node+2N, ...
+        const auto nodes = static_cast<std::uint32_t>(topo.nodes());
+        const std::uint32_t node = request.tenant % nodes;
+        const std::uint32_t count = (n - node + nodes - 1) / nodes;
+        const auto pick = static_cast<std::uint32_t>(request.id % count);
+        return node + pick * nodes;
+    }
     return static_cast<std::uint32_t>(request.id % n);
 }
 
@@ -806,11 +952,15 @@ System::collectResults() const
     results.userL2HitRate = user_l2 / cfg.userCores;
     double combined = user_l2;
     if (cfg.offloadEnabled) {
-        const CoreMemStats &os_stats = mem->stats(cfg.osCoreId());
-        results.osL2HitRate = os_stats.l2HitRate();
-        combined += results.osL2HitRate;
-        c2c += os_stats.c2cTransfers;
-        invalidations += os_stats.invalidationsReceived;
+        double os_l2 = 0.0;
+        for (unsigned k = 0; k < topo.osCoreCount(); ++k) {
+            const CoreMemStats &os_stats = mem->stats(topo.osCoreId(k));
+            os_l2 += os_stats.l2HitRate();
+            c2c += os_stats.c2cTransfers;
+            invalidations += os_stats.invalidationsReceived;
+        }
+        results.osL2HitRate = os_l2 / topo.osCoreCount();
+        combined += os_l2;
     }
     results.combinedL2HitRate = combined / cfg.totalCores();
     results.c2cTransfers = c2c;
@@ -840,10 +990,49 @@ System::collectResults() const
     }
 
     if (cfg.offloadEnabled) {
-        const Core &os_core = cores[cfg.osCoreId()];
-        results.osCoreUtilization = os_core.utilization(results.makespan);
-        results.meanQueueDelay = queue.queueDelay().mean();
-        results.maxQueueDelay = queue.queueDelay().max();
+        const unsigned K = queues.size();
+        double total_util = 0.0;
+        std::uint64_t steals = 0;
+        std::uint64_t spills = 0;
+        results.osQueues.reserve(K);
+        for (unsigned k = 0; k < K; ++k) {
+            const OsCoreQueue &q = queues.queue(k);
+            const CoreId core_id = topo.osCoreId(k);
+            OsQueueResult entry;
+            entry.queue = k;
+            entry.core = core_id;
+            entry.node = topo.nodeOf(core_id);
+            entry.admitted = q.admitted();
+            entry.stealsIn = q.stealsIn();
+            entry.stealsOut = q.stealsOut();
+            entry.spillsIn = q.spillsIn();
+            entry.spillsOut = q.spillsOut();
+            entry.utilization =
+                cores[core_id].utilization(results.makespan);
+            entry.queueDelay = q.queueDelay();
+            entry.wait = q.waitHistogram();
+            total_util += entry.utilization;
+            steals += entry.stealsIn;
+            spills += entry.spillsIn;
+            results.osQueues.push_back(std::move(entry));
+        }
+        results.steals = steals;
+        results.spills = spills;
+        results.numaMigrationsIntra = migIntraMeasured;
+        results.numaMigrationsInter = migInterMeasured;
+        results.osCoreUtilization = total_util / K;
+        if (K == 1) {
+            // Bit-exact legacy path: no merge round-off for the
+            // golden single-OS-core experiments.
+            results.meanQueueDelay = queues.queue(0).queueDelay().mean();
+            results.maxQueueDelay = queues.queue(0).queueDelay().max();
+        } else {
+            RunningStat pooled;
+            for (unsigned k = 0; k < K; ++k)
+                pooled.merge(queues.queue(k).queueDelay());
+            results.meanQueueDelay = pooled.mean();
+            results.maxQueueDelay = pooled.max();
+        }
     }
 
     for (const Core &core : cores) {

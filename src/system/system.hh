@@ -26,7 +26,9 @@
 #include "os/interrupts.hh"
 #include "os/invocation.hh"
 #include "os/migration.hh"
+#include "os/numa_topology.hh"
 #include "os/os_core_queue.hh"
+#include "os/os_queue_set.hh"
 #include "os/os_service.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -51,6 +53,36 @@ struct ThresholdSample
     InstCount instruction = 0;
     /** N in force from this point on. */
     InstCount threshold = 0;
+};
+
+/**
+ * One OS-core queue's measured-region outcome (K per run).
+ */
+struct OsQueueResult
+{
+    /** Queue index among the K OS-core queues. */
+    std::uint32_t queue = 0;
+    /** Core id of the queue's OS core. */
+    CoreId core = 0;
+    /** NUMA node the OS core lives on. */
+    unsigned node = 0;
+    /** Requests that started service on this queue's core. */
+    std::uint64_t admitted = 0;
+    /** Requests this queue's core stole from peers. */
+    std::uint64_t stealsIn = 0;
+    /** Requests peers stole out of this queue. */
+    std::uint64_t stealsOut = 0;
+    /** Arrivals that overflowed into this queue. */
+    std::uint64_t spillsIn = 0;
+    /** Arrivals that overflowed away from this queue. */
+    std::uint64_t spillsOut = 0;
+    /** Busy fraction of the queue's OS core. */
+    double utilization = 0.0;
+    /** Cycles requests admitted here waited before starting. */
+    RunningStat queueDelay;
+    /** The same waits as a mergeable histogram: per-queue histograms
+     *  pool bucket-exactly into the system-wide wait distribution. */
+    LatencyHistogram wait;
 };
 
 /**
@@ -86,12 +118,24 @@ struct SimResults
     /** Mean observed OS run length (instructions). */
     double meanInvocationLength = 0.0;
 
-    /** Busy fraction of the OS core (Table III metric). */
+    /** Busy fraction of the OS core(s), averaged (Table III metric). */
     double osCoreUtilization = 0.0;
-    /** Mean cycles off-loads waited for the OS core (Section V-C). */
+    /** Mean cycles off-loads waited for an OS core (Section V-C). */
     double meanQueueDelay = 0.0;
     /** Largest observed queue delay. */
     double maxQueueDelay = 0.0;
+
+    // --- Multi-OS-core NUMA topology ---------------------------------
+    /** Per-queue outcomes; one entry per OS core when offload is on. */
+    std::vector<OsQueueResult> osQueues;
+    /** Off-load + return migrations that stayed on one node. */
+    std::uint64_t numaMigrationsIntra = 0;
+    /** Migrations (incl. steal/spill transfers) that crossed nodes. */
+    std::uint64_t numaMigrationsInter = 0;
+    /** Requests moved by work stealing. */
+    std::uint64_t steals = 0;
+    /** Arrivals that overflowed between queues. */
+    std::uint64_t spills = 0;
 
     /** Cycles burned in decision code across user cores. */
     Cycle decisionCycles = 0;
@@ -216,8 +260,17 @@ class System
         return controller;
     }
 
-    /** OS-core queue (inspection). */
-    const OsCoreQueue &osQueue() const { return queue; }
+    /** OS-core queue k (inspection); default the first. */
+    const OsCoreQueue &osQueue(unsigned k = 0) const
+    {
+        return queues.queue(k);
+    }
+
+    /** The queue set (inspection). */
+    const OsQueueSet &osQueues() const { return queues; }
+
+    /** The resolved core→node topology (inspection). */
+    const Topology &topology() const { return topo; }
 
     /** Off-line profile collected when running with a Baseline policy. */
     const ServiceProfile &collectedProfile() const { return profile; }
@@ -242,6 +295,12 @@ class System
         OsInvocation pendingInv;
         OffloadDecision pendingDecision;
         Cycle offloadArrival = 0;
+        /** Queue the in-flight off-load is bound for. */
+        unsigned pendingQueue = 0;
+        /** The off-load already overflowed once (spills don't chain). */
+        bool spilled = false;
+        /** OS core executing the in-flight off-load. */
+        CoreId servingOsCore = 0;
 
         // --- Serving mode --------------------------------------------
         /** The request in service on this thread. */
@@ -260,14 +319,21 @@ class System
     /** Process one OS invocation (decide, execute inline or off-load). */
     void handleInvocation(std::uint32_t tid, const OsInvocation &inv);
 
-    /** The off-loaded request reached the OS core. */
+    /** The off-loaded request reached its queue (may spill once). */
     void osCoreArrival(std::uint32_t tid);
 
-    /** The OS core starts executing a request. */
-    void startOsExecution(std::uint32_t tid, Cycle start);
+    /** OS core of queue `target` starts executing a request. */
+    void startOsExecution(std::uint32_t tid, Cycle start,
+                          unsigned target);
 
-    /** The OS core finished a request. */
+    /** An OS core finished a request. */
     void osCoreComplete(std::uint32_t tid, InstCount executed_length);
+
+    /** Count one migration between two cores (NUMA accounting). */
+    void countMigration(CoreId from, CoreId to);
+
+    /** Queue `thief` went idle: steal from the deepest peer, if any. */
+    void maybeSteal(unsigned thief, Cycle now);
 
     /** Charge retired instructions and drive phase/epoch machinery. */
     void retire(Thread &thread, InstCount count, bool privileged);
@@ -318,12 +384,12 @@ class System
     OsPools pools;
     std::unique_ptr<MemorySystem> mem;
     EventQueue events;
-    MigrationModel migration;
     InterruptSource interrupts;
     ThresholdController controller;
     StaticThreshold staticThreshold;
     DynamicThreshold dynamicThreshold;
-    OsCoreQueue queue;
+    Topology topo;
+    OsQueueSet queues;
 
     std::vector<Core> cores;
     std::vector<Thread> threads;
@@ -341,6 +407,11 @@ class System
     std::uint64_t *mRetiredOs = nullptr;
     std::uint64_t *mInvocations = nullptr;
     std::uint64_t *mOffloads = nullptr;
+    /** Registry-owned NUMA counters (null when metrics off). */
+    std::uint64_t *mMigIntra = nullptr;
+    std::uint64_t *mMigInter = nullptr;
+    std::uint64_t *mSteals = nullptr;
+    std::uint64_t *mSpills = nullptr;
 
     // Phase machinery.
     bool measuring = false;
@@ -362,6 +433,8 @@ class System
     // Measured-region invocation stats.
     std::uint64_t invocationsMeasured = 0;
     std::uint64_t offloadedMeasured = 0;
+    std::uint64_t migIntraMeasured = 0;
+    std::uint64_t migInterMeasured = 0;
     RunningStat invocationLength;
     LogHistogram invocationLengthHist{32};
     InstCount osInstrAboveTail[4] = {0, 0, 0, 0};

@@ -17,6 +17,8 @@ SystemConfig::validate() const
         oscar_fatal("at least one user core is required");
     if (totalCores() > 64)
         oscar_fatal("at most 64 cores are supported");
+    if (offloadEnabled)
+        topology.validate(userCores);
     if (policy != PolicyKind::Baseline && !offloadEnabled) {
         oscar_fatal("policy %s requires offloadEnabled",
                     policyShortName(policy));

@@ -16,6 +16,7 @@
 #include "mem/memory_system.hh"
 #include "os/interrupts.hh"
 #include "os/migration.hh"
+#include "os/numa_topology.hh"
 #include "workload/profiles.hh"
 #include "workload/request_stream.hh"
 
@@ -33,8 +34,16 @@ struct SystemConfig
     /** Number of user cores, one thread each. */
     unsigned userCores = 1;
 
-    /** True to provision a dedicated OS core. */
+    /** True to provision dedicated OS cores (topology.osCores many). */
     bool offloadEnabled = false;
+
+    /**
+     * Multi-OS-core NUMA topology (see os/numa_topology.hh). The
+     * default — one OS core, one node, zero hop extras — is the
+     * paper's machine and leaves every single-OS-core experiment
+     * byte-identical. Only consulted when offloadEnabled is true.
+     */
+    TopologyConfig topology;
 
     /** Decision policy. */
     PolicyKind policy = PolicyKind::Baseline;
@@ -134,14 +143,14 @@ struct SystemConfig
         return cfg;
     }
 
-    /** Total cores, including the OS core if present. */
+    /** Total cores, including the OS cores if present. */
     unsigned
     totalCores() const
     {
-        return userCores + (offloadEnabled ? 1u : 0u);
+        return userCores + (offloadEnabled ? topology.osCores : 0u);
     }
 
-    /** Core id of the dedicated OS core; offload must be enabled. */
+    /** Core id of the first OS core; offload must be enabled. */
     CoreId osCoreId() const { return userCores; }
 
     /** Sanity-check the configuration; fatal on user error. */

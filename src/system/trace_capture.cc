@@ -47,6 +47,25 @@ traceHeaderJson(const SystemConfig &config)
     w.field("seed", config.seed);
     w.field("warmup_instructions", config.warmupInstructions);
     w.field("measure_instructions", config.measureInstructions);
+    // Emitted only off the paper's one-OS-core default so the legacy
+    // golden traces keep their exact header bytes.
+    if (config.offloadEnabled && !config.topology.isDefault()) {
+        w.key("topology");
+        w.beginObject();
+        w.field("os_cores", config.topology.osCores);
+        w.field("numa_nodes", config.topology.numaNodes);
+        w.field("placement",
+                osPlacementName(config.topology.placement));
+        w.field("dispatch",
+                osDispatchPolicyName(config.topology.dispatch));
+        w.field("intra_node_hop_cycles",
+                config.topology.intraNodeHopCycles);
+        w.field("inter_node_hop_cycles",
+                config.topology.interNodeHopCycles);
+        w.field("spill_depth", static_cast<std::uint64_t>(
+                                   config.topology.spillDepth));
+        w.endObject();
+    }
     w.endObject();
     w.endObject();
     oscar_assert(w.complete());
@@ -141,6 +160,39 @@ goldenTraceConfigs()
             g.config.userCores = 2;
             g.config.warmupInstructions = kWarmup;
             g.config.measureInstructions = kMeasure;
+            list.push_back(std::move(g));
+        }
+        {
+            // Multi-OS-core NUMA point: two OS cores spread over two
+            // nodes with work stealing and a shallow spill depth, so
+            // the trace pins down queue-annotated migrate/qenter/qexit
+            // events plus steal and spill records.
+            GoldenTraceConfig g;
+            g.name = "apache_hi_numa_steal";
+            // N=0 off-loads every invocation: the only golden point
+            // saturated enough for overflow spills to fire alongside
+            // steals.
+            g.config = ExperimentRunner::hardwareConfig(
+                WorkloadKind::Apache, /*static_n=*/0,
+                /*migration_one_way=*/100);
+            // Five user cores over two nodes: users 0, 2, 4 share the
+            // node-0 OS core, so a third arrival can find the queue
+            // busy with one waiting (the spill precondition — with
+            // only two home users the depth never reaches the spill
+            // threshold), while the node-1 OS core drains its two
+            // users fast enough to steal.
+            g.config.userCores = 5;
+            g.config.topology.osCores = 2;
+            g.config.topology.numaNodes = 2;
+            g.config.topology.placement = OsPlacement::Spread;
+            g.config.topology.dispatch = OsDispatchPolicy::WorkStealing;
+            g.config.topology.spillDepth = 1;
+            g.config.topology.intraNodeHopCycles = 20;
+            g.config.topology.interNodeHopCycles = 400;
+            g.config.warmupInstructions = kWarmup;
+            // Five always-off-loading threads trace densely; a shorter
+            // measured region keeps this golden in line with the rest.
+            g.config.measureInstructions = 15'000;
             list.push_back(std::move(g));
         }
         return list;

@@ -58,6 +58,13 @@ enum class DispatchPolicy : std::uint8_t
     RoundRobin,
     /** Pin each tenant to one thread (tenant mod threads). */
     TenantAffinity,
+    /**
+     * Pin each tenant to one NUMA node (tenant mod nodes) and spread
+     * its requests over that node's server threads — tenant state stays
+     * node-local and off-loads reach a home OS core on the same node.
+     * Degenerates to RoundRobin on a single-node topology.
+     */
+    NodeAffinity,
 };
 
 /**

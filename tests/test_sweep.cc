@@ -244,6 +244,76 @@ TEST(SweepReport, EmitsValidSchemaAndWritesFile)
     std::remove(path.c_str());
 }
 
+TEST(SweepAggregate, PoolsEveryQueueOfAMultiOsCorePoint)
+{
+    // Regression: the aggregate used to read only the point-level
+    // meanQueueDelay scalar, collapsing a K-queue point to one value.
+    // A K=2 work-stealing point must contribute every queue's samples.
+    SweepPoint point;
+    point.label = "k2";
+    point.config = ExperimentRunner::hardwareConfig(
+        WorkloadKind::Apache, /*static_n=*/0,
+        /*migration_one_way=*/100, /*seed=*/42);
+    point.config.userCores = 5;
+    point.config.topology.osCores = 2;
+    point.config.topology.numaNodes = 2;
+    point.config.topology.placement = OsPlacement::Spread;
+    point.config.topology.dispatch = OsDispatchPolicy::WorkStealing;
+    point.config.topology.spillDepth = 1;
+    point.config.topology.intraNodeHopCycles = 20;
+    point.config.topology.interNodeHopCycles = 400;
+    point.config.warmupInstructions = 20'000;
+    point.config.measureInstructions = 15'000;
+    point.normalize = false;
+
+    const auto results = ParallelSweepRunner({1}).run({point});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    const SimResults &r = results[0].results;
+    ASSERT_EQ(r.osQueues.size(), 2u);
+    ASSERT_GT(r.osQueues[1].admitted, 0u)
+        << "scenario must exercise the second queue";
+
+    SweepAggregate agg;
+    agg.add(results[0]);
+    std::uint64_t admitted = 0;
+    for (const OsQueueResult &q : r.osQueues)
+        admitted += q.admitted;
+    // Both pooled views carry every admission from both queues.
+    EXPECT_EQ(agg.queueDelay.count(), admitted);
+    EXPECT_EQ(agg.queueWait.count(), admitted);
+    EXPECT_GT(admitted, r.osQueues[0].admitted)
+        << "pooling must see more than queue 0 alone";
+    EXPECT_EQ(agg.steals, r.steals);
+    EXPECT_EQ(agg.spills, r.spills);
+
+    // Folding the same point twice doubles the population (replica
+    // pooling) and leaves the mean unchanged.
+    agg.add(results[0]);
+    EXPECT_EQ(agg.queueWait.count(), 2 * admitted);
+    EXPECT_DOUBLE_EQ(agg.queueDelay.mean(), r.meanQueueDelay);
+
+    // The report's results JSON carries the per-queue numa block for
+    // this point, and omits it for a default-topology point.
+    SweepReport report("unit-test", 1);
+    report.addAll(results);
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"numa\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"topology\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"steals_in\""), std::string::npos);
+
+    SweepPoint flat;
+    flat.label = "k1";
+    flat.config = quickConfig(WorkloadKind::Apache, 1000, 1000);
+    const auto flat_results = ParallelSweepRunner({1}).run({flat});
+    ASSERT_TRUE(flat_results[0].ok);
+    SweepReport flat_report("unit-test", 1);
+    flat_report.addAll(flat_results);
+    const std::string flat_json = flat_report.toJson();
+    EXPECT_EQ(flat_json.find("\"numa\":{"), std::string::npos);
+    EXPECT_EQ(flat_json.find("\"topology\":{"), std::string::npos);
+}
+
 TEST(SweepReport, WriteToBadPathFailsGracefully)
 {
     SweepReport report("unwritable", 1);
