@@ -134,7 +134,7 @@ main(int argc, char **argv)
     std::vector<SweepPoint> points = buildPoints();
     applySweepTracePaths(points, opts.tracePath);
     applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
-    ParallelSweepRunner runner({opts.jobs});
+    ParallelSweepRunner runner({opts.jobs, opts.fork});
     const auto results = runner.run(points);
     render(results);
 

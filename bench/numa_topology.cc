@@ -174,7 +174,7 @@ main(int argc, char **argv)
     applySweepTracePaths(points, opts.tracePath);
     applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
 
-    const ParallelSweepRunner runner({opts.jobs});
+    const ParallelSweepRunner runner({opts.jobs, opts.fork});
     const auto results = runner.run(points);
 
     for (const SweepPointResult &result : results) {

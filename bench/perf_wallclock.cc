@@ -16,6 +16,12 @@
  *    points over apache + specjbb — run through ParallelSweepRunner
  *    with one worker so the single-thread simulation hot loop is what
  *    is measured. Baselines and SI profiles are warmed before timing.
+ *  - serving_tiny: the `serving_tail_latency --tiny` grid — SI/DI/HI
+ *    at two migration design points under two offered loads — so the
+ *    committed baseline covers the request-serving layer.
+ *  - numa_tiny: the `numa_topology --tiny` grid — K=1 plus six K=2
+ *    placement×dispatch scenarios under two offered loads — so the
+ *    baseline covers the multi-OS-core NUMA layer.
  *  - trace_stream: one apache/HI run streaming an `oscar.trace.v1`
  *    JSONL trace to disk; measures the trace serialization + write
  *    path on top of simulation.
@@ -35,11 +41,16 @@
  *
  * Usage:
  *   perf_wallclock [--reps N] [--warmup N] [--json PATH]
- *                  [--compare BASELINE] [--quick]
+ *                  [--compare BASELINE] [--summary PATH]
+ *                  [--fail-over FACTOR] [--quick]
  *
- * `--compare` prints a per-scenario speedup table against a previous
- * report (e.g. the committed BENCH_perf.json) and never fails the
- * run: perf tracking is advisory, correctness gates are ctest's job.
+ * `--compare` prints a per-scenario table (median ± MAD, percent
+ * delta, speedup) against a previous report, e.g. the committed
+ * BENCH_perf.json; `--summary` appends the same table as markdown
+ * (for the CI job summary). The run stays advisory unless
+ * `--fail-over F` is given, in which case it exits nonzero when any
+ * scenario's median exceeds F times the baseline's — CI uses 2.0, so
+ * only gross regressions gate while shared-runner noise does not.
  */
 
 #include <algorithm>
@@ -78,6 +89,17 @@ struct PerfOptions
     std::string comparePath;
     std::string traceOutPath = "perf_wallclock.trace.jsonl";
     std::string metricsOutPath = "perf_wallclock.metrics.jsonl";
+    /**
+     * Markdown regression table destination (e.g. the CI job summary
+     * file); empty writes none. Only meaningful with --compare.
+     */
+    std::string summaryPath;
+    /**
+     * When > 0, exit nonzero if any scenario's median exceeds the
+     * baseline's by more than this factor. CI passes 2.0: a >2x
+     * slowdown is a real regression even on a noisy shared runner.
+     */
+    double failOver = 0.0;
 };
 
 /** One timed scenario's outcome. */
@@ -215,6 +237,156 @@ runFig5Scenario(const PerfOptions &opts)
     result.meta.emplace_back("points", std::to_string(points.size()));
     result.meta.emplace_back("invocations",
                              std::to_string(invocations));
+    result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: serving tail-latency grid (tiny scale)
+
+/**
+ * The serving front-end of `serving_tail_latency --tiny`, verbatim:
+ * the perf scenario must cover the same warm-up/measure horizons and
+ * arrival process as the CI smoke grid it stands in for.
+ */
+std::shared_ptr<const ServingConfig>
+tinyServing(double mean_interarrival)
+{
+    auto serving = std::make_shared<ServingConfig>();
+    serving->arrival = ArrivalModel::OpenLoop;
+    serving->dispatch = DispatchPolicy::RoundRobin;
+    serving->meanInterarrivalCycles = mean_interarrival;
+    serving->diurnalAmplitude = 0.3;
+    serving->diurnalPeriodCycles = 2'000'000;
+    serving->burstProbability = 0.02;
+    serving->burstRateMultiplier = 3.0;
+    serving->burstMeanRequests = 16.0;
+    serving->tenants = 64;
+    serving->tenantSkew = 0.99;
+    serving->meanSegments = 3.0;
+    serving->segmentsSigma = 0.5;
+    serving->warmupRequests = 40;
+    serving->measureRequests = 150;
+    return serving;
+}
+
+/**
+ * The `serving_tail_latency --tiny` grid: SI/DI/HI at two migration
+ * design points under two offered loads, one seed — 12 request-mode
+ * points on two user cores.
+ */
+ScenarioResult
+runServingTinyScenario(const PerfOptions &opts)
+{
+    const WorkloadKind workload = WorkloadKind::Apache;
+    const auto profile = ExperimentRunner::profileServices(workload);
+    const std::vector<double> loads = {26'000.0, 14'000.0};
+    const std::vector<Cycle> migrations = {5'000, 100};
+
+    std::vector<SweepPoint> points;
+    for (double load : loads) {
+        for (Cycle migration : migrations) {
+            SweepPoint si;
+            si.config = ExperimentRunner::staticInstrConfig(
+                workload, migration, profile);
+            SweepPoint di;
+            di.config = ExperimentRunner::dynamicInstrConfig(
+                workload, migration, 100);
+            SweepPoint hi;
+            hi.config = ExperimentRunner::hardwareDynamicConfig(
+                workload, migration);
+            for (SweepPoint *p : {&si, &di, &hi}) {
+                p->config.userCores = 2;
+                p->config.serving = tinyServing(load);
+                p->normalize = false;
+                p->label = "p" + std::to_string(points.size());
+                points.push_back(std::move(*p));
+            }
+        }
+    }
+
+    ParallelSweepRunner runner({/*jobs=*/1});
+    std::uint64_t requests = 0;
+    bool all_ok = true;
+    ScenarioResult result = measure("serving_tiny", opts, [&] {
+        const auto results = runner.run(points);
+        requests = 0;
+        for (const SweepPointResult &point : results) {
+            all_ok = all_ok && point.ok;
+            requests += point.results.requestsCompleted;
+        }
+    });
+    result.meta.emplace_back("points", std::to_string(points.size()));
+    result.meta.emplace_back("requests", std::to_string(requests));
+    result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: NUMA topology grid (tiny scale)
+
+/**
+ * The `numa_topology --tiny` grid: K=1 plus six K=2
+ * placement×dispatch scenarios under two offered loads, one seed —
+ * 14 request-mode points on a two-node machine.
+ */
+ScenarioResult
+runNumaTinyScenario(const PerfOptions &opts)
+{
+    const WorkloadKind workload = WorkloadKind::Apache;
+    const std::vector<double> loads = {26'000.0, 14'000.0};
+
+    auto topology = [](unsigned os_cores, OsPlacement placement,
+                       OsDispatchPolicy dispatch) {
+        TopologyConfig topo;
+        topo.osCores = os_cores;
+        topo.numaNodes = 2;
+        topo.placement = placement;
+        topo.dispatch = dispatch;
+        topo.intraNodeHopCycles = 50;
+        topo.interNodeHopCycles = 1'000;
+        if (dispatch == OsDispatchPolicy::WorkStealing)
+            topo.spillDepth = 2;
+        return topo;
+    };
+    const std::vector<TopologyConfig> topologies = {
+        topology(1, OsPlacement::Packed, OsDispatchPolicy::HomeNode),
+        topology(2, OsPlacement::Packed, OsDispatchPolicy::HomeNode),
+        topology(2, OsPlacement::Packed, OsDispatchPolicy::LeastLoaded),
+        topology(2, OsPlacement::Packed, OsDispatchPolicy::WorkStealing),
+        topology(2, OsPlacement::Spread, OsDispatchPolicy::HomeNode),
+        topology(2, OsPlacement::Spread, OsDispatchPolicy::LeastLoaded),
+        topology(2, OsPlacement::Spread, OsDispatchPolicy::WorkStealing),
+    };
+
+    std::vector<SweepPoint> points;
+    for (double load : loads) {
+        for (const TopologyConfig &topo : topologies) {
+            SweepPoint point;
+            point.config = ExperimentRunner::hardwareConfig(
+                workload, /*static_n=*/1'000, /*migration_one_way=*/1'000);
+            point.config.userCores = 4;
+            point.config.topology = topo;
+            point.config.serving = tinyServing(load);
+            point.normalize = false;
+            point.label = "p" + std::to_string(points.size());
+            points.push_back(std::move(point));
+        }
+    }
+
+    ParallelSweepRunner runner({/*jobs=*/1});
+    std::uint64_t requests = 0;
+    bool all_ok = true;
+    ScenarioResult result = measure("numa_tiny", opts, [&] {
+        const auto results = runner.run(points);
+        requests = 0;
+        for (const SweepPointResult &point : results) {
+            all_ok = all_ok && point.ok;
+            requests += point.results.requestsCompleted;
+        }
+    });
+    result.meta.emplace_back("points", std::to_string(points.size()));
+    result.meta.emplace_back("requests", std::to_string(requests));
     result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
     return result;
 }
@@ -375,19 +547,19 @@ reportJson(const std::vector<ScenarioResult> &scenarios,
 }
 
 /**
- * Extract "median_ms" for a scenario name from a perfbench report via
- * string scanning — enough structure awareness for our own schema
+ * Extract a numeric field for a scenario name from a perfbench report
+ * via string scanning — enough structure awareness for our own schema
  * without growing a JSON parser.
  */
 bool
-extractMedian(const std::string &doc, const std::string &name,
-              double &out)
+extractField(const std::string &doc, const std::string &name,
+             const char *field, double &out)
 {
     const std::string needle = "\"name\":\"" + name + "\"";
     const std::size_t at = doc.find(needle);
     if (at == std::string::npos)
         return false;
-    const std::string key = "\"median_ms\":";
+    const std::string key = "\"" + std::string(field) + "\":";
     const std::size_t m = doc.find(key, at);
     if (m == std::string::npos)
         return false;
@@ -395,35 +567,92 @@ extractMedian(const std::string &doc, const std::string &name,
     return true;
 }
 
-void
+/**
+ * Print the comparison table against a previous report, optionally
+ * append a markdown version to `opts.summaryPath` (the CI job
+ * summary), and return false only when some scenario's median
+ * regressed past `opts.failOver` times the baseline's.
+ */
+bool
 printComparison(const std::vector<ScenarioResult> &scenarios,
-                const std::string &baseline_path)
+                const std::string &baseline_path,
+                const PerfOptions &opts)
 {
     std::ifstream in(baseline_path, std::ios::binary);
     if (!in) {
         std::printf("\nno baseline at '%s'; skipping comparison\n",
                     baseline_path.c_str());
-        return;
+        return true;
     }
     std::stringstream buf;
     buf << in.rdbuf();
     const std::string doc = buf.str();
 
+    std::ofstream summary;
+    if (!opts.summaryPath.empty()) {
+        summary.open(opts.summaryPath,
+                     std::ios::binary | std::ios::app);
+        if (summary) {
+            summary << "### perf_wallclock vs committed "
+                    << baseline_path << "\n\n"
+                    << "| scenario | baseline (ms) | current (ms) | "
+                       "delta | status |\n"
+                    << "|---|---|---|---|---|\n";
+        }
+    }
+
     std::printf("\n-- comparison vs %s --\n", baseline_path.c_str());
-    TextTable table(
-        {"scenario", "baseline ms", "current ms", "speedup"});
+    TextTable table({"scenario", "baseline ms", "current ms", "delta",
+                     "speedup"});
+    bool ok = true;
     for (const ScenarioResult &s : scenarios) {
         double base = 0.0;
-        if (!extractMedian(doc, s.name, base) || base <= 0.0) {
+        if (!extractField(doc, s.name, "median_ms", base) ||
+            base <= 0.0) {
             table.addRow({s.name, "n/a", formatDouble(s.medianMs, 2),
-                          "n/a"});
+                          "n/a", "n/a"});
+            if (summary) {
+                summary << "| " << s.name << " | n/a | "
+                        << formatDouble(s.medianMs, 2) << " ± "
+                        << formatDouble(s.madMs, 2)
+                        << " | n/a | new |\n";
+            }
             continue;
         }
-        table.addRow({s.name, formatDouble(base, 2),
-                      formatDouble(s.medianMs, 2),
-                      formatDouble(base / s.medianMs, 2) + "x"});
+        double base_mad = 0.0;
+        (void)extractField(doc, s.name, "mad_ms", base_mad);
+        const double delta_pct = 100.0 * (s.medianMs - base) / base;
+        const bool regressed =
+            opts.failOver > 0.0 && s.medianMs > base * opts.failOver;
+        ok = ok && !regressed;
+        const std::string delta =
+            (delta_pct >= 0.0 ? "+" : "") + formatDouble(delta_pct, 1) +
+            "%";
+        table.addRow({s.name,
+                      formatDouble(base, 2) + " ± " +
+                          formatDouble(base_mad, 2),
+                      formatDouble(s.medianMs, 2) + " ± " +
+                          formatDouble(s.madMs, 2),
+                      delta, formatDouble(base / s.medianMs, 2) + "x"});
+        if (summary) {
+            summary << "| " << s.name << " | " << formatDouble(base, 2)
+                    << " ± " << formatDouble(base_mad, 2) << " | "
+                    << formatDouble(s.medianMs, 2) << " ± "
+                    << formatDouble(s.madMs, 2) << " | " << delta
+                    << " | " << (regressed ? "REGRESSED" : "ok")
+                    << " |\n";
+        }
     }
     std::printf("%s", table.render().c_str());
+    if (summary)
+        summary << '\n';
+    if (!ok) {
+        std::fprintf(stderr,
+                     "\nperf regression: a scenario exceeded %.1fx "
+                     "the committed baseline\n",
+                     opts.failOver);
+    }
+    return ok;
 }
 
 PerfOptions
@@ -452,6 +681,11 @@ parseArgs(int argc, char **argv)
             opts.traceOutPath = next("--trace-out");
         } else if (arg == "--metrics-out") {
             opts.metricsOutPath = next("--metrics-out");
+        } else if (arg == "--summary") {
+            opts.summaryPath = next("--summary");
+        } else if (arg == "--fail-over") {
+            opts.failOver = std::strtod(
+                next("--fail-over").c_str(), nullptr);
         } else if (arg == "--quick") {
             opts.reps = 3;
             opts.warmup = 0;
@@ -459,7 +693,8 @@ parseArgs(int argc, char **argv)
             std::printf(
                 "usage: perf_wallclock [--reps N] [--warmup N] "
                 "[--json PATH] [--compare BASELINE] "
-                "[--trace-out PATH] [--metrics-out PATH] [--quick]\n");
+                "[--trace-out PATH] [--metrics-out PATH] "
+                "[--summary PATH] [--fail-over FACTOR] [--quick]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -482,6 +717,8 @@ main(int argc, char **argv)
 
     std::vector<ScenarioResult> scenarios;
     scenarios.push_back(runFig5Scenario(opts));
+    scenarios.push_back(runServingTinyScenario(opts));
+    scenarios.push_back(runNumaTinyScenario(opts));
     scenarios.push_back(runTraceScenario(opts));
     scenarios.push_back(runMetricsScenario(opts));
     scenarios.push_back(runPredictorScenario(
@@ -501,7 +738,8 @@ main(int argc, char **argv)
         }
     }
 
-    if (!opts.comparePath.empty())
-        printComparison(scenarios, opts.comparePath);
+    if (!opts.comparePath.empty() &&
+        !printComparison(scenarios, opts.comparePath, opts))
+        return 1;
     return 0;
 }

@@ -115,6 +115,13 @@ class RunLengthPredictor
     /** Number of live (trained) entries; an occupancy gauge. */
     virtual std::size_t occupancy() const = 0;
 
+    /**
+     * Duplicate this predictor, trained state included, for system
+     * snapshots. The clone predicts identically to the original on any
+     * subsequent AState stream.
+     */
+    virtual std::unique_ptr<RunLengthPredictor> clone() const = 0;
+
     /** The shared last-three-lengths global history. */
     const GlobalRunLengthHistory &global() const { return globalHistory; }
 
@@ -181,6 +188,12 @@ class CamPredictor : public RunLengthPredictor
     /** Number of live entries; O(1). */
     std::size_t occupancy() const override { return liveCount; }
 
+    std::unique_ptr<RunLengthPredictor>
+    clone() const override
+    {
+        return std::make_unique<CamPredictor>(*this);
+    }
+
     /** Capacity. */
     std::size_t capacity() const { return table.size(); }
 
@@ -236,6 +249,12 @@ class DirectMappedPredictor : public RunLengthPredictor
     /** Number of valid entries; O(1) via the running count. */
     std::size_t occupancy() const override { return validCount; }
 
+    std::unique_ptr<RunLengthPredictor>
+    clone() const override
+    {
+        return std::make_unique<DirectMappedPredictor>(*this);
+    }
+
   private:
     struct Entry
     {
@@ -264,6 +283,12 @@ class InfinitePredictor : public RunLengthPredictor
 
     /** Number of distinct AStates seen. */
     std::size_t occupancy() const override { return table.size(); }
+
+    std::unique_ptr<RunLengthPredictor>
+    clone() const override
+    {
+        return std::make_unique<InfinitePredictor>(*this);
+    }
 
   private:
     struct Entry

@@ -13,11 +13,26 @@ namespace oscar
 SegmentProfile::SegmentProfile(AddressRegion *code, double instr_per_data,
                                double instr_per_fetch)
     : codeRegion(code), instrPerDataAccess(instr_per_data),
-      instrPerCodeLine(instr_per_fetch)
+      instrPerCodeLine(instr_per_fetch),
+      burstSpan(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(2.0 * instr_per_data)))
 {
     oscar_assert(code != nullptr);
     oscar_assert(instr_per_data >= 1.0);
     oscar_assert(instr_per_fetch >= 1.0);
+}
+
+SegmentProfile::SegmentProfile(const SegmentProfile &other,
+                               const RegionRemap &remap)
+    : codeRegion(remap(other.codeRegion)),
+      instrPerDataAccess(other.instrPerDataAccess),
+      instrPerCodeLine(other.instrPerCodeLine), data(other.data),
+      burstSpan(other.burstSpan)
+{
+    for (RegionAccess &ra : data)
+        ra.region = remap(ra.region);
+    if (other.alias != nullptr)
+        alias = std::make_unique<AliasTable>(*other.alias);
 }
 
 void
@@ -53,8 +68,7 @@ ExecEngine::execute(MemorySystem &mem, CoreId core, ExecContext ctx,
     if (instructions == 0)
         return result;
 
-    const auto burst_span = static_cast<std::uint64_t>(
-        2.0 * profile.instrPerData());
+    const FastBound &burst_bound = profile.burstBound();
     double fetch_accum = 0.0;
     const double fetch_rate = 1.0 / profile.instrPerFetch();
 
@@ -62,8 +76,7 @@ ExecEngine::execute(MemorySystem &mem, CoreId core, ExecContext ctx,
     while (remaining > 0) {
         // Instructions until the next data reference: uniform on
         // [1, 2*instrPerData], preserving the configured mean.
-        InstCount burst = 1 + rng.nextBounded(std::max<std::uint64_t>(
-                                  1, burst_span));
+        InstCount burst = 1 + rng.nextBoundedFast(burst_bound);
         if (burst > remaining)
             burst = remaining;
         result.cycles += burst;

@@ -51,6 +51,13 @@ class SegmentProfile
     SegmentProfile(AddressRegion *code, double instr_per_data,
                    double instr_per_fetch);
 
+    /**
+     * Remapping copy for system snapshots: identical sampling
+     * behaviour, but every region pointer translated into the cloned
+     * address space.
+     */
+    SegmentProfile(const SegmentProfile &other, const RegionRemap &remap);
+
     /** Add a weighted data target; call finalize() afterwards. */
     void addData(AddressRegion *region, double weight,
                  double write_fraction);
@@ -81,12 +88,20 @@ class SegmentProfile
     /** True once finalize() has run (or no data was added). */
     bool finalized() const { return alias != nullptr || data.empty(); }
 
+    /**
+     * Division-free reduction for the burst-span draw, bound
+     * max(1, floor(2 * instrPerData())) — the value execute() used to
+     * recompute (and nextBounded used to divide by) per draw.
+     */
+    const FastBound &burstBound() const { return burstSpan; }
+
   private:
     AddressRegion *codeRegion;
     double instrPerDataAccess;
     double instrPerCodeLine;
     std::vector<RegionAccess> data;
     std::unique_ptr<AliasTable> alias;
+    FastBound burstSpan;
 };
 
 /** Outcome of executing one segment. */

@@ -5,6 +5,7 @@
 
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/logging.hh"
@@ -41,45 +42,52 @@ SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geometry)
                     label.c_str(),
                     static_cast<unsigned long long>(numSets));
     }
-    ways.assign(numSets * geom.assoc, Way{});
+    const std::size_t entries =
+        static_cast<std::size_t>(numSets) * geom.assoc;
+    tags.assign(entries, kNoTag);
+    states.assign(entries, MesiState::Invalid);
+    lastUse.assign(entries, 0);
 }
 
 void
 SetAssocCache::setState(Addr line_addr, MesiState state)
 {
-    Way *way = findWay(line_addr);
-    if (way == nullptr) {
+    // Invalid would break the tag-sentinel invariant; use invalidate().
+    oscar_assert(state != MesiState::Invalid);
+    const std::size_t idx = findIndex(line_addr);
+    if (idx == kNone) {
         oscar_panic("%s: setState on non-resident line %llu",
                     label.c_str(),
                     static_cast<unsigned long long>(line_addr));
     }
-    way->state = state;
+    states[idx] = state;
 }
 
 MesiState
 SetAssocCache::invalidate(Addr line_addr)
 {
-    Way *way = findWay(line_addr);
-    if (way == nullptr)
+    const std::size_t idx = findIndex(line_addr);
+    if (idx == kNone)
         return MesiState::Invalid;
-    const MesiState old = way->state;
-    way->state = MesiState::Invalid;
+    const MesiState old = states[idx];
+    tags[idx] = kNoTag;
+    states[idx] = MesiState::Invalid;
     return old;
 }
 
 void
 SetAssocCache::invalidateAll()
 {
-    for (Way &way : ways)
-        way.state = MesiState::Invalid;
+    std::fill(tags.begin(), tags.end(), kNoTag);
+    std::fill(states.begin(), states.end(), MesiState::Invalid);
 }
 
 std::uint64_t
 SetAssocCache::residentLines() const
 {
     std::uint64_t count = 0;
-    for (const Way &way : ways) {
-        if (way.state != MesiState::Invalid)
+    for (const Addr tag : tags) {
+        if (tag != kNoTag)
             ++count;
     }
     return count;

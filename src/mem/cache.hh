@@ -5,6 +5,19 @@
  * The cache is a *tag store* only: this reproduction models timing and
  * coherence, never data values. Latency accounting lives in
  * MemorySystem; this class answers presence/state questions.
+ *
+ * Layout is structure-of-arrays: tags, states and LRU stamps live in
+ * three parallel flat vectors instead of an array of per-way structs.
+ * A 16-way set's tags then occupy two cache lines (128 B contiguous)
+ * instead of six (16 x 24 B structs), which matters because the L2 tag
+ * scan runs on every L1 miss *and* on every L1-hit write (the write
+ * path probes the L2 for MESI permission). An absent way is encoded as
+ * tag == kNoTag rather than a state byte, so the hot lookup loop
+ * touches only the tag array. Replacement decisions are bit-identical
+ * to the previous array-of-structs implementation
+ * (ReferenceSetAssocCache, retained in mem/reference_cache.hh), which
+ * the differential test in tests/test_cache_soa.cc checks against
+ * randomized traffic.
  */
 
 #ifndef OSCAR_MEM_CACHE_HH_
@@ -63,7 +76,7 @@ class SetAssocCache
     /**
      * Look up a line and touch LRU on hit.
      *
-     * Defined inline (as are probe/findWay/setIndex): MemorySystem
+     * Defined inline (as are probe/findIndex/setIndex): MemorySystem
      * calls these a handful of times per memory reference, and the
      * cross-TU call overhead was visible in whole-run profiles.
      *
@@ -72,22 +85,22 @@ class SetAssocCache
     MesiState
     access(Addr line_addr)
     {
-        Way *way = findWay(line_addr);
-        if (way == nullptr) {
+        const std::size_t idx = findIndex(line_addr);
+        if (idx == kNone) {
             ++missCount;
             return MesiState::Invalid;
         }
         ++hitCount;
-        way->lastUse = ++useClock;
-        return way->state;
+        lastUse[idx] = ++useClock;
+        return states[idx];
     }
 
     /** Look up without disturbing LRU state. */
     MesiState
     probe(Addr line_addr) const
     {
-        const Way *way = findWay(line_addr);
-        return way ? way->state : MesiState::Invalid;
+        const std::size_t idx = findIndex(line_addr);
+        return idx == kNone ? MesiState::Invalid : states[idx];
     }
 
     /**
@@ -101,32 +114,36 @@ class SetAssocCache
     {
         oscar_assert(state != MesiState::Invalid);
         // Re-inserting a resident line just refreshes its state.
-        if (Way *way = findWay(line_addr)) {
-            way->state = state;
-            way->lastUse = ++useClock;
+        if (const std::size_t idx = findIndex(line_addr);
+            idx != kNone) {
+            states[idx] = state;
+            lastUse[idx] = ++useClock;
             return std::nullopt;
         }
 
-        const std::uint64_t base = setIndex(line_addr) * geom.assoc;
-        Way *victim = nullptr;
+        // Victim choice mirrors the reference implementation exactly:
+        // the lowest-numbered empty way wins, else the strictly
+        // smallest LRU stamp (ties break toward the lower way).
+        const std::size_t base = setIndex(line_addr) * geom.assoc;
+        std::size_t victim = kNone;
         for (unsigned w = 0; w < geom.assoc; ++w) {
-            Way &way = ways[base + w];
-            if (way.state == MesiState::Invalid) {
-                victim = &way;
+            const std::size_t i = base + w;
+            if (tags[i] == kNoTag) {
+                victim = i;
                 break;
             }
-            if (victim == nullptr || way.lastUse < victim->lastUse)
-                victim = &way;
+            if (victim == kNone || lastUse[i] < lastUse[victim])
+                victim = i;
         }
 
         std::optional<Eviction> evicted;
-        if (victim->state != MesiState::Invalid) {
-            evicted = Eviction{victim->tag, victim->state};
+        if (tags[victim] != kNoTag) {
+            evicted = Eviction{tags[victim], states[victim]};
             ++evictionCount;
         }
-        victim->tag = line_addr;
-        victim->state = state;
-        victim->lastUse = ++useClock;
+        tags[victim] = line_addr;
+        states[victim] = state;
+        lastUse[victim] = ++useClock;
         return evicted;
     }
 
@@ -166,12 +183,13 @@ class SetAssocCache
     std::uint64_t evictions() const { return evictionCount; }
 
   private:
-    struct Way
-    {
-        Addr tag = 0;
-        MesiState state = MesiState::Invalid;
-        std::uint64_t lastUse = 0;
-    };
+    /**
+     * Tag of an empty way. Line addresses are byte addresses divided
+     * by the line size, so all-ones can never collide with a real one.
+     */
+    static constexpr Addr kNoTag = ~static_cast<Addr>(0);
+
+    static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
 
     /** Set index for a line address. */
     std::uint64_t
@@ -180,29 +198,29 @@ class SetAssocCache
         return line_addr & (numSets - 1);
     }
 
-    /** Find the way holding a line, or nullptr. */
-    Way *
-    findWay(Addr line_addr)
+    /**
+     * Flat way-array index of the way holding a line, or kNone. Scans
+     * only the contiguous tag array; empty ways hold kNoTag and can
+     * never match.
+     */
+    std::size_t
+    findIndex(Addr line_addr) const
     {
-        const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+        const std::size_t base = setIndex(line_addr) * geom.assoc;
         for (unsigned w = 0; w < geom.assoc; ++w) {
-            Way &way = ways[base + w];
-            if (way.state != MesiState::Invalid && way.tag == line_addr)
-                return &way;
+            if (tags[base + w] == line_addr)
+                return base + w;
         }
-        return nullptr;
-    }
-
-    const Way *
-    findWay(Addr line_addr) const
-    {
-        return const_cast<SetAssocCache *>(this)->findWay(line_addr);
+        return kNone;
     }
 
     std::string label;
     CacheGeometry geom;
     std::uint64_t numSets;
-    std::vector<Way> ways; // numSets * assoc, set-major
+    // Parallel arrays, numSets * assoc entries each, set-major.
+    std::vector<Addr> tags;
+    std::vector<MesiState> states;
+    std::vector<std::uint64_t> lastUse;
     std::uint64_t useClock = 0;
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;

@@ -1,82 +1,87 @@
 /**
  * @file
- * Implementation of the MESI directory.
+ * Implementation of the MESI directory's structure-of-arrays table.
  */
 
 #include "mem/directory.hh"
+
+#include <algorithm>
 
 #include "sim/logging.hh"
 
 namespace oscar
 {
 
+namespace
+{
+constexpr std::size_t kInitialSlots = 16;
+} // namespace
+
 Directory::Directory(unsigned num_cores)
     : cores(num_cores)
 {
     if (num_cores == 0 || num_cores > 64)
         oscar_fatal("directory supports 1..64 cores, got %u", num_cores);
-}
-
-DirEntry
-Directory::lookup(Addr line_addr) const
-{
-    const DirEntry *entry = entries.find(line_addr);
-    if (entry == nullptr)
-        return DirEntry{};
-    return *entry;
+    keys.assign(kInitialSlots, kEmpty);
+    sharer.assign(kInitialSlots, 0);
+    excl.assign(kInitialSlots, 0);
+    mask = kInitialSlots - 1;
 }
 
 void
-Directory::addSharer(Addr line_addr, CoreId core)
+Directory::eraseSlot(std::size_t hole)
 {
-    oscar_assert(core < cores);
-    DirEntry &entry = entries.refOrInsert(line_addr);
-    entry.sharerMask |= 1ULL << core;
-    entry.exclusive = false;
-}
-
-void
-Directory::setExclusive(Addr line_addr, CoreId core)
-{
-    oscar_assert(core < cores);
-    DirEntry &entry = entries.refOrInsert(line_addr);
-    entry.sharerMask = 1ULL << core;
-    entry.exclusive = true;
-}
-
-void
-Directory::demoteToShared(Addr line_addr)
-{
-    DirEntry *entry = entries.find(line_addr);
-    oscar_assert(entry != nullptr);
-    entry->exclusive = false;
-}
-
-void
-Directory::removeSharer(Addr line_addr, CoreId core)
-{
-    oscar_assert(core < cores);
-    DirEntry *entry = entries.find(line_addr);
-    if (entry == nullptr)
-        return;
-    entry->sharerMask &= ~(1ULL << core);
-    if (entry->sharerMask == 0) {
-        entries.erase(line_addr);
-    } else if (entry->sharerCount() > 1) {
-        entry->exclusive = false;
+    // Backward-shift deletion (same discipline as FlatHashMap): walk
+    // the contiguous occupied run after the hole and pull back every
+    // entry whose probe chain passes through it, leaving no tombstone.
+    std::size_t j = hole;
+    for (;;) {
+        j = (j + 1) & mask;
+        if (keys[j] == kEmpty)
+            break;
+        const std::size_t ideal = indexFor(keys[j]);
+        if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+            keys[hole] = keys[j];
+            sharer[hole] = sharer[j];
+            excl[hole] = excl[j];
+            hole = j;
+        }
     }
+    keys[hole] = kEmpty;
+    --count;
 }
 
-std::size_t
-Directory::trackedLines() const
+void
+Directory::rehash(std::size_t new_slots)
 {
-    return entries.size();
+    oscar_assert((new_slots & (new_slots - 1)) == 0);
+    oscar_assert(new_slots > count);
+    std::vector<std::uint64_t> old_keys = std::move(keys);
+    std::vector<std::uint64_t> old_sharer = std::move(sharer);
+    std::vector<std::uint8_t> old_excl = std::move(excl);
+
+    keys.assign(new_slots, kEmpty);
+    sharer.assign(new_slots, 0);
+    excl.assign(new_slots, 0);
+    mask = new_slots - 1;
+
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+        if (old_keys[i] == kEmpty)
+            continue;
+        std::size_t j = indexFor(old_keys[i]);
+        while (keys[j] != kEmpty)
+            j = (j + 1) & mask;
+        keys[j] = old_keys[i];
+        sharer[j] = old_sharer[i];
+        excl[j] = old_excl[i];
+    }
 }
 
 void
 Directory::clear()
 {
-    entries.clear();
+    std::fill(keys.begin(), keys.end(), kEmpty);
+    count = 0;
 }
 
 } // namespace oscar

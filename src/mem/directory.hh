@@ -12,8 +12,10 @@
 #define OSCAR_MEM_DIRECTORY_HH_
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/flat_hash.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace oscar
@@ -51,13 +53,21 @@ struct DirEntry
 };
 
 /**
- * Map from line address to DirEntry.
+ * Map from line address to sharer state.
  *
- * Backed by FlatHashMap rather than std::unordered_map: the directory
- * is consulted on every L2 miss, upgrade, and eviction, and the node
- * allocation plus pointer chase per entry dominated the memory-system
- * profile. No operation iterates the map, so the change is invisible
- * to simulation results.
+ * The table is a bespoke open-addressed hash in structure-of-arrays
+ * layout: line addresses, sharer masks, and exclusive flags live in
+ * three parallel flat vectors (same probing discipline as FlatHashMap
+ * — SplitMix64 hash, linear probing, power-of-two capacity, max load
+ * 7/10, backward-shift deletion). Compared to the earlier
+ * FlatHashMap<DirEntry> (retained as ReferenceDirectory in
+ * mem/reference_directory.hh for the differential test), a probe walks
+ * only the key array — no separate occupancy bytes, no 16-byte value
+ * structs interleaved with anything — so the common lookup touches one
+ * cache line. An empty slot holds kEmpty (~0), which no real line
+ * address can equal (line addresses are byte addresses divided by the
+ * line size). No operation exposes iteration order, so hash layout is
+ * invisible to simulation results.
  */
 class Directory
 {
@@ -66,22 +76,62 @@ class Directory
     explicit Directory(unsigned num_cores);
 
     /** Look up a line; returns an Uncached entry when absent. */
-    DirEntry lookup(Addr line_addr) const;
+    DirEntry
+    lookup(Addr line_addr) const
+    {
+        const std::size_t slot = findSlot(line_addr);
+        if (slot == kNone)
+            return DirEntry{};
+        return DirEntry{sharer[slot], excl[slot] != 0};
+    }
 
     /** Record that a core obtained the line in Shared state. */
-    void addSharer(Addr line_addr, CoreId core);
+    void
+    addSharer(Addr line_addr, CoreId core)
+    {
+        oscar_assert(core < cores);
+        const std::size_t slot = slotForInsert(line_addr);
+        sharer[slot] |= 1ULL << core;
+        excl[slot] = 0;
+    }
 
     /** Record that a core obtained the line exclusively (E or M). */
-    void setExclusive(Addr line_addr, CoreId core);
+    void
+    setExclusive(Addr line_addr, CoreId core)
+    {
+        oscar_assert(core < cores);
+        const std::size_t slot = slotForInsert(line_addr);
+        sharer[slot] = 1ULL << core;
+        excl[slot] = 1;
+    }
 
     /** Demote an exclusive owner to one sharer among possibly many. */
-    void demoteToShared(Addr line_addr);
+    void
+    demoteToShared(Addr line_addr)
+    {
+        const std::size_t slot = findSlot(line_addr);
+        oscar_assert(slot != kNone);
+        excl[slot] = 0;
+    }
 
     /** Record that a core's L2 dropped the line (eviction/invalidation). */
-    void removeSharer(Addr line_addr, CoreId core);
+    void
+    removeSharer(Addr line_addr, CoreId core)
+    {
+        oscar_assert(core < cores);
+        const std::size_t slot = findSlot(line_addr);
+        if (slot == kNone)
+            return;
+        sharer[slot] &= ~(1ULL << core);
+        if (sharer[slot] == 0) {
+            eraseSlot(slot);
+        } else if (__builtin_popcountll(sharer[slot]) > 1) {
+            excl[slot] = 0;
+        }
+    }
 
     /** Number of lines with at least one sharer. */
-    std::size_t trackedLines() const;
+    std::size_t trackedLines() const { return count; }
 
     /** Drop all entries (between experiment phases). */
     void clear();
@@ -90,8 +140,62 @@ class Directory
     unsigned numCores() const { return cores; }
 
   private:
+    /** Key marking an empty slot; never a valid line address. */
+    static constexpr std::uint64_t kEmpty =
+        ~static_cast<std::uint64_t>(0);
+
+    static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
+    std::size_t
+    indexFor(Addr line_addr) const
+    {
+        return static_cast<std::size_t>(hashU64(line_addr)) & mask;
+    }
+
+    /** Slot of a present line, or kNone. */
+    std::size_t
+    findSlot(Addr line_addr) const
+    {
+        std::size_t i = indexFor(line_addr);
+        while (keys[i] != kEmpty) {
+            if (keys[i] == line_addr)
+                return i;
+            i = (i + 1) & mask;
+        }
+        return kNone;
+    }
+
+    /** Slot of a line, inserting an empty entry when absent. */
+    std::size_t
+    slotForInsert(Addr line_addr)
+    {
+        oscar_assert(line_addr != kEmpty);
+        if ((count + 1) * 10 > keys.size() * 7)
+            rehash(keys.size() * 2);
+        std::size_t i = indexFor(line_addr);
+        while (keys[i] != kEmpty) {
+            if (keys[i] == line_addr)
+                return i;
+            i = (i + 1) & mask;
+        }
+        keys[i] = line_addr;
+        sharer[i] = 0;
+        excl[i] = 0;
+        ++count;
+        return i;
+    }
+
+    void eraseSlot(std::size_t hole);
+    void rehash(std::size_t new_slots);
+
     unsigned cores;
-    FlatHashMap<DirEntry> entries;
+    // Parallel arrays, one slot each; keys[i] == kEmpty marks a free
+    // slot, in which case sharer[i]/excl[i] are meaningless.
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> sharer;
+    std::vector<std::uint8_t> excl;
+    std::size_t mask = 0;
+    std::size_t count = 0;
 };
 
 } // namespace oscar

@@ -39,16 +39,23 @@ MemorySystem::MemorySystem(unsigned num_cores,
 
     cores.reserve(num_cores);
     for (unsigned c = 0; c < num_cores; ++c) {
-        CoreCaches cc;
         const std::string prefix = "core" + std::to_string(c);
-        cc.l1i = std::make_unique<SetAssocCache>(prefix + ".l1i",
-                                                 geometry.l1i);
-        cc.l1d = std::make_unique<SetAssocCache>(prefix + ".l1d",
-                                                 geometry.l1d);
-        cc.l2 = std::make_unique<SetAssocCache>(prefix + ".l2",
-                                                geometry.l2);
-        cores.push_back(std::move(cc));
+        cores.push_back(CoreCaches{
+            SetAssocCache(prefix + ".l1i", geometry.l1i),
+            SetAssocCache(prefix + ".l1d", geometry.l1d),
+            SetAssocCache(prefix + ".l2", geometry.l2)});
     }
+}
+
+MemorySystem::MemorySystem(const MemorySystem &other)
+    : cores(other.cores), coreStats(other.coreStats), dir(other.dir),
+      fabric(other.fabric), lat(other.lat), lineShift(other.lineShift),
+      flushCount(other.flushCount),
+      windowL2Hits(other.windowL2Hits),
+      windowL2Accesses(other.windowL2Accesses)
+{
+    // metricHandles intentionally left empty: the pointers would alias
+    // the source's registry.
 }
 
 const CoreMemStats &
@@ -62,30 +69,30 @@ const SetAssocCache &
 MemorySystem::l2(CoreId core) const
 {
     oscar_assert(core < cores.size());
-    return *cores[core].l2;
+    return cores[core].l2;
 }
 
 const SetAssocCache &
 MemorySystem::l1d(CoreId core) const
 {
     oscar_assert(core < cores.size());
-    return *cores[core].l1d;
+    return cores[core].l1d;
 }
 
 const SetAssocCache &
 MemorySystem::l1i(CoreId core) const
 {
     oscar_assert(core < cores.size());
-    return *cores[core].l1i;
+    return cores[core].l1i;
 }
 
 void
 MemorySystem::invalidateAll()
 {
     for (CoreCaches &cc : cores) {
-        cc.l1i->invalidateAll();
-        cc.l1d->invalidateAll();
-        cc.l2->invalidateAll();
+        cc.l1i.invalidateAll();
+        cc.l1d.invalidateAll();
+        cc.l2.invalidateAll();
     }
     dir.clear();
     ++flushCount;
@@ -115,10 +122,10 @@ MemorySystem::registerMetrics(MetricRegistry &registry)
         h.memoryFetches = registry.counter(prefix + "memory_fetches");
         // Lifetime tag-store evictions are already counted by the
         // caches themselves; poll them rather than shadowing.
-        const SetAssocCache *l2c = cores[c].l2.get();
+        const SetAssocCache *l2c = &cores[c].l2;
         registry.counterFn(prefix + "l2.evictions",
                            [l2c] { return l2c->evictions(); });
-        const SetAssocCache *l1dc = cores[c].l1d.get();
+        const SetAssocCache *l1dc = &cores[c].l1d;
         registry.counterFn(prefix + "l1d.evictions",
                            [l1dc] { return l1dc->evictions(); });
     }
@@ -160,9 +167,9 @@ MemorySystem::invalidateRemote(Addr line_addr, CoreId except)
     for (unsigned c = 0; c < cores.size(); ++c) {
         if (c == except || !entry.hasSharer(c))
             continue;
-        cores[c].l2->invalidate(line_addr);
-        cores[c].l1d->invalidate(line_addr);
-        cores[c].l1i->invalidate(line_addr);
+        cores[c].l2.invalidate(line_addr);
+        cores[c].l1d.invalidate(line_addr);
+        cores[c].l1i.invalidate(line_addr);
         dir.removeSharer(line_addr, c);
         ++coreStats[c].invalidationsReceived;
         if (!metricHandles.empty())
@@ -176,11 +183,11 @@ MemorySystem::invalidateRemote(Addr line_addr, CoreId except)
 void
 MemorySystem::fillL2(CoreId core, Addr line_addr, MesiState state)
 {
-    auto evicted = cores[core].l2->insert(line_addr, state);
+    auto evicted = cores[core].l2.insert(line_addr, state);
     if (evicted) {
         // Inclusion: the L1s may not keep a line the L2 dropped.
-        cores[core].l1d->invalidate(evicted->lineAddr);
-        cores[core].l1i->invalidate(evicted->lineAddr);
+        cores[core].l1d.invalidate(evicted->lineAddr);
+        cores[core].l1i.invalidate(evicted->lineAddr);
         dir.removeSharer(evicted->lineAddr, core);
         // A Modified victim is written back; the writeback is off the
         // critical path and charged no latency, matching the paper's
@@ -191,7 +198,7 @@ MemorySystem::fillL2(CoreId core, Addr line_addr, MesiState state)
 void
 MemorySystem::fillL1(CoreId core, Addr line_addr, bool instr)
 {
-    SetAssocCache &l1 = instr ? *cores[core].l1i : *cores[core].l1d;
+    SetAssocCache &l1 = instr ? cores[core].l1i : cores[core].l1d;
     // L1s hold presence only; authoritative MESI state lives in the L2.
     l1.insert(line_addr, MesiState::Shared);
 }
@@ -207,7 +214,7 @@ MemorySystem::upgradeLine(CoreId core, Addr line_addr)
     if (invalidated > 0)
         latency += lat.invalidateAck;
     dir.setExclusive(line_addr, core);
-    cores[core].l2->setState(line_addr, MesiState::Modified);
+    cores[core].l2.setState(line_addr, MesiState::Modified);
     ++coreStats[core].upgrades;
     if (!metricHandles.empty()) {
         ++*metricHandles[core].upgrades;
@@ -241,9 +248,9 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
         if (!metricHandles.empty())
             ++*metricHandles[core].c2cTransfers;
         if (is_write) {
-            cores[owner].l2->invalidate(line_addr);
-            cores[owner].l1d->invalidate(line_addr);
-            cores[owner].l1i->invalidate(line_addr);
+            cores[owner].l2.invalidate(line_addr);
+            cores[owner].l1d.invalidate(line_addr);
+            cores[owner].l1i.invalidate(line_addr);
             dir.removeSharer(line_addr, owner);
             ++coreStats[owner].invalidationsReceived;
             ++coreStats[core].invalidationsSent;
@@ -257,7 +264,7 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
         } else {
             // Owner downgrades to Shared (writeback folded into the
             // cache-to-cache latency).
-            cores[owner].l2->setState(line_addr, MesiState::Shared);
+            cores[owner].l2.setState(line_addr, MesiState::Shared);
             dir.demoteToShared(line_addr);
             dir.addSharer(line_addr, core);
             fillL2(core, line_addr, MesiState::Shared);
@@ -316,7 +323,7 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
     AccessResult result;
     result.latency = lat.l1Hit;
 
-    SetAssocCache &l1 = is_instr ? *cc.l1i : *cc.l1d;
+    SetAssocCache &l1 = is_instr ? cc.l1i : cc.l1d;
     RatioStat &l1_stat = is_instr ? cs.l1i : cs.l1d;
     const bool l1_hit = l1.access(line_addr) != MesiState::Invalid;
     l1_stat.add(l1_hit);
@@ -325,14 +332,14 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
 
     if (l1_hit) {
         if (is_write) {
-            const MesiState l2_state = cc.l2->probe(line_addr);
+            const MesiState l2_state = cc.l2.probe(line_addr);
             oscar_assert(l2_state != MesiState::Invalid);
             if (!canWrite(l2_state)) {
                 result.latency += upgradeLine(core, line_addr);
                 result.upgrade = true;
             } else if (l2_state == MesiState::Exclusive) {
                 // Silent E->M upgrade.
-                cc.l2->setState(line_addr, MesiState::Modified);
+                cc.l2.setState(line_addr, MesiState::Modified);
             }
         }
         result.source = AccessSource::L1;
@@ -340,7 +347,7 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
     }
 
     // L1 miss: consult the private L2.
-    const MesiState l2_state = cc.l2->access(line_addr);
+    const MesiState l2_state = cc.l2.access(line_addr);
     result.latency += lat.l2Hit;
     const bool l2_usable = l2_state != MesiState::Invalid;
     RatioStat &l2_stat = ctx == ExecContext::User ? cs.l2User : cs.l2Os;
@@ -355,7 +362,7 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
             result.latency += upgradeLine(core, line_addr);
             result.upgrade = true;
         } else if (is_write && l2_state == MesiState::Exclusive) {
-            cc.l2->setState(line_addr, MesiState::Modified);
+            cc.l2.setState(line_addr, MesiState::Modified);
         }
         fillL1(core, line_addr, is_instr);
         result.source = AccessSource::L2;

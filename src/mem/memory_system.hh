@@ -16,7 +16,6 @@
 #define OSCAR_MEM_MEMORY_SYSTEM_HH_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -119,6 +118,15 @@ class MemorySystem
                  const MemTimings &timings);
 
     /**
+     * Snapshot copy: duplicates every tag store, the directory and all
+     * statistics. Metric-registry handles are deliberately NOT carried
+     * over — they point into the original's registry — so the copy
+     * starts unregistered (registerMetrics() may be called afresh).
+     */
+    MemorySystem(const MemorySystem &other);
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
      * Perform one reference and return its latency and classification.
      *
      * @param core Issuing core.
@@ -183,11 +191,18 @@ class MemorySystem
     const MemTimings &timings() const { return lat; }
 
   private:
+    /**
+     * One core's private hierarchy, held by value: the three tag
+     * stores of a core sit contiguously, and the access hot path
+     * reaches them without a unique_ptr indirection per level. The
+     * `cores` vector is sized once in the constructor and never
+     * resized, so addresses of these caches are stable.
+     */
     struct CoreCaches
     {
-        std::unique_ptr<SetAssocCache> l1i;
-        std::unique_ptr<SetAssocCache> l1d;
-        std::unique_ptr<SetAssocCache> l2;
+        SetAssocCache l1i;
+        SetAssocCache l1d;
+        SetAssocCache l2;
     };
 
     /** Registry counters shadowing one RatioStat. */

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Reference array-of-structs cache implementation.
+ *
+ * This is the pre-SoA SetAssocCache, retained verbatim (modulo the
+ * rename) as the behavioural oracle for the structure-of-arrays rewrite
+ * in mem/cache.hh. The differential test drives both implementations
+ * with identical randomized traffic and requires every observable —
+ * returned states, evictions, counters, LRU-driven victim choices — to
+ * match exactly. It is not used by the simulator itself.
+ */
+
+#ifndef OSCAR_MEM_REFERENCE_CACHE_HH_
+#define OSCAR_MEM_REFERENCE_CACHE_HH_
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/coherence.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/**
+ * Tag store with per-line MESI state, array-of-structs layout.
+ *
+ * Mirrors SetAssocCache's public interface exactly; see cache.hh for
+ * the contract of each member.
+ */
+class ReferenceSetAssocCache
+{
+  public:
+    ReferenceSetAssocCache(std::string name,
+                           const CacheGeometry &geometry)
+        : label(std::move(name)), geom(geometry)
+    {
+        if (geom.lineBytes == 0 ||
+            !std::has_single_bit(
+                static_cast<std::uint64_t>(geom.lineBytes))) {
+            oscar_fatal("%s: line size %u must be a power of two",
+                        label.c_str(), geom.lineBytes);
+        }
+        if (geom.assoc == 0) {
+            oscar_fatal("%s: associativity must be positive",
+                        label.c_str());
+        }
+        if (geom.sizeBytes %
+                (static_cast<std::uint64_t>(geom.lineBytes) *
+                 geom.assoc) !=
+            0) {
+            oscar_fatal("%s: size %llu not divisible by line*assoc",
+                        label.c_str(),
+                        static_cast<unsigned long long>(geom.sizeBytes));
+        }
+        numSets = geom.sets();
+        if (numSets == 0 || !std::has_single_bit(numSets)) {
+            oscar_fatal("%s: set count %llu must be a power of two",
+                        label.c_str(),
+                        static_cast<unsigned long long>(numSets));
+        }
+        ways.assign(numSets * geom.assoc, Way{});
+    }
+
+    MesiState
+    access(Addr line_addr)
+    {
+        Way *way = findWay(line_addr);
+        if (way == nullptr) {
+            ++missCount;
+            return MesiState::Invalid;
+        }
+        ++hitCount;
+        way->lastUse = ++useClock;
+        return way->state;
+    }
+
+    MesiState
+    probe(Addr line_addr) const
+    {
+        const Way *way = findWay(line_addr);
+        return way ? way->state : MesiState::Invalid;
+    }
+
+    std::optional<Eviction>
+    insert(Addr line_addr, MesiState state)
+    {
+        oscar_assert(state != MesiState::Invalid);
+        // Re-inserting a resident line just refreshes its state.
+        if (Way *way = findWay(line_addr)) {
+            way->state = state;
+            way->lastUse = ++useClock;
+            return std::nullopt;
+        }
+
+        const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+        Way *victim = nullptr;
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            Way &way = ways[base + w];
+            if (way.state == MesiState::Invalid) {
+                victim = &way;
+                break;
+            }
+            if (victim == nullptr || way.lastUse < victim->lastUse)
+                victim = &way;
+        }
+
+        std::optional<Eviction> evicted;
+        if (victim->state != MesiState::Invalid) {
+            evicted = Eviction{victim->tag, victim->state};
+            ++evictionCount;
+        }
+        victim->tag = line_addr;
+        victim->state = state;
+        victim->lastUse = ++useClock;
+        return evicted;
+    }
+
+    void
+    setState(Addr line_addr, MesiState state)
+    {
+        oscar_assert(state != MesiState::Invalid);
+        Way *way = findWay(line_addr);
+        if (way == nullptr) {
+            oscar_panic("%s: setState on non-resident line %llu",
+                        label.c_str(),
+                        static_cast<unsigned long long>(line_addr));
+        }
+        way->state = state;
+    }
+
+    MesiState
+    invalidate(Addr line_addr)
+    {
+        Way *way = findWay(line_addr);
+        if (way == nullptr)
+            return MesiState::Invalid;
+        const MesiState old = way->state;
+        way->state = MesiState::Invalid;
+        return old;
+    }
+
+    void
+    invalidateAll()
+    {
+        for (Way &way : ways)
+            way.state = MesiState::Invalid;
+    }
+
+    std::uint64_t
+    residentLines() const
+    {
+        std::uint64_t count = 0;
+        for (const Way &way : ways) {
+            if (way.state != MesiState::Invalid)
+                ++count;
+        }
+        return count;
+    }
+
+    const CacheGeometry &geometry() const { return geom; }
+    const std::string &name() const { return label; }
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+    std::uint64_t evictions() const { return evictionCount; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t
+    setIndex(Addr line_addr) const
+    {
+        return line_addr & (numSets - 1);
+    }
+
+    Way *
+    findWay(Addr line_addr)
+    {
+        const std::uint64_t base = setIndex(line_addr) * geom.assoc;
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            Way &way = ways[base + w];
+            if (way.state != MesiState::Invalid && way.tag == line_addr)
+                return &way;
+        }
+        return nullptr;
+    }
+
+    const Way *
+    findWay(Addr line_addr) const
+    {
+        return const_cast<ReferenceSetAssocCache *>(this)->findWay(
+            line_addr);
+    }
+
+    std::string label;
+    CacheGeometry geom;
+    std::uint64_t numSets;
+    std::vector<Way> ways; // numSets * assoc, set-major
+    std::uint64_t useClock = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t evictionCount = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MEM_REFERENCE_CACHE_HH_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reference FlatHashMap-backed directory implementation.
+ *
+ * This is the pre-SoA Directory, retained verbatim (modulo the rename)
+ * as the behavioural oracle for the structure-of-arrays rewrite in
+ * mem/directory.hh. The differential test drives both implementations
+ * with identical randomized sharer traffic and requires every lookup
+ * and trackedLines() to match exactly. Not used by the simulator
+ * itself.
+ */
+
+#ifndef OSCAR_MEM_REFERENCE_DIRECTORY_HH_
+#define OSCAR_MEM_REFERENCE_DIRECTORY_HH_
+
+#include <cstdint>
+
+#include "mem/directory.hh"
+#include "sim/flat_hash.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace oscar
+{
+
+/**
+ * Map from line address to DirEntry, FlatHashMap-backed.
+ *
+ * Mirrors Directory's public interface exactly; see directory.hh for
+ * the contract of each member.
+ */
+class ReferenceDirectory
+{
+  public:
+    explicit ReferenceDirectory(unsigned num_cores)
+        : cores(num_cores)
+    {
+        if (num_cores == 0 || num_cores > 64) {
+            oscar_fatal("directory supports 1..64 cores, got %u",
+                        num_cores);
+        }
+    }
+
+    DirEntry
+    lookup(Addr line_addr) const
+    {
+        const DirEntry *entry = entries.find(line_addr);
+        if (entry == nullptr)
+            return DirEntry{};
+        return *entry;
+    }
+
+    void
+    addSharer(Addr line_addr, CoreId core)
+    {
+        oscar_assert(core < cores);
+        DirEntry &entry = entries.refOrInsert(line_addr);
+        entry.sharerMask |= 1ULL << core;
+        entry.exclusive = false;
+    }
+
+    void
+    setExclusive(Addr line_addr, CoreId core)
+    {
+        oscar_assert(core < cores);
+        DirEntry &entry = entries.refOrInsert(line_addr);
+        entry.sharerMask = 1ULL << core;
+        entry.exclusive = true;
+    }
+
+    void
+    demoteToShared(Addr line_addr)
+    {
+        DirEntry *entry = entries.find(line_addr);
+        oscar_assert(entry != nullptr);
+        entry->exclusive = false;
+    }
+
+    void
+    removeSharer(Addr line_addr, CoreId core)
+    {
+        oscar_assert(core < cores);
+        DirEntry *entry = entries.find(line_addr);
+        if (entry == nullptr)
+            return;
+        entry->sharerMask &= ~(1ULL << core);
+        if (entry->sharerMask == 0) {
+            entries.erase(line_addr);
+        } else if (entry->sharerCount() > 1) {
+            entry->exclusive = false;
+        }
+    }
+
+    std::size_t trackedLines() const { return entries.size(); }
+
+    void clear() { entries.clear(); }
+
+    unsigned numCores() const { return cores; }
+
+  private:
+    unsigned cores;
+    FlatHashMap<DirEntry> entries;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MEM_REFERENCE_DIRECTORY_HH_

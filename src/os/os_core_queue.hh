@@ -158,6 +158,19 @@ class OsCoreQueue
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix = "os.queue.");
 
+    /**
+     * Detach trace and registry hooks after a snapshot copy: the
+     * copied pointers alias the original's sinks/registry. The queue
+     * itself (occupancy, stats) is left untouched.
+     */
+    void
+    dropInstrumentation()
+    {
+        trace = nullptr;
+        mOffers = nullptr;
+        mWait = nullptr;
+    }
+
   private:
     /** Record one admission wait in every delay statistic. */
     void recordWait(Cycle waited);

@@ -23,6 +23,17 @@ OsQueueSet::build(const Topology &topology)
         queues[k].setQueueId(k, annotate);
 }
 
+void
+OsQueueSet::cloneFrom(const OsQueueSet &other, const Topology &topology)
+{
+    oscar_assert(queues.empty());
+    oscar_assert(topology.osCoreCount() == other.size());
+    topo = &topology;
+    queues = other.queues;
+    for (OsCoreQueue &q : queues)
+        q.dropInstrumentation();
+}
+
 unsigned
 OsQueueSet::dispatchQueue(CoreId user_core) const
 {

@@ -37,6 +37,14 @@ class OsQueueSet
     /** Create one queue per OS core of the topology. */
     void build(const Topology &topology);
 
+    /**
+     * Populate this set as a snapshot of `other`, bound to the clone's
+     * own topology object (which must equal the original's). Queue
+     * occupancy and statistics are copied; trace/registry hooks are
+     * dropped — the clone starts uninstrumented.
+     */
+    void cloneFrom(const OsQueueSet &other, const Topology &topology);
+
     /** Number of queues (K); 0 before build(). */
     unsigned size() const
     {

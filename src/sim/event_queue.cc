@@ -16,6 +16,34 @@ EventQueue::checkConsistency() const
     oscar_assert(liveIndex.size() + freeSlots.size() == pool.size());
 }
 
+EventQueue::EventQueue(const EventQueue &other)
+    : heap(other.heap), freeSlots(other.freeSlots),
+      liveIndex(other.liveIndex), currentCycle(other.currentCycle),
+      nextId(other.nextId), fired(other.fired),
+      cancelled(other.cancelled)
+{
+    // A callback capture is opaque — it typically holds a pointer into
+    // the system being copied — so a snapshot is only sound when every
+    // live event is a plain-data payload event.
+    for (const auto &[id, slot] : other.liveIndex) {
+        (void)id;
+        oscar_assert(other.pool[slot].isPayload &&
+                     "cannot snapshot an EventQueue holding live "
+                     "callback events; use payload events");
+    }
+    // Slot holds a move-only Callback, so the pool is copied by hand.
+    // Free slots carry no callable (reclaim() clears them); live slots
+    // are payload-only per the assertion above.
+    pool.resize(other.pool.size());
+    for (std::size_t i = 0; i < other.pool.size(); ++i) {
+        pool[i].when = other.pool[i].when;
+        pool[i].id = other.pool[i].id;
+        pool[i].payload = other.pool[i].payload;
+        pool[i].isPayload = other.pool[i].isPayload;
+    }
+    checkConsistency();
+}
+
 std::uint64_t
 EventQueue::schedule(Cycle when, Callback cb)
 {
@@ -33,6 +61,33 @@ EventQueue::schedule(Cycle when, Callback cb)
     pool[slot].when = when;
     pool[slot].id = id;
     pool[slot].cb = std::move(cb);
+    pool[slot].isPayload = false;
+
+    liveIndex.emplace(id, slot);
+    heap.push(HeapItem{when, id, slot});
+    checkConsistency();
+    return id;
+}
+
+std::uint64_t
+EventQueue::schedulePayload(Cycle when, const EventPayload &payload)
+{
+    oscar_assert(when >= currentCycle);
+    const std::uint64_t id = nextId++;
+
+    std::uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(pool.size());
+        pool.emplace_back();
+    }
+    pool[slot].when = when;
+    pool[slot].id = id;
+    pool[slot].cb = nullptr;
+    pool[slot].payload = payload;
+    pool[slot].isPayload = true;
 
     liveIndex.emplace(id, slot);
     heap.push(HeapItem{when, id, slot});
@@ -44,6 +99,7 @@ void
 EventQueue::reclaim(std::uint64_t id, std::uint32_t slot)
 {
     pool[slot].cb = nullptr;
+    pool[slot].isPayload = false;
     freeSlots.push_back(slot);
     liveIndex.erase(id);
 }
@@ -87,6 +143,16 @@ EventQueue::runOne()
 
     currentCycle = item.when;
     ++fired;
+    if (pool[slot].isPayload) {
+        // Copy the payload out before reclaiming: the handler may
+        // schedule new events that immediately reuse this slot.
+        const EventPayload payload = pool[slot].payload;
+        reclaim(item.id, slot);
+        checkConsistency();
+        oscar_assert(payloadHandler != nullptr);
+        payloadHandler(payloadCtx, payload, item.when);
+        return;
+    }
     // Move the callback out before reclaiming: it may schedule new
     // events that immediately reuse this slot.
     Callback cb = std::move(pool[slot].cb);

@@ -12,6 +12,16 @@
  * the peak number of simultaneously pending events rather than
  * growing with the total event count of a run. Cancelled events leave
  * a stale id in the heap that is skipped lazily when it surfaces.
+ *
+ * Events come in two flavours. Callback events wrap an arbitrary
+ * capture (InlineFunction) and cannot survive a snapshot: a capture
+ * typically holds a `this` pointer into the system being copied.
+ * Payload events carry only plain data ({kind, a, b}) and are
+ * dispatched through a single handler installed with
+ * setPayloadHandler(); they are trivially copyable, so a queue whose
+ * live events are all payload events can be deep-copied — the
+ * warm-state snapshot/fork machinery relies on this, and the copy
+ * constructor asserts it.
  */
 
 #ifndef OSCAR_SIM_EVENT_QUEUE_HH_
@@ -39,12 +49,45 @@ namespace oscar
 inline constexpr std::size_t kEventCallbackBytes = 24;
 
 /**
+ * Plain-data event: a discriminator plus two operand words. The
+ * meaning of kind/a/b is private to the component that installed the
+ * payload handler (System encodes its event vocabulary here). Kept
+ * trivially copyable on purpose — payload events are what makes an
+ * EventQueue snapshot possible.
+ */
+struct EventPayload
+{
+    std::uint32_t kind = 0;
+    std::uint32_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/** Dispatcher for payload events; ctx is the installer's context. */
+using PayloadHandler = void (*)(void *ctx, const EventPayload &payload,
+                                Cycle now);
+
+/**
  * Min-heap of (cycle, sequence) ordered callbacks.
  */
 class EventQueue
 {
   public:
     using Callback = InlineFunction<void(Cycle), kEventCallbackBytes>;
+
+    EventQueue() = default;
+
+    /**
+     * Snapshot copy. Every live event must be a payload event
+     * (asserted): callback captures are opaque and typically point
+     * into the system being copied. The payload handler and its
+     * context are deliberately NOT copied — the clone's owner must
+     * install its own with setPayloadHandler() before running.
+     */
+    EventQueue(const EventQueue &other);
+
+    EventQueue(EventQueue &&) = default;
+    EventQueue &operator=(const EventQueue &) = delete;
+    EventQueue &operator=(EventQueue &&) = default;
 
     /**
      * Schedule a callback at an absolute cycle.
@@ -54,6 +97,29 @@ class EventQueue
      * @return Monotonically increasing event id.
      */
     std::uint64_t schedule(Cycle when, Callback cb);
+
+    /**
+     * Install the dispatcher for payload events. One handler serves
+     * the whole queue; the context pointer is passed back verbatim.
+     * Must be set before the first payload event fires.
+     */
+    void
+    setPayloadHandler(PayloadHandler handler, void *ctx)
+    {
+        payloadHandler = handler;
+        payloadCtx = ctx;
+    }
+
+    /**
+     * Schedule a payload event at an absolute cycle. Shares the id
+     * sequence and slot pool with schedule(), so interleaving the two
+     * kinds preserves deterministic tie-breaking.
+     *
+     * @param when Absolute cycle; must be >= now().
+     * @param payload Dispatched to the installed handler when firing.
+     * @return Monotonically increasing event id.
+     */
+    std::uint64_t schedulePayload(Cycle when, const EventPayload &payload);
 
     /**
      * Cancel a previously scheduled event.
@@ -96,12 +162,14 @@ class EventQueue
     std::size_t freeSlotCount() const { return freeSlots.size(); }
 
   private:
-    /** Reusable storage for one scheduled callback. */
+    /** Reusable storage for one scheduled callback or payload. */
     struct Slot
     {
         Cycle when = 0;
         std::uint64_t id = 0;
         Callback cb;
+        EventPayload payload;
+        bool isPayload = false;
     };
 
     /** Heap key; the slot is only valid while the id is live. */
@@ -141,6 +209,8 @@ class EventQueue
     std::uint64_t nextId = 0;
     std::uint64_t fired = 0;
     std::uint64_t cancelled = 0;
+    PayloadHandler payloadHandler = nullptr;
+    void *payloadCtx = nullptr;
 };
 
 } // namespace oscar

@@ -5,8 +5,12 @@
 
 #include "sim/random.hh"
 
+#include <bit>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -149,6 +153,8 @@ AliasTable::AliasTable(const std::vector<double> &weights)
         probability[l] = 1.0;
     for (std::size_t s : small)
         probability[s] = 1.0;
+
+    columnBound = FastBound(n);
 }
 
 double
@@ -158,46 +164,101 @@ AliasTable::outcomeProbability(std::size_t i) const
     return normalized[i];
 }
 
-ZipfDistribution::ZipfDistribution(std::size_t n, double s)
+namespace
 {
-    oscar_assert(n > 0);
-    oscar_assert(s >= 0.0);
-    cdf.resize(n);
+
+/** Process-wide Zipf table cache, keyed by (n, bit pattern of s). */
+struct ZipfTableCache
+{
+    std::mutex mutex;
+    std::map<std::pair<std::size_t, std::uint64_t>,
+             std::shared_ptr<const void>>
+        tables;
+};
+
+ZipfTableCache &
+zipfTableCache()
+{
+    static ZipfTableCache cache;
+    return cache;
+}
+
+} // namespace
+
+std::shared_ptr<const ZipfDistribution::Table>
+ZipfDistribution::tableFor(std::size_t n, double s)
+{
+    ZipfTableCache &cache = zipfTableCache();
+    const auto key =
+        std::make_pair(n, std::bit_cast<std::uint64_t>(s));
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.tables.find(key);
+        if (it != cache.tables.end()) {
+            return std::static_pointer_cast<const Table>(it->second);
+        }
+    }
+
+    // Build outside the lock: tables can be megabytes and parallel
+    // sweep workers frequently want different keys. Two threads
+    // racing on the same key build twice; the insert below keeps the
+    // first and both results are identical.
+    auto table = std::make_shared<Table>();
+    table->cdf.resize(n);
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
-        cdf[i] = sum;
+        table->cdf[i] = sum;
     }
-    for (double &c : cdf)
+    for (double &c : table->cdf)
         c /= sum;
-    cdf.back() = 1.0;
+    table->cdf.back() = 1.0;
 
     // Bucket index: for each slice boundary b/kBuckets, run the same
     // lower-bound search sample() performs and record the result.
-    bucketLo.resize(kBuckets + 1);
+    table->bucketLo.resize(kBuckets + 1);
     for (std::size_t b = 0; b <= kBuckets; ++b) {
         const double u =
             static_cast<double>(b) / static_cast<double>(kBuckets);
         std::size_t lo = 0;
-        std::size_t hi = cdf.size() - 1;
+        std::size_t hi = table->cdf.size() - 1;
         while (lo < hi) {
             const std::size_t mid = lo + (hi - lo) / 2;
-            if (cdf[mid] < u)
+            if (table->cdf[mid] < u)
                 lo = mid + 1;
             else
                 hi = mid;
         }
-        bucketLo[b] = static_cast<std::uint32_t>(lo);
+        table->bucketLo[b] = static_cast<std::uint32_t>(lo);
     }
+
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    auto [it, inserted] = cache.tables.try_emplace(key, table);
+    return std::static_pointer_cast<const Table>(it->second);
+}
+
+std::size_t
+ZipfDistribution::cachedTables()
+{
+    ZipfTableCache &cache = zipfTableCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.tables.size();
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s)
+{
+    oscar_assert(n > 0);
+    oscar_assert(s >= 0.0);
+    table = tableFor(n, s);
 }
 
 double
 ZipfDistribution::rankProbability(std::size_t rank) const
 {
-    oscar_assert(rank < cdf.size());
+    oscar_assert(rank < table->cdf.size());
     if (rank == 0)
-        return cdf[0];
-    return cdf[rank] - cdf[rank - 1];
+        return table->cdf[0];
+    return table->cdf[rank] - table->cdf[rank - 1];
 }
 
 } // namespace oscar

@@ -13,12 +13,89 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/logging.hh"
 
 namespace oscar
 {
+
+/**
+ * Precomputed reduction state for a fixed bound.
+ *
+ * Rng::nextBounded spends most of its time in two 64-bit divisions
+ * (the rejection threshold and the final modulo), and the simulator's
+ * hottest draws — alias-table columns, burst spans, line scatters —
+ * all use bounds that are fixed for the lifetime of the table or
+ * region. FastBound hoists the divisions to construction time:
+ *
+ *  - power-of-two bounds reduce with a mask, exactly like
+ *    nextBounded's fast path;
+ *  - general bounds use the invariant-multiply trick: with
+ *    M = floor(2^64 / b), the approximate quotient
+ *    q = mulhi(M, x) satisfies q <= floor(x/b) <= q + 1 for every
+ *    64-bit x (the error term r0*x / (b*2^64) is < 1 because
+ *    r0 < b), so x % b is one multiply-high, one multiply and a
+ *    conditional subtract.
+ *
+ * mod() is *exact* — not an approximation — so a draw loop using a
+ * FastBound is byte-identical to one calling nextBounded(bound());
+ * test_random.cc checks this property exhaustively over draw streams.
+ */
+class FastBound
+{
+  public:
+    /** Reduction for bound 1 (every value reduces to 0). */
+    FastBound() { *this = FastBound(1); }
+
+    /** Precompute the reduction for `bound` > 0. */
+    explicit FastBound(std::uint64_t bound)
+        : b(bound), pow2Mask(0), magic(0), rejectThreshold(0),
+          isPow2((bound & (bound - 1)) == 0)
+    {
+        oscar_assert(bound > 0);
+        if (isPow2) {
+            pow2Mask = bound - 1;
+        } else {
+            // floor((2^64 - 1) / b) == floor(2^64 / b) whenever b does
+            // not divide 2^64, i.e. for every non-power-of-two b.
+            magic = ~0ULL / bound;
+            rejectThreshold = (0 - bound) % bound;
+        }
+    }
+
+    /** The bound this reduction was built for. */
+    std::uint64_t bound() const { return b; }
+
+    /** Exactly x % bound(), division-free. */
+    std::uint64_t
+    mod(std::uint64_t x) const
+    {
+        if (isPow2)
+            return x & pow2Mask;
+        const auto wide =
+            static_cast<unsigned __int128>(magic) * x;
+        std::uint64_t q = static_cast<std::uint64_t>(wide >> 64);
+        std::uint64_t r = x - q * b;
+        if (r >= b)
+            r -= b;
+        return r;
+    }
+
+    /** Lemire rejection threshold (-b % b); 0 for powers of two. */
+    std::uint64_t threshold() const { return rejectThreshold; }
+
+    /** True when the bound is a power of two. */
+    bool powerOfTwo() const { return isPow2; }
+
+  private:
+    std::uint64_t b;
+    std::uint64_t pow2Mask;
+    std::uint64_t magic;
+    std::uint64_t rejectThreshold;
+    bool isPow2;
+};
 
 /**
  * Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
@@ -67,6 +144,24 @@ class Rng
             const std::uint64_t r = next64();
             if (r >= threshold)
                 return r % bound;
+        }
+    }
+
+    /**
+     * Uniform integer in [0, fb.bound()), byte-identical to
+     * nextBounded(fb.bound()) — same draws, same rejections, same
+     * value — with the per-draw divisions hoisted into the FastBound.
+     */
+    std::uint64_t
+    nextBoundedFast(const FastBound &fb)
+    {
+        if (fb.powerOfTwo())
+            return next64() & (fb.bound() - 1);
+        const std::uint64_t threshold = fb.threshold();
+        for (;;) {
+            const std::uint64_t r = next64();
+            if (r >= threshold)
+                return fb.mod(r);
         }
     }
 
@@ -133,7 +228,9 @@ class AliasTable
     std::size_t
     sample(Rng &rng) const
     {
-        const std::size_t column = rng.nextBounded(probability.size());
+        // columnBound is FastBound(size()): the draw stream is
+        // byte-identical to nextBounded(probability.size()).
+        const std::size_t column = rng.nextBoundedFast(columnBound);
         return rng.nextDouble() < probability[column] ? column
                                                      : alias[column];
     }
@@ -148,6 +245,8 @@ class AliasTable
     std::vector<double> probability;
     std::vector<std::size_t> alias;
     std::vector<double> normalized;
+    /** Division-free column reduction; built once in the ctor. */
+    FastBound columnBound;
 };
 
 /**
@@ -165,6 +264,14 @@ class AliasTable
  * subrange returns exactly what the full-range search would. With a
  * heavy skew most slices collapse to a single rank and sampling is
  * effectively O(1).
+ *
+ * The table (CDF plus bucket index) depends only on (n, s) and is
+ * immutable after construction, so all distributions with the same
+ * parameters share one table through a process-wide cache. Every
+ * sweep point rebuilds its workload's regions from scratch — before
+ * the cache, recomputing identical multi-megabyte CDFs was a visible
+ * slice of sweep setup — and sharing also makes copies of a
+ * distribution (workload snapshots) O(1).
  */
 class ZipfDistribution
 {
@@ -172,9 +279,11 @@ class ZipfDistribution
     /**
      * Bucket count for the index. A power of two, so u * kBuckets is
      * exact in floating point and slice membership b <= u*K < b+1 is
-     * a true statement about u itself.
+     * a true statement about u itself. The sampled rank is provably
+     * independent of the bucket count, so changing it never perturbs
+     * draw streams.
      */
-    static constexpr std::size_t kBuckets = 1024;
+    static constexpr std::size_t kBuckets = 16384;
 
     /**
      * @param n Number of ranks.
@@ -191,11 +300,12 @@ class ZipfDistribution
             static_cast<std::size_t>(u * static_cast<double>(kBuckets));
         // First rank whose cumulative mass covers u, searched only
         // within the slice's bracket.
-        std::size_t lo = bucketLo[b];
-        std::size_t hi = bucketLo[b + 1];
+        const Table &t = *table;
+        std::size_t lo = t.bucketLo[b];
+        std::size_t hi = t.bucketLo[b + 1];
         while (lo < hi) {
             const std::size_t mid = lo + (hi - lo) / 2;
-            if (cdf[mid] < u)
+            if (t.cdf[mid] < u)
                 lo = mid + 1;
             else
                 hi = mid;
@@ -204,15 +314,31 @@ class ZipfDistribution
     }
 
     /** Number of ranks. */
-    std::size_t size() const { return cdf.size(); }
+    std::size_t size() const { return table->cdf.size(); }
 
     /** Probability mass of a given rank (for tests). */
     double rankProbability(std::size_t rank) const;
 
+    /** Number of live cached tables (tests/diagnostics). */
+    static std::size_t cachedTables();
+
   private:
-    std::vector<double> cdf;
-    /** kBuckets + 1 entries; bucketLo[b] = lower_bound(cdf, b/kBuckets). */
-    std::vector<std::uint32_t> bucketLo;
+    /** Immutable sampling table shared by all (n, s)-equal instances. */
+    struct Table
+    {
+        std::vector<double> cdf;
+        /**
+         * kBuckets + 1 entries;
+         * bucketLo[b] = lower_bound(cdf, b/kBuckets).
+         */
+        std::vector<std::uint32_t> bucketLo;
+    };
+
+    /** Build or fetch the cached table for (n, s). */
+    static std::shared_ptr<const Table> tableFor(std::size_t n,
+                                                 double s);
+
+    std::shared_ptr<const Table> table;
 };
 
 } // namespace oscar

@@ -9,7 +9,7 @@
 #include <future>
 #include <map>
 #include <mutex>
-#include <tuple>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -118,26 +118,132 @@ ExperimentRunner::run(const SystemConfig &config, TraceSink *trace,
 namespace
 {
 
-using BaselineKey =
-    std::tuple<int, std::uint64_t, InstCount, InstCount>;
+/**
+ * The uni-processor baseline derived from a full variant config: a
+ * default-constructed SystemConfig is already the Baseline uni-core
+ * machine, so only the environment knobs carry over. Everything
+ * off-loading-specific (policy, predictor, thresholds, decision
+ * costs, SI profile, topology, migration latency) stays at its
+ * default — none of it is consulted when off-loading is disabled,
+ * and canonicalizing it keeps the cache key from fragmenting.
+ */
+SystemConfig
+baselineVariant(const SystemConfig &config)
+{
+    SystemConfig base;
+    base.workload = config.workload;
+    base.geometry = config.geometry;
+    base.timings = config.timings;
+    base.interrupts = config.interrupts;
+    base.osCouplingScale = config.osCouplingScale;
+    base.serving = config.serving;
+    base.seed = config.seed;
+    base.warmupInstructions = config.warmupInstructions;
+    base.measureInstructions = config.measureInstructions;
+    return base;
+}
+
+void
+appendKey(std::string &key, const char *name, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%.17g", name, value);
+    key += buf;
+}
+
+void
+appendKey(std::string &key, const char *name, std::uint64_t value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%llu", name,
+                  static_cast<unsigned long long>(value));
+    key += buf;
+}
+
+void
+appendGeometryKey(std::string &key, const char *name,
+                  const CacheGeometry &g)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s=%llu/%u/%u/%llu", name,
+                  static_cast<unsigned long long>(g.sizeBytes), g.assoc,
+                  g.lineBytes,
+                  static_cast<unsigned long long>(g.hitLatency));
+    key += buf;
+}
+
+} // namespace
+
+void
+appendConfigEnvironmentKey(std::string &key, const SystemConfig &c)
+{
+    appendKey(key, "w", std::uint64_t(static_cast<int>(c.workload)));
+    appendKey(key, "seed", c.seed);
+    appendKey(key, "warm", c.warmupInstructions);
+    appendKey(key, "couple", c.osCouplingScale);
+    appendKey(key, "irq", c.interrupts.meanInterarrivalCycles);
+    appendGeometryKey(key, "l1i", c.geometry.l1i);
+    appendGeometryKey(key, "l1d", c.geometry.l1d);
+    appendGeometryKey(key, "l2", c.geometry.l2);
+    appendKey(key, "t.l1", c.timings.l1Hit);
+    appendKey(key, "t.l2", c.timings.l2Hit);
+    appendKey(key, "t.dir", c.timings.directoryLookup);
+    appendKey(key, "t.c2c", c.timings.cacheToCache);
+    appendKey(key, "t.inv", c.timings.invalidateAck);
+    appendKey(key, "t.mem", c.timings.memory);
+    appendKey(key, "t.hop", c.timings.interconnectHop);
+    if (c.serving != nullptr) {
+        const ServingConfig &s = *c.serving;
+        appendKey(key, "s.arr",
+                  std::uint64_t(static_cast<int>(s.arrival)));
+        appendKey(key, "s.disp",
+                  std::uint64_t(static_cast<int>(s.dispatch)));
+        appendKey(key, "s.iat", s.meanInterarrivalCycles);
+        appendKey(key, "s.diA", s.diurnalAmplitude);
+        appendKey(key, "s.diP", s.diurnalPeriodCycles);
+        appendKey(key, "s.bp", s.burstProbability);
+        appendKey(key, "s.bm", s.burstRateMultiplier);
+        appendKey(key, "s.br", s.burstMeanRequests);
+        appendKey(key, "s.cpc", std::uint64_t(s.clientsPerCore));
+        appendKey(key, "s.think", s.meanThinkCycles);
+        appendKey(key, "s.ten", std::uint64_t(s.tenants));
+        appendKey(key, "s.skew", s.tenantSkew);
+        appendKey(key, "s.seg", s.meanSegments);
+        appendKey(key, "s.sigma", s.segmentsSigma);
+        appendKey(key, "s.warm", s.warmupRequests);
+    }
+}
+
+namespace
+{
+
+std::string
+baselineCacheKey(const SystemConfig &baseline)
+{
+    std::string key = "baseline";
+    appendConfigEnvironmentKey(key, baseline);
+    // The baseline's measured horizon is part of its identity (the
+    // warm-snapshot key, by contrast, excludes it).
+    appendKey(key, "meas", baseline.measureInstructions);
+    if (baseline.serving != nullptr)
+        appendKey(key, "s.meas", baseline.serving->measureRequests);
+    return key;
+}
 
 // The cache stores shared_futures so concurrent sweep points that
 // share a baseline compute it exactly once: the first requester
 // inserts the future and runs the simulation, later requesters block
 // on it. Guarded by a mutex; the simulation itself runs unlocked.
 std::mutex baselineMutex;
-std::map<BaselineKey, std::shared_future<SimResults>> baselineCache;
+std::map<std::string, std::shared_future<SimResults>> baselineCache;
 
 } // namespace
 
 SimResults
-ExperimentRunner::baselineResults(WorkloadKind workload,
-                                  std::uint64_t seed,
-                                  InstCount measure_instructions,
-                                  InstCount warmup_instructions)
+ExperimentRunner::baselineResults(const SystemConfig &config)
 {
-    const BaselineKey key{static_cast<int>(workload), seed,
-                          measure_instructions, warmup_instructions};
+    const SystemConfig baseline = baselineVariant(config);
+    const std::string key = baselineCacheKey(baseline);
 
     std::promise<SimResults> promise;
     std::shared_future<SimResults> future;
@@ -156,10 +262,7 @@ ExperimentRunner::baselineResults(WorkloadKind workload,
 
     if (compute) {
         try {
-            SystemConfig config = baselineConfig(workload, seed);
-            config.measureInstructions = measure_instructions;
-            config.warmupInstructions = warmup_instructions;
-            promise.set_value(run(config));
+            promise.set_value(run(baseline));
         } catch (...) {
             // Propagate to every waiter, then forget the entry so a
             // later call can retry instead of replaying the failure.
@@ -169,6 +272,18 @@ ExperimentRunner::baselineResults(WorkloadKind workload,
         }
     }
     return future.get();
+}
+
+SimResults
+ExperimentRunner::baselineResults(WorkloadKind workload,
+                                  std::uint64_t seed,
+                                  InstCount measure_instructions,
+                                  InstCount warmup_instructions)
+{
+    SystemConfig config = baselineConfig(workload, seed);
+    config.measureInstructions = measure_instructions;
+    config.warmupInstructions = warmup_instructions;
+    return baselineResults(config);
 }
 
 void
@@ -181,10 +296,7 @@ ExperimentRunner::clearBaselineCache()
 double
 ExperimentRunner::normalizedThroughput(const SystemConfig &config)
 {
-    const SimResults base =
-        baselineResults(config.workload, config.seed,
-                        config.measureInstructions,
-                        config.warmupInstructions);
+    const SimResults base = baselineResults(config);
     const SimResults variant = run(config);
     oscar_assert(base.throughput > 0.0);
     return variant.throughput / base.throughput;

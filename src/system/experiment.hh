@@ -89,9 +89,23 @@ class ExperimentRunner
     static double normalizedThroughput(const SystemConfig &config);
 
     /**
-     * Baseline results are cached per (workload, seed, measure length,
-     * warmup length) so sweeps do not re-run the baseline for every
-     * point.
+     * Uni-processor baseline for a full variant configuration: the
+     * baseline keeps every environment knob of the variant (cache
+     * geometry, memory timings, interrupt rate, coupling scale,
+     * serving front-end, seed, warmup/measure lengths) and strips only
+     * the off-loading machinery. Cached process-wide under a key that
+     * encodes all of those fields, so two points share a cached
+     * baseline only when their full warmup environment matches — a
+     * point with, say, a scaled coupling factor can no longer silently
+     * normalize against the default-environment baseline.
+     */
+    static SimResults baselineResults(const SystemConfig &config);
+
+    /**
+     * Convenience overload: baseline for the given workload/seed with
+     * every other environment knob at its default. Equivalent to
+     * baselineResults(baselineConfig(workload, seed)) with the given
+     * horizon lengths.
      */
     static SimResults baselineResults(WorkloadKind workload,
                                       std::uint64_t seed,
@@ -124,6 +138,18 @@ class TextTable
 
 /** Format a double with fixed decimals. */
 std::string formatDouble(double value, int decimals = 3);
+
+/**
+ * Append a textual encoding of every configuration field that shapes
+ * a run's warm-up prefix under the Baseline policy — workload, seed,
+ * warmup length, coupling scale, interrupt rate, cache geometry,
+ * memory timings, and the serving front-end (minus its measured
+ * horizon). Shared by the baseline-result cache and the sweep
+ * runner's warm-snapshot cache so the two can never disagree about
+ * which environments are interchangeable.
+ */
+void appendConfigEnvironmentKey(std::string &key,
+                                const SystemConfig &config);
 
 } // namespace oscar
 

@@ -11,7 +11,10 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "sim/json.hh"
@@ -199,7 +202,117 @@ writePointJson(JsonWriter &w, const SweepPointResult &point,
     w.endObject();
 }
 
+// ---------------------------------------------------------------------
+// Warm-snapshot cache
+
+/**
+ * One warm System per fork group, stored behind a shared_future so
+ * concurrent points that share a group simulate the prefix exactly
+ * once: the first requester inserts the future and runs the warm-up,
+ * later requesters block on it. The snapshot is const and only ever
+ * clone()d, which is thread-safe.
+ */
+std::mutex snapshotMutex;
+std::map<std::string,
+         std::shared_future<std::shared_ptr<const System>>> snapshotCache;
+
+std::shared_ptr<const System>
+warmSnapshot(const SystemConfig &point_config)
+{
+    const std::string key = sweepWarmupKey(point_config);
+
+    std::promise<std::shared_ptr<const System>> promise;
+    std::shared_future<std::shared_ptr<const System>> future;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(snapshotMutex);
+        auto it = snapshotCache.find(key);
+        if (it != snapshotCache.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            snapshotCache.emplace(key, future);
+            compute = true;
+        }
+    }
+
+    if (compute) {
+        try {
+            auto system = std::make_shared<System>(
+                sweepWarmerConfig(point_config));
+            system->runToMeasurementStart();
+            promise.set_value(
+                std::shared_ptr<const System>(std::move(system)));
+        } catch (...) {
+            // Propagate to every waiter, then forget the entry so a
+            // later call can retry instead of replaying the failure.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(snapshotMutex);
+            snapshotCache.erase(key);
+        }
+    }
+    return future.get();
+}
+
+/**
+ * A point may fork only when nothing observes its warm-up: trace or
+ * metrics streams must cover the whole run (golden artifacts stay
+ * byte-identical), and an empty warm-up has no prefix to share.
+ */
+bool
+forkEligible(const SweepPoint &point)
+{
+    if (!point.tracePath.empty() || !point.metricsPath.empty())
+        return false;
+    if (point.config.serving != nullptr)
+        return point.config.serving->warmupRequests > 0;
+    return point.config.warmupInstructions > 0;
+}
+
 } // namespace
+
+SystemConfig
+sweepWarmerConfig(const SystemConfig &config)
+{
+    SystemConfig warmer = config;
+    const SystemConfig defaults;
+    warmer.policy = PolicyKind::Baseline;
+    warmer.predictor = defaults.predictor;
+    warmer.dynamicThreshold = false;
+    warmer.thresholdFeedback = defaults.thresholdFeedback;
+    warmer.staticThreshold = defaults.staticThreshold;
+    warmer.thresholdConfig = defaults.thresholdConfig;
+    warmer.siDecisionCost = defaults.siDecisionCost;
+    warmer.diDecisionCost = defaults.diDecisionCost;
+    warmer.hiDecisionCost = defaults.hiDecisionCost;
+    warmer.siProfile.reset();
+    return warmer;
+}
+
+std::string
+sweepWarmupKey(const SystemConfig &config)
+{
+    std::string key = "warm";
+    appendConfigEnvironmentKey(key, config);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), " cores=%u offload=%d",
+                  config.userCores, config.offloadEnabled ? 1 : 0);
+    key += buf;
+    if (config.offloadEnabled) {
+        const TopologyConfig &t = config.topology;
+        std::snprintf(buf, sizeof(buf),
+                      " topo=%u/%u/%d/%d/%llu/%llu/%zu", t.osCores,
+                      t.numaNodes, static_cast<int>(t.placement),
+                      static_cast<int>(t.dispatch),
+                      static_cast<unsigned long long>(
+                          t.intraNodeHopCycles),
+                      static_cast<unsigned long long>(
+                          t.interNodeHopCycles),
+                      t.spillDepth);
+        key += buf;
+    }
+    return key;
+}
 
 // ---------------------------------------------------------------------
 // SweepAggregate
@@ -251,6 +364,13 @@ ParallelSweepRunner::effectiveJobs(std::size_t point_count) const
 SweepPointResult
 ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index)
 {
+    return runPoint(point, index, /*allow_fork=*/false);
+}
+
+SweepPointResult
+ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index,
+                              bool allow_fork)
+{
     SweepPointResult result;
     result.index = index;
     result.label = point.label;
@@ -262,34 +382,40 @@ ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index)
         // instead of exiting, so one poisoned point cannot take down
         // the rest of the sweep.
         ScopedFatalThrows fatal_throws;
-        std::unique_ptr<JsonlTraceSink> trace;
-        if (!point.tracePath.empty()) {
-            trace = std::make_unique<JsonlTraceSink>(
-                point.tracePath, traceHeaderJson(point.config));
-        }
-        std::unique_ptr<MetricRegistry> metrics;
-        if (!point.metricsPath.empty()) {
-            metrics = std::make_unique<MetricRegistry>(
-                point.metricsSampleEvery);
-        }
-        if (point.normalize) {
-            const SimResults base = ExperimentRunner::baselineResults(
-                point.config.workload, point.config.seed,
-                point.config.measureInstructions,
-                point.config.warmupInstructions);
+        if (allow_fork && forkEligible(point)) {
+            // Fork path: clone the group's shared warm snapshot, swap
+            // in this point's measurement configuration, and resume
+            // through the measured region only.
+            const std::shared_ptr<const System> snapshot =
+                warmSnapshot(point.config);
+            const std::unique_ptr<System> forked = snapshot->clone();
+            forked->reconfigureForMeasurement(point.config);
+            result.results = forked->resumeRun();
+        } else {
+            std::unique_ptr<JsonlTraceSink> trace;
+            if (!point.tracePath.empty()) {
+                trace = std::make_unique<JsonlTraceSink>(
+                    point.tracePath, traceHeaderJson(point.config));
+            }
+            std::unique_ptr<MetricRegistry> metrics;
+            if (!point.metricsPath.empty()) {
+                metrics = std::make_unique<MetricRegistry>(
+                    point.metricsSampleEvery);
+            }
             result.results = ExperimentRunner::run(
                 point.config, trace.get(), metrics.get());
+            if (metrics &&
+                writeMetricsFile(*metrics, point.config,
+                                 point.metricsPath)) {
+                result.metricsPath = point.metricsPath;
+            }
+        }
+        if (point.normalize) {
+            const SimResults base =
+                ExperimentRunner::baselineResults(point.config);
             oscar_assert(base.throughput > 0.0);
             result.normalized =
                 result.results.throughput / base.throughput;
-        } else {
-            result.results = ExperimentRunner::run(
-                point.config, trace.get(), metrics.get());
-        }
-        if (metrics &&
-            writeMetricsFile(*metrics, point.config,
-                             point.metricsPath)) {
-            result.metricsPath = point.metricsPath;
         }
         result.ok = true;
     } catch (const std::exception &e) {
@@ -302,6 +428,13 @@ ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index)
     return result;
 }
 
+void
+ParallelSweepRunner::clearWarmSnapshotCache()
+{
+    std::lock_guard<std::mutex> lock(snapshotMutex);
+    snapshotCache.clear();
+}
+
 std::vector<SweepPointResult>
 ParallelSweepRunner::run(const std::vector<SweepPoint> &points) const
 {
@@ -312,7 +445,7 @@ ParallelSweepRunner::run(const std::vector<SweepPoint> &points) const
     const unsigned jobs = effectiveJobs(points.size());
     if (jobs <= 1) {
         for (std::size_t i = 0; i < points.size(); ++i)
-            results[i] = runPoint(points[i], i);
+            results[i] = runPoint(points[i], i, opts.fork);
         return results;
     }
 
@@ -326,7 +459,7 @@ ParallelSweepRunner::run(const std::vector<SweepPoint> &points) const
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            results[i] = runPoint(points[i], i);
+            results[i] = runPoint(points[i], i, opts.fork);
         }
     };
 
@@ -474,6 +607,8 @@ BenchOptions::parse(int argc, char **argv,
             opts.jsonPath = argv[++i];
         } else if (arg == "--no-json") {
             opts.jsonPath.clear();
+        } else if (arg == "--no-fork") {
+            opts.fork = false;
         } else if (arg == "--trace") {
             opts.tracePath = argv[++i];
         } else if (arg == "--metrics") {
@@ -489,13 +624,17 @@ BenchOptions::parse(int argc, char **argv,
             opts.metricsEvery = every;
         } else if (arg == "--help") {
             std::printf("usage: %s [--jobs N] [--json PATH | --no-json]"
-                        " [--trace PATH] [--metrics PATH]"
+                        " [--no-fork] [--trace PATH] [--metrics PATH]"
                         " [--metrics-every N]\n"
                         "  --jobs N          worker threads (0 = all "
                         "cores; default 1)\n"
                         "  --json P          write the sweep report to "
                         "P (default %s)\n"
                         "  --no-json         skip the report artifact\n"
+                        "  --no-fork         run every point fresh "
+                        "instead of forking eligible\n"
+                        "                    points from a shared warm "
+                        "snapshot\n"
                         "  --trace P         stream per-point "
                         "oscar.trace.v1 files derived from P\n"
                         "  --metrics P       write per-point "

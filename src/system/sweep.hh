@@ -139,6 +139,31 @@ struct SweepOptions
 {
     /** Worker threads; 0 means hardware concurrency, 1 runs inline. */
     unsigned jobs = 1;
+
+    /**
+     * Fork eligible points from a shared warm snapshot (the default).
+     *
+     * Points that agree on their warm-up environment — workload, seed,
+     * core counts, topology shape, geometry, timings, interrupt rate,
+     * coupling scale, serving front-end, warmup length — form a group.
+     * The group's prefix is simulated once under a canonical Baseline
+     * warmer (no off-loading, so the warm cache/predictor state is
+     * policy-neutral), snapshotted at measurement start, and every
+     * point clones the snapshot, swaps in its own policy/threshold/
+     * predictor configuration, and resumes through the measured region
+     * only.
+     *
+     * This is a deliberate methodology change, not an optimization
+     * that preserves bytes: a forked point's warm-up ran under the
+     * Baseline policy, so its results may differ (slightly) from a
+     * fresh end-to-end run whose warm-up already off-loads. Results
+     * are still fully deterministic — independent of job count and of
+     * which point warmed the group. Points that stream traces or
+     * metrics always take the fresh path so golden artifacts stay
+     * byte-identical; set fork=false (or pass --no-fork to a bench)
+     * to force the fresh path for every point.
+     */
+    bool fork = true;
 };
 
 /**
@@ -159,9 +184,27 @@ class ParallelSweepRunner
     std::vector<SweepPointResult>
     run(const std::vector<SweepPoint> &points) const;
 
-    /** Execute one point with timing and failure capture. */
+    /**
+     * Execute one point with timing and failure capture, on the
+     * fresh (non-forked) path: this is the golden-trace-stable
+     * entry point.
+     */
     static SweepPointResult runPoint(const SweepPoint &point,
                                      std::size_t index);
+
+    /**
+     * Execute one point, forking from the group's warm snapshot when
+     * `allow_fork` is set and the point is eligible (no trace or
+     * metrics streaming, non-empty warm-up). See SweepOptions::fork.
+     */
+    static SweepPointResult runPoint(const SweepPoint &point,
+                                     std::size_t index, bool allow_fork);
+
+    /**
+     * Drop every cached warm snapshot (tests and A/B timing). Do not
+     * call concurrently with a running sweep.
+     */
+    static void clearWarmSnapshotCache();
 
     /** The worker count a run() call will actually use. */
     unsigned effectiveJobs(std::size_t point_count) const;
@@ -169,6 +212,26 @@ class ParallelSweepRunner
   private:
     SweepOptions opts;
 };
+
+/**
+ * The canonical warmer configuration of a point's fork group: the
+ * point's configuration with every off-loading decision knob —
+ * policy, predictor organization, thresholds, decision costs, SI
+ * profile, dynamic-N controller — reset to the Baseline defaults.
+ * Every point of a group maps to the same warmer, so the shared
+ * warm-up prefix is well defined and policy-neutral.
+ */
+SystemConfig sweepWarmerConfig(const SystemConfig &config);
+
+/**
+ * Cache key of a point's fork group: a textual encoding of every
+ * field that shapes the canonical warmer's prefix (environment fields
+ * via appendConfigEnvironmentKey, plus core counts and topology
+ * shape). Policy/threshold/predictor fields and the measured horizon
+ * are deliberately absent — points differing only in those share a
+ * snapshot.
+ */
+std::string sweepWarmupKey(const SystemConfig &config);
 
 /**
  * Machine-readable sweep artifact.
@@ -272,6 +335,8 @@ std::string sweepPointResultsJson(const SweepPointResult &result);
 struct BenchOptions
 {
     unsigned jobs = 1;
+    /** Warm-snapshot forking (see SweepOptions::fork); --no-fork off. */
+    bool fork = true;
     /** Report destination; empty disables the artifact. */
     std::string jsonPath;
     /** Per-point trace base path; empty disables tracing. */

@@ -32,13 +32,15 @@ controllerConfig(const SystemConfig &config)
 } // namespace
 
 System::System(const SystemConfig &config)
-    : cfg(config),
-      interrupts(cfg.interrupts, services, Rng(cfg.seed ^ 0xA5A5A5A5ULL)),
+    : cfg(config), services(std::make_shared<const ServiceTable>()),
+      interrupts(cfg.interrupts, *services,
+                 Rng(cfg.seed ^ 0xA5A5A5A5ULL)),
       controller(controllerConfig(config)),
       staticThreshold(cfg.staticThreshold),
       dynamicThreshold(controller)
 {
     cfg.validate();
+    events.setPayloadHandler(&System::eventTrampoline, this);
 
     // Offload-disabled systems still get a (trivial) topology so node
     // queries are always answerable; the configured one only matters
@@ -50,7 +52,7 @@ System::System(const SystemConfig &config)
 
     WorkloadSpec spec = makeWorkloadSpec(cfg.workload);
     spec.osCouplingScale = cfg.osCouplingScale;
-    pools = OsPools::build(space, services, spec);
+    pools = OsPools::build(space, *services, spec);
 
     mem = std::make_unique<MemorySystem>(cfg.totalCores(), cfg.geometry,
                                          cfg.timings);
@@ -71,9 +73,195 @@ System::System(const SystemConfig &config)
         thread.core = t;
         thread.rng = root.fork();
         thread.workload = std::make_unique<Workload>(
-            spec, services, space, pools, cfg.geometry.l2.lineBytes);
+            spec, *services, space, pools, cfg.geometry.l2.lineBytes);
         buildPolicy(thread);
     }
+}
+
+System::System(const System &other)
+    : cfg(other.cfg), services(other.services), space(other.space),
+      mem(std::make_unique<MemorySystem>(*other.mem)),
+      events(other.events), interrupts(other.interrupts),
+      controller(other.controller),
+      staticThreshold(other.staticThreshold),
+      dynamicThreshold(controller), // rebound to OUR controller
+      topo(other.topo), cores(other.cores), profile(other.profile)
+{
+    // The copied EventQueue carries no handler; install ours.
+    events.setPayloadHandler(&System::eventTrampoline, this);
+    // The copied controller may carry the original's trace sink.
+    controller.setTraceSink(nullptr);
+    queues.cloneFrom(other.queues, topo);
+
+    // Rebind every region pointer into our deep-copied address space.
+    const RegionRemap remap(other.space, space);
+    pools = other.pools.remapped(remap);
+
+    threads.resize(other.threads.size());
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        Thread &thread = threads[i];
+        const Thread &theirs = other.threads[i];
+        thread.id = theirs.id;
+        thread.core = theirs.core;
+        thread.workload = theirs.workload->clone(*services, remap);
+        thread.arch = theirs.arch;
+        thread.rng = theirs.rng;
+        if (theirs.predictor != nullptr)
+            thread.predictor = theirs.predictor->clone();
+        buildPolicy(thread);
+        if (thread.predictive != nullptr &&
+            theirs.predictive != nullptr) {
+            thread.predictive->stats() = theirs.predictive->stats();
+        }
+        thread.measuredRetired = theirs.measuredRetired;
+        thread.quotaReached = theirs.quotaReached;
+        thread.finishCycle = theirs.finishCycle;
+        // pendingInv's service pointer targets the shared table, so
+        // it survives the copy verbatim.
+        thread.pendingInv = theirs.pendingInv;
+        thread.pendingDecision = theirs.pendingDecision;
+        thread.offloadArrival = theirs.offloadArrival;
+        thread.pendingQueue = theirs.pendingQueue;
+        thread.spilled = theirs.spilled;
+        thread.servingOsCore = theirs.servingOsCore;
+        thread.currentRequest = theirs.currentRequest;
+        thread.segmentsLeft = theirs.segmentsLeft;
+        thread.servingRequest = theirs.servingRequest;
+        thread.idle = theirs.idle;
+    }
+
+    // Phase machinery and measured-region statistics.
+    started = other.started;
+    measuring = other.measuring;
+    warmupRetired = other.warmupRetired;
+    warmupOsRetired = other.warmupOsRetired;
+    measuredRetiredAll = other.measuredRetiredAll;
+    measuredOsRetired = other.measuredOsRetired;
+    warmupPrivFraction = other.warmupPrivFraction;
+    measureStart = other.measureStart;
+    finishedThreads = other.finishedThreads;
+    nextEpochBoundary = other.nextEpochBoundary;
+    windowStartInstr = other.windowStartInstr;
+    windowStartCycle = other.windowStartCycle;
+    thresholdTrajectory = other.thresholdTrajectory;
+    invocationsMeasured = other.invocationsMeasured;
+    offloadedMeasured = other.offloadedMeasured;
+    migIntraMeasured = other.migIntraMeasured;
+    migInterMeasured = other.migInterMeasured;
+    invocationLength = other.invocationLength;
+    invocationLengthHist = other.invocationLengthHist;
+    for (std::size_t i = 0; i < 4; ++i)
+        osInstrAboveTail[i] = other.osInstrAboveTail[i];
+    invocationsByService = other.invocationsByService;
+    offloadsByService = other.offloadsByService;
+
+    // Serving-mode state.
+    if (other.requests != nullptr)
+        requests = std::make_unique<RequestStream>(*other.requests);
+    requestQueues = other.requestQueues;
+    pendingArrival = other.pendingArrival;
+    requestsCompletedTotal = other.requestsCompletedTotal;
+    requestsCompletedMeasured = other.requestsCompletedMeasured;
+    requestsOfferedMeasured = other.requestsOfferedMeasured;
+    requestLatency = other.requestLatency;
+    requestDispatchWait = other.requestDispatchWait;
+    servingDone = other.servingDone;
+    servingEndCycle = other.servingEndCycle;
+
+    // trace/metrics/m* pointers keep their null defaults: the clone
+    // starts uninstrumented by contract.
+}
+
+std::unique_ptr<System>
+System::clone() const
+{
+    return std::unique_ptr<System>(new System(*this));
+}
+
+void
+System::reconfigureForMeasurement(const SystemConfig &config)
+{
+    oscar_assert(started && measuring &&
+                 "reconfigure requires a system stopped at "
+                 "measurement start");
+    // The warm prefix is only shareable across configurations that
+    // agree on everything that shaped it; spot-check the load-bearing
+    // fields. Policy/threshold/predictor/horizon fields may differ.
+    oscar_assert(config.workload == cfg.workload);
+    oscar_assert(config.seed == cfg.seed);
+    oscar_assert(config.userCores == cfg.userCores);
+    oscar_assert(config.offloadEnabled == cfg.offloadEnabled);
+    oscar_assert(config.warmupInstructions == cfg.warmupInstructions);
+    oscar_assert(config.osCouplingScale == cfg.osCouplingScale);
+    oscar_assert((config.serving == nullptr) == (cfg.serving == nullptr));
+    oscar_assert(config.serving == nullptr ||
+                 config.serving->warmupRequests ==
+                     cfg.serving->warmupRequests);
+    oscar_assert(!cfg.offloadEnabled ||
+                 (config.topology.osCores == cfg.topology.osCores &&
+                  config.topology.numaNodes == cfg.topology.numaNodes &&
+                  config.topology.placement == cfg.topology.placement &&
+                  config.topology.dispatch == cfg.topology.dispatch));
+
+    cfg = config;
+    cfg.validate();
+    // The topology bakes the one-way migration latency into its
+    // distance maps, so rebuild it in place: same shape (asserted
+    // above), possibly a different latency. Reassignment keeps the
+    // object's address, so the queue set's topology pointer stays
+    // valid.
+    topo = Topology(cfg.userCores,
+                    cfg.offloadEnabled ? cfg.topology : TopologyConfig{},
+                    cfg.migrationOneWayCycles);
+    staticThreshold = StaticThreshold(cfg.staticThreshold);
+    controller = ThresholdController(controllerConfig(cfg));
+    for (Thread &thread : threads) {
+        thread.predictive = nullptr;
+        thread.predictor.reset();
+        thread.policy.reset();
+        buildPolicy(thread);
+    }
+
+    // Re-enter the measured region at the current cycle: same resets
+    // enterMeasurement() performs, so the forked run's measured
+    // region starts clean under the new policy.
+    measureStart = events.now();
+    mem->resetStats();
+    for (Core &core : cores)
+        core.resetStats();
+    queues.resetStats();
+    measuredRetiredAll = 0;
+    measuredOsRetired = 0;
+    finishedThreads = 0;
+    for (Thread &thread : threads) {
+        thread.measuredRetired = 0;
+        thread.quotaReached = false;
+        thread.finishCycle = 0;
+    }
+    invocationsMeasured = 0;
+    offloadedMeasured = 0;
+    migIntraMeasured = 0;
+    migInterMeasured = 0;
+    invocationLength.reset();
+    invocationLengthHist.reset();
+    for (InstCount &tail : osInstrAboveTail)
+        tail = 0;
+    invocationsByService.fill(0);
+    offloadsByService.fill(0);
+    thresholdTrajectory.clear();
+    if (cfg.dynamicThreshold) {
+        controller.begin(warmupPrivFraction);
+        thresholdTrajectory.push_back(
+            {measuredRetiredAll, controller.currentThreshold()});
+        nextEpochBoundary = measuredRetiredAll + controller.epochLength();
+        mem->resetWindow();
+        windowStartInstr = measuredRetiredAll;
+        windowStartCycle = events.now();
+    }
+    requestsCompletedMeasured = 0;
+    requestsOfferedMeasured = 0;
+    requestLatency = LatencyHistogram{};
+    requestDispatchWait.reset();
 }
 
 System::~System() = default;
@@ -178,7 +366,10 @@ System::buildPolicy(Thread &thread)
         return;
       case PolicyKind::DynamicInstrumentation:
       case PolicyKind::HardwarePredictor: {
-        thread.predictor = makePredictor(cfg.predictor);
+        // The snapshot copy pre-seeds the predictor with the
+        // original's trained clone; only build a cold one if absent.
+        if (thread.predictor == nullptr)
+            thread.predictor = makePredictor(cfg.predictor);
         const ThresholdProvider &provider =
             cfg.dynamicThreshold
                 ? static_cast<const ThresholdProvider &>(dynamicThreshold)
@@ -198,12 +389,55 @@ System::buildPolicy(Thread &thread)
 }
 
 void
+System::eventTrampoline(void *ctx, const EventPayload &payload,
+                        Cycle now)
+{
+    static_cast<System *>(ctx)->dispatchEvent(payload, now);
+}
+
+void
+System::dispatchEvent(const EventPayload &payload, Cycle now)
+{
+    switch (static_cast<EventKind>(payload.kind)) {
+      case EventKind::ThreadStep:
+        threadStep(payload.a);
+        return;
+      case EventKind::OsArrival:
+        osCoreArrival(payload.a);
+        return;
+      case EventKind::OsComplete:
+        osCoreComplete(payload.a, static_cast<InstCount>(payload.b));
+        return;
+      case EventKind::StealGo:
+        startOsExecution(payload.a, now,
+                         static_cast<unsigned>(payload.b));
+        return;
+      case EventKind::ArrivalDeliver: {
+        const Request request = pendingArrival;
+        // Commit the successor first: dispatch can complete requests
+        // transitively, and only one arrival is ever outstanding.
+        scheduleNextArrival();
+        dispatchRequest(dispatchTarget(request), request);
+        return;
+      }
+      case EventKind::ClientIssue: {
+        const Request request = requests->issueRequest(payload.a, now);
+        dispatchRequest(payload.a % static_cast<std::uint32_t>(
+                            threads.size()),
+                        request);
+        return;
+      }
+    }
+    oscar_panic("unknown event kind %u", payload.kind);
+}
+
+void
 System::scheduleThread(std::uint32_t tid, Cycle when)
 {
-    auto step = [this, tid](Cycle) { threadStep(tid); };
-    static_assert(sizeof(step) <= kEventCallbackBytes,
-                  "thread-step capture must stay inline");
-    events.schedule(when, std::move(step));
+    events.schedulePayload(
+        when, EventPayload{
+                  static_cast<std::uint32_t>(EventKind::ThreadStep),
+                  tid, 0});
 }
 
 InstCount
@@ -513,10 +747,10 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
     thread.pendingQueue = target;
     thread.spilled = false;
     thread.offloadArrival = now + decision.cost + one_way;
-    auto arrival = [this, tid](Cycle) { osCoreArrival(tid); };
-    static_assert(sizeof(arrival) <= kEventCallbackBytes,
-                  "OS-core arrival capture must stay inline");
-    events.schedule(thread.offloadArrival, std::move(arrival));
+    events.schedulePayload(
+        thread.offloadArrival,
+        EventPayload{static_cast<std::uint32_t>(EventKind::OsArrival),
+                     tid, 0});
 }
 
 void
@@ -556,10 +790,11 @@ System::osCoreArrival(std::uint32_t tid)
             }
             thread.pendingQueue = spill;
             thread.offloadArrival = now + transfer;
-            auto arrival = [this, tid](Cycle) { osCoreArrival(tid); };
-            static_assert(sizeof(arrival) <= kEventCallbackBytes,
-                          "spill re-arrival capture must stay inline");
-            events.schedule(thread.offloadArrival, std::move(arrival));
+            events.schedulePayload(
+                thread.offloadArrival,
+                EventPayload{
+                    static_cast<std::uint32_t>(EventKind::OsArrival),
+                    tid, 0});
             return;
         }
     }
@@ -596,14 +831,10 @@ System::startOsExecution(std::uint32_t tid, Cycle start, unsigned target)
     cores[os_core].cycles().os += result.cycles;
     cores[os_core].retireOs(length);
 
-    // The largest capture scheduled anywhere: kEventCallbackBytes is
-    // sized for exactly this lambda.
-    auto complete = [this, tid, length](Cycle) {
-        osCoreComplete(tid, length);
-    };
-    static_assert(sizeof(complete) <= kEventCallbackBytes,
-                  "OS-core completion capture must stay inline");
-    events.schedule(start + result.cycles, std::move(complete));
+    events.schedulePayload(
+        start + result.cycles,
+        EventPayload{static_cast<std::uint32_t>(EventKind::OsComplete),
+                     tid, static_cast<std::uint64_t>(length)});
 }
 
 void
@@ -689,12 +920,10 @@ System::maybeSteal(unsigned thief, Cycle now)
     const Cycle start = now + transfer;
     queues.queue(thief).adoptStolen(req, start);
     const std::uint32_t stolen_tid = req.threadId;
-    auto go = [this, stolen_tid, thief](Cycle when) {
-        startOsExecution(stolen_tid, when, thief);
-    };
-    static_assert(sizeof(go) <= kEventCallbackBytes,
-                  "steal hand-off capture must stay inline");
-    events.schedule(start, std::move(go));
+    events.schedulePayload(
+        start,
+        EventPayload{static_cast<std::uint32_t>(EventKind::StealGo),
+                     stolen_tid, static_cast<std::uint64_t>(thief)});
 }
 
 void
@@ -720,30 +949,20 @@ void
 System::scheduleNextArrival()
 {
     pendingArrival = requests->nextArrival();
-    auto deliver = [this](Cycle) {
-        const Request request = pendingArrival;
-        // Commit the successor first: dispatch can complete requests
-        // transitively, and only one arrival is ever outstanding.
-        scheduleNextArrival();
-        dispatchRequest(dispatchTarget(request), request);
-    };
-    static_assert(sizeof(deliver) <= kEventCallbackBytes,
-                  "arrival capture must stay inline");
-    events.schedule(pendingArrival.issued, std::move(deliver));
+    events.schedulePayload(
+        pendingArrival.issued,
+        EventPayload{
+            static_cast<std::uint32_t>(EventKind::ArrivalDeliver), 0,
+            0});
 }
 
 void
 System::scheduleClientIssue(std::uint32_t client, Cycle when)
 {
-    auto issue = [this, client](Cycle now) {
-        const Request request = requests->issueRequest(client, now);
-        dispatchRequest(client % static_cast<std::uint32_t>(
-                            threads.size()),
-                        request);
-    };
-    static_assert(sizeof(issue) <= kEventCallbackBytes,
-                  "client-issue capture must stay inline");
-    events.schedule(when, std::move(issue));
+    events.schedulePayload(
+        when, EventPayload{
+                  static_cast<std::uint32_t>(EventKind::ClientIssue),
+                  client, 0});
 }
 
 std::uint32_t
@@ -849,38 +1068,71 @@ System::completeRequest(std::uint32_t tid, Cycle now)
     }
 }
 
-SimResults
-System::runServing()
+void
+System::beginRun()
 {
-    // The stream's seed is decorrelated from the simulator's root so
-    // attaching the front-end perturbs no workload/interrupt stream.
-    requests = std::make_unique<RequestStream>(
-        *cfg.serving, cfg.seed ^ 0x5245515354ULL);
-    requestQueues.resize(threads.size());
-    for (Thread &thread : threads)
-        thread.idle = true;
+    oscar_assert(!started);
+    started = true;
 
-    if (cfg.serving->arrival == ArrivalModel::OpenLoop) {
-        scheduleNextArrival();
-    } else {
-        const auto clients =
-            cfg.serving->clientsPerCore *
-            static_cast<std::uint32_t>(threads.size());
-        for (std::uint32_t c = 0; c < clients; ++c)
-            scheduleClientIssue(c, requests->thinkTime());
+    if (cfg.serving) {
+        // The stream's seed is decorrelated from the simulator's root
+        // so attaching the front-end perturbs no workload/interrupt
+        // stream.
+        requests = std::make_unique<RequestStream>(
+            *cfg.serving, cfg.seed ^ 0x5245515354ULL);
+        requestQueues.resize(threads.size());
+        for (Thread &thread : threads)
+            thread.idle = true;
+
+        if (cfg.serving->arrival == ArrivalModel::OpenLoop) {
+            scheduleNextArrival();
+        } else {
+            const auto clients =
+                cfg.serving->clientsPerCore *
+                static_cast<std::uint32_t>(threads.size());
+            for (std::uint32_t c = 0; c < clients; ++c)
+                scheduleClientIssue(c, requests->thinkTime());
+        }
+        return;
     }
 
-    while (!servingDone) {
+    for (std::uint32_t t = 0; t < threads.size(); ++t)
+        scheduleThread(t, 0);
+}
+
+void
+System::runLoop(bool stop_at_measurement_start)
+{
+    if (servingMode()) {
+        while (!servingDone) {
+            if (stop_at_measurement_start && measuring)
+                return;
+            if (events.empty())
+                oscar_panic("event queue drained before the serving "
+                            "horizon (%llu of %llu measured requests)",
+                            static_cast<unsigned long long>(
+                                requestsCompletedMeasured),
+                            static_cast<unsigned long long>(
+                                cfg.serving->measureRequests));
+            events.runOne();
+        }
+        return;
+    }
+
+    while (finishedThreads < threads.size()) {
+        if (stop_at_measurement_start && measuring)
+            return;
         if (events.empty())
-            oscar_panic("event queue drained before the serving "
-                        "horizon (%llu of %llu measured requests)",
-                        static_cast<unsigned long long>(
-                            requestsCompletedMeasured),
-                        static_cast<unsigned long long>(
-                            cfg.serving->measureRequests));
+            oscar_panic("event queue drained before all threads finished");
         events.runOne();
     }
+}
 
+SimResults
+System::finishRun()
+{
+    // Forced final sample so the exported series always ends at the
+    // run's true end state (refreshing an equal-instant periodic row).
     if (metrics != nullptr) {
         metrics->takeSample(warmupRetired + measuredRetiredAll,
                             events.now(), /*refresh_equal=*/true);
@@ -891,25 +1143,26 @@ System::runServing()
 SimResults
 System::run()
 {
-    if (cfg.serving)
-        return runServing();
+    beginRun();
+    runLoop(/*stop_at_measurement_start=*/false);
+    return finishRun();
+}
 
-    for (std::uint32_t t = 0; t < threads.size(); ++t)
-        scheduleThread(t, 0);
+void
+System::runToMeasurementStart()
+{
+    beginRun();
+    runLoop(/*stop_at_measurement_start=*/true);
+    oscar_assert(measuring &&
+                 "run reached its horizon before measurement started");
+}
 
-    while (finishedThreads < threads.size()) {
-        if (events.empty())
-            oscar_panic("event queue drained before all threads finished");
-        events.runOne();
-    }
-
-    // Forced final sample so the exported series always ends at the
-    // run's true end state (refreshing an equal-instant periodic row).
-    if (metrics != nullptr) {
-        metrics->takeSample(warmupRetired + measuredRetiredAll,
-                            events.now(), /*refresh_equal=*/true);
-    }
-    return collectResults();
+SimResults
+System::resumeRun()
+{
+    oscar_assert(started && measuring);
+    runLoop(/*stop_at_measurement_start=*/false);
+    return finishRun();
 }
 
 SimResults

@@ -219,11 +219,53 @@ class System
     explicit System(const SystemConfig &config);
     ~System();
 
-    System(const System &) = delete;
     System &operator=(const System &) = delete;
 
     /** Run warmup + measurement and return the results. */
     SimResults run();
+
+    /**
+     * Run warmup only: advance to the first event boundary after the
+     * warmup-to-measurement transition, then stop. The system is then
+     * a warm snapshot positioned at measurement start — clone() it
+     * (cheaply, many times) and drive each clone to completion with
+     * resumeRun(). Works in both segment and serving mode.
+     */
+    void runToMeasurementStart();
+
+    /**
+     * Continue a system stopped at measurement start to completion
+     * and return the results. resumeRun() on a clone is exactly the
+     * continuation the original would have executed: results and
+     * traces are byte-identical to an uninterrupted run().
+     */
+    SimResults resumeRun();
+
+    /**
+     * Deep-copy the full simulation state: caches and directory, the
+     * event queue (payload events only — asserted), per-thread RNG
+     * streams, workload generator state, predictors, policy state,
+     * queue occupancy, and all phase/statistics machinery. Trace
+     * sinks and metric registries are NOT carried over; the clone
+     * starts uninstrumented (attach fresh ones if needed). The clone
+     * and the original then evolve independently and deterministically:
+     * resuming either produces the stream the original would have.
+     */
+    std::unique_ptr<System> clone() const;
+
+    /**
+     * Re-aim a warmed system (stopped at measurement start) at a
+     * different measurement configuration: adopts the new config,
+     * rebuilds every thread's policy objects (fresh predictors), reset
+     * dynamic-N controller, and re-enters the measured region at the
+     * current cycle with all measured statistics zeroed. Only fields
+     * that do not affect the warm prefix may differ (policy, predictor
+     * organization, thresholds, decision costs, measurement horizon);
+     * the prefix-defining fields are asserted equal. This is the fork
+     * step of the sweep fast path: one warm snapshot, K cheap clones,
+     * each reconfigured to its own policy point.
+     */
+    void reconfigureForMeasurement(const SystemConfig &config);
 
     /**
      * Attach an invocation-level trace recorder (see sim/trace.hh).
@@ -276,6 +318,9 @@ class System
     const ServiceProfile &collectedProfile() const { return profile; }
 
   private:
+    /** Snapshot copy backing clone(); see clone() for the contract. */
+    System(const System &other);
+
     struct Thread
     {
         std::uint32_t id = 0;
@@ -312,6 +357,30 @@ class System
         /** No request in service and none queued; a dispatch wakes. */
         bool idle = false;
     };
+
+    /**
+     * Discriminators of the payload events System schedules. Using
+     * plain-data payload events instead of capturing lambdas keeps the
+     * EventQueue snapshot-copyable (see EventQueue's copy ctor); the
+     * trampoline below decodes {kind, a, b} back into the same method
+     * calls the old captures made.
+     */
+    enum class EventKind : std::uint32_t
+    {
+        ThreadStep,     ///< a = tid
+        OsArrival,      ///< a = tid
+        OsComplete,     ///< a = tid, b = executed length
+        StealGo,        ///< a = stolen tid, b = thief queue
+        ArrivalDeliver, ///< (no operands; delivers pendingArrival)
+        ClientIssue,    ///< a = client
+    };
+
+    /** Static hook handed to EventQueue::setPayloadHandler. */
+    static void eventTrampoline(void *ctx, const EventPayload &payload,
+                                Cycle now);
+
+    /** Decode and execute one payload event. */
+    void dispatchEvent(const EventPayload &payload, Cycle now);
 
     /** Advance one thread by one workload token. */
     void threadStep(std::uint32_t tid);
@@ -353,12 +422,22 @@ class System
     /** Gather results after the run. */
     SimResults collectResults() const;
 
+    /** Seed the event queue with the run's initial events. */
+    void beginRun();
+
+    /**
+     * Drive the event loop to the run's horizon; with
+     * stop_at_measurement_start, return at the first event boundary
+     * inside the measured region instead.
+     */
+    void runLoop(bool stop_at_measurement_start);
+
+    /** Final metrics sample + result collection. */
+    SimResults finishRun();
+
     // --- Serving mode (see workload/request_stream.hh) ---------------
     /** True when the run is driven by the request front-end. */
     bool servingMode() const { return requests != nullptr; }
-
-    /** Serving-mode run loop: traffic in, request latencies out. */
-    SimResults runServing();
 
     /** Open loop: commit and schedule the next fleet arrival. */
     void scheduleNextArrival();
@@ -379,7 +458,13 @@ class System
     void completeRequest(std::uint32_t tid, Cycle now);
 
     SystemConfig cfg;
-    ServiceTable services;
+    /**
+     * Shared (immutable) between a system and its clones, so the
+     * OsService pointers inside in-flight OsInvocations — and the
+     * references held by workloads and the interrupt source — stay
+     * valid across snapshots.
+     */
+    std::shared_ptr<const ServiceTable> services;
     AddressSpace space;
     OsPools pools;
     std::unique_ptr<MemorySystem> mem;
@@ -414,6 +499,8 @@ class System
     std::uint64_t *mSpills = nullptr;
 
     // Phase machinery.
+    /** beginRun() has seeded the event queue. */
+    bool started = false;
     bool measuring = false;
     InstCount warmupRetired = 0;
     InstCount warmupOsRetired = 0;

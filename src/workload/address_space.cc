@@ -15,6 +15,7 @@ AddressRegion::AddressRegion(Addr base, const RegionParams &params_in)
       lines(std::max<std::uint64_t>(1,
                                     params_in.sizeBytes /
                                         params_in.lineBytes)),
+      lineBound(lines),
       zipf(std::max<std::uint64_t>(1, params_in.sizeBytes /
                                           params_in.lineBytes),
            params_in.zipfSkew)
@@ -44,6 +45,14 @@ AddressSpace::AddressSpace()
 {
 }
 
+AddressSpace::AddressSpace(const AddressSpace &other)
+    : cursor(other.cursor)
+{
+    regions.reserve(other.regions.size());
+    for (const auto &region : other.regions)
+        regions.push_back(std::make_unique<AddressRegion>(*region));
+}
+
 AddressRegion *
 AddressSpace::allocate(const RegionParams &params)
 {
@@ -61,6 +70,16 @@ AddressSpace::region(std::size_t index) const
 {
     oscar_assert(index < regions.size());
     return *regions[index];
+}
+
+RegionRemap::RegionRemap(const AddressSpace &from, const AddressSpace &to)
+{
+    oscar_assert(from.regions.size() == to.regions.size());
+    map.reserve(from.regions.size());
+    for (std::size_t i = 0; i < from.regions.size(); ++i) {
+        oscar_assert(from.regions[i]->base() == to.regions[i]->base());
+        map.emplace(from.regions[i].get(), to.regions[i].get());
+    }
 }
 
 } // namespace oscar

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/random.hh"
@@ -86,7 +87,8 @@ class AddressRegion
             // granularity) before advancing to the next line.
             if (++streamDwell >= params.sequentialRepeats) {
                 streamDwell = 0;
-                streamCursor = (streamCursor + 1) % lines;
+                if (++streamCursor == lines)
+                    streamCursor = 0;
             }
             line = streamCursor;
             remember(line);
@@ -121,8 +123,9 @@ class AddressRegion
     {
         // Spread popular ranks across cache sets with a multiplicative
         // permutation; without this, the hottest lines would be
-        // contiguous and artificially conflict-free.
-        return (rank * 0x9E3779B97F4A7C15ULL) % lines;
+        // contiguous and artificially conflict-free. lineBound.mod is
+        // exactly % lines, with the division hoisted to construction.
+        return lineBound.mod(rank * 0x9E3779B97F4A7C15ULL);
     }
 
     /** Remember a line in the reuse ring. */
@@ -132,7 +135,8 @@ class AddressRegion
         if (reuseRing.empty())
             return;
         reuseRing[ringCursor] = line;
-        ringCursor = (ringCursor + 1) % reuseRing.size();
+        if (++ringCursor == reuseRing.size())
+            ringCursor = 0;
         if (ringFilled < reuseRing.size())
             ++ringFilled;
     }
@@ -140,6 +144,8 @@ class AddressRegion
     Addr baseAddr;
     RegionParams params;
     std::uint64_t lines;
+    /** Division-free reduction modulo `lines` (see scatter). */
+    FastBound lineBound;
     ZipfDistribution zipf;
     std::uint64_t streamCursor = 0;
     unsigned streamDwell = 0;
@@ -156,6 +162,16 @@ class AddressSpace
 {
   public:
     AddressSpace();
+
+    /**
+     * Deep copy: every region is duplicated at the same base address
+     * with its full generator state (stream cursor, reuse ring), so a
+     * cloned system replays the exact reference stream the original
+     * would have produced. Region pointers into the copy differ from
+     * the original's; use RegionRemap to translate them.
+     */
+    AddressSpace(const AddressSpace &other);
+    AddressSpace &operator=(const AddressSpace &) = delete;
 
     /**
      * Carve a new region out of the simulated physical address space.
@@ -181,6 +197,39 @@ class AddressSpace
 
     Addr cursor;
     std::vector<std::unique_ptr<AddressRegion>> regions;
+
+    friend class RegionRemap;
+};
+
+/**
+ * Pointer translation between an AddressSpace and its deep copy.
+ *
+ * Workloads and segment profiles hold raw AddressRegion pointers into
+ * the AddressSpace that allocated them. When a system is cloned, those
+ * pointers must be rebound to the copied regions; regions are matched
+ * by allocation order, which the deep copy preserves.
+ */
+class RegionRemap
+{
+  public:
+    /** Build the old-region -> new-region map; `to` must be a deep
+     *  copy of `from` (asserted via count and base addresses). */
+    RegionRemap(const AddressSpace &from, const AddressSpace &to);
+
+    /** Translate a region pointer; null maps to null. */
+    AddressRegion *
+    operator()(const AddressRegion *region) const
+    {
+        if (region == nullptr)
+            return nullptr;
+        auto it = map.find(region);
+        oscar_assert(it != map.end() &&
+                     "region does not belong to the source space");
+        return it->second;
+    }
+
+  private:
+    std::unordered_map<const AddressRegion *, AddressRegion *> map;
 };
 
 } // namespace oscar

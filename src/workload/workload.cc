@@ -52,6 +52,18 @@ OsPools::build(AddressSpace &space, const ServiceTable &table,
     return pools;
 }
 
+OsPools
+OsPools::remapped(const RegionRemap &remap) const
+{
+    OsPools pools;
+    for (std::size_t i = 0; i < kernelData.size(); ++i)
+        pools.kernelData[i] = remap(kernelData[i]);
+    pools.sharedIo = remap(sharedIo);
+    for (std::size_t i = 0; i < serviceCode.size(); ++i)
+        pools.serviceCode[i] = remap(serviceCode[i]);
+    return pools;
+}
+
 Workload::Workload(const WorkloadSpec &spec, const ServiceTable &table,
                    AddressSpace &space, const OsPools &pools,
                    unsigned lineBytes)
@@ -165,6 +177,34 @@ Workload::Workload(const WorkloadSpec &spec, const ServiceTable &table,
         argAliases.push_back(std::make_unique<AliasTable>(arg_weights));
     }
     mixAlias = std::make_unique<AliasTable>(mix_weights);
+}
+
+Workload::Workload(const Workload &other, const ServiceTable &table,
+                   const RegionRemap &remap)
+    : spec_(other.spec_), services(table),
+      userCode(remap(other.userCode)), userData(remap(other.userData)),
+      userStack(remap(other.userStack)), userIo(remap(other.userIo)),
+      osPools(other.osPools.remapped(remap)),
+      burstPending(other.burstPending)
+{
+    userSegment = std::make_unique<SegmentProfile>(*other.userSegment,
+                                                   remap);
+    for (std::size_t i = 0; i < serviceSegments.size(); ++i) {
+        if (other.serviceSegments[i] != nullptr) {
+            serviceSegments[i] = std::make_unique<SegmentProfile>(
+                *other.serviceSegments[i], remap);
+        }
+    }
+    mixAlias = std::make_unique<AliasTable>(*other.mixAlias);
+    argAliases.reserve(other.argAliases.size());
+    for (const auto &alias : other.argAliases)
+        argAliases.push_back(std::make_unique<AliasTable>(*alias));
+}
+
+std::unique_ptr<Workload>
+Workload::clone(const ServiceTable &table, const RegionRemap &remap) const
+{
+    return std::unique_ptr<Workload>(new Workload(*this, table, remap));
 }
 
 const SegmentProfile &

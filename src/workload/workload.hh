@@ -157,6 +157,9 @@ struct OsPools
     /** Allocate the pools for a spec. */
     static OsPools build(AddressSpace &space, const ServiceTable &table,
                          const WorkloadSpec &spec);
+
+    /** Pool handles translated into a cloned address space. */
+    OsPools remapped(const RegionRemap &remap) const;
 };
 
 /**
@@ -187,6 +190,19 @@ class Workload
      */
     WorkloadToken next(Rng &rng, ArchState &arch);
 
+    /**
+     * Duplicate this workload instance for a system snapshot: same
+     * spec, same generator state (burst/OS-call alternation), with
+     * every region pointer translated into the cloned address space.
+     * Given the same Rng/ArchState stream, the clone emits exactly the
+     * token sequence this instance would have emitted.
+     *
+     * @param table The clone's service table (same contents).
+     * @param remap Translation into the clone's address space.
+     */
+    std::unique_ptr<Workload> clone(const ServiceTable &table,
+                                    const RegionRemap &remap) const;
+
     /** Memory profile of user-mode bursts. */
     const SegmentProfile &userProfile() const { return *userSegment; }
 
@@ -200,6 +216,10 @@ class Workload
     const std::string &name() const { return spec_.name; }
 
   private:
+    /** Remapping copy used by clone(). */
+    Workload(const Workload &other, const ServiceTable &table,
+             const RegionRemap &remap);
+
     /** Build an OS invocation for the mix entry at the given index. */
     OsInvocation makeInvocation(std::size_t entry_index, Rng &rng,
                                 ArchState &arch);

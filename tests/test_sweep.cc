@@ -86,7 +86,9 @@ TEST(SweepRunner, SequentialMatchesDirectExecution)
     point.label = "direct";
     point.config = quickConfig(WorkloadKind::Apache, 100, 1000);
 
-    ParallelSweepRunner runner({1});
+    // The fresh (non-forked) path must match a direct run exactly;
+    // fork-mode equivalences are covered by the snapshot tests.
+    ParallelSweepRunner runner({1, /*fork=*/false});
     const auto results = runner.run({point});
     ASSERT_EQ(results.size(), 1u);
     ASSERT_TRUE(results[0].ok) << results[0].error;
