@@ -16,8 +16,9 @@
  * request percentiles, pooled OS-queue wait percentiles, and the
  * steal/spill traffic.
  *
- * Seed replicas fold through SweepAggregate: request latencies and
- * per-queue wait histograms merge sample-exact, so printed
+ * Each cell is one sweep point whose seed replicas shard across the
+ * worker pool (SweepPoint::replicaSeeds) and fold sample-exact:
+ * request latencies and per-queue wait histograms merge, so printed
  * percentiles are those of the union distribution. The
  * oscar.sweep.v1 report is byte-identical at any --jobs count.
  *
@@ -152,23 +153,24 @@ main(int argc, char **argv)
                 "user cores, 2 NUMA nodes, open-loop) ===\n\n",
                 user_cores);
 
+    // One point per (load, scenario) cell; seed replicas shard across
+    // the worker pool inside the point and fold into one merged
+    // result (see SweepPoint::replicaSeeds).
     std::vector<SweepPoint> points;
     for (const Load &load : loads) {
         for (const Scenario &scenario : scenarios) {
-            for (const std::uint64_t seed : seeds) {
-                SweepPoint point;
-                point.config = ExperimentRunner::hardwareConfig(
-                    workload, static_n, migration, seed);
-                point.config.userCores = user_cores;
-                point.config.topology = scenario.topology;
-                point.config.serving =
-                    makeServing(load.meanInterarrival, tiny);
-                point.normalize = false;
-                point.label = std::string(scenario.name) + "/" +
-                              load.name +
-                              "/seed=" + std::to_string(seed);
-                points.push_back(std::move(point));
-            }
+            SweepPoint point;
+            point.config = ExperimentRunner::hardwareConfig(
+                workload, static_n, migration, seeds.front());
+            point.config.userCores = user_cores;
+            point.config.topology = scenario.topology;
+            point.config.serving =
+                makeServing(load.meanInterarrival, tiny);
+            point.normalize = false;
+            point.replicaSeeds = seeds;
+            point.label =
+                std::string(scenario.name) + "/" + load.name;
+            points.push_back(std::move(point));
         }
     }
     applySweepTracePaths(points, opts.tracePath);
@@ -184,8 +186,9 @@ main(int argc, char **argv)
         }
     }
 
-    // Fold seed replicas: one aggregate per (load, scenario) cell;
-    // every percentile is over the merged sample population.
+    // Each point already pooled its seed replicas; every percentile
+    // is over the merged sample population. The queue-wait column
+    // additionally pools the per-queue histograms of the cell.
     std::size_t index = 0;
     for (const Load &load : loads) {
         std::printf("-- %s load (mean interarrival %.0f cy) --\n",
@@ -193,20 +196,21 @@ main(int argc, char **argv)
         TextTable table({"topology", "req/kcy", "p50", "p95", "p99",
                          "p999", "qwait p99", "steals", "spills"});
         for (const Scenario &scenario : scenarios) {
-            SweepAggregate agg;
-            for (std::size_t s = 0; s < seeds.size(); ++s)
-                agg.add(results[index++]);
-            const LatencyHistogram &lat = agg.requestLatency;
+            const SimResults &r = results[index++].results;
+            const LatencyHistogram &lat = r.requestLatency;
+            LatencyHistogram qwait;
+            for (const OsQueueResult &q : r.osQueues)
+                qwait.merge(q.wait);
             table.addRow({
                 scenario.name,
-                formatDouble(agg.requestThroughput.mean(), 4),
+                formatDouble(r.requestThroughput, 4),
                 std::to_string(lat.quantile(0.50)),
                 std::to_string(lat.quantile(0.95)),
                 std::to_string(lat.quantile(0.99)),
                 std::to_string(lat.quantile(0.999)),
-                std::to_string(agg.queueWait.quantile(0.99)),
-                std::to_string(agg.steals),
-                std::to_string(agg.spills),
+                std::to_string(qwait.quantile(0.99)),
+                std::to_string(r.steals),
+                std::to_string(r.spills),
             });
         }
         std::printf("%s\n", table.render().c_str());

@@ -42,15 +42,22 @@
  * Usage:
  *   perf_wallclock [--reps N] [--warmup N] [--json PATH]
  *                  [--compare BASELINE] [--summary PATH]
- *                  [--fail-over FACTOR] [--quick]
+ *                  [--fail-over FACTOR] [--only NAMES] [--quick]
  *
- * `--compare` prints a per-scenario table (median ± MAD, percent
- * delta, speedup) against a previous report, e.g. the committed
- * BENCH_perf.json; `--summary` appends the same table as markdown
- * (for the CI job summary). The run stays advisory unless
- * `--fail-over F` is given, in which case it exits nonzero when any
- * scenario's median exceeds F times the baseline's — CI uses 2.0, so
- * only gross regressions gate while shared-runner noise does not.
+ * `--only a,b` runs just the named scenarios (for iterating on one
+ * hot path without paying for the full suite). `--compare` prints a
+ * per-scenario table (median ± MAD, percent delta, speedup) against a
+ * previous report, e.g. the committed BENCH_perf.json; `--summary`
+ * appends the same table as markdown (for the CI job summary). The
+ * run stays advisory unless `--fail-over F` is given, in which case
+ * it exits nonzero when any scenario's median regresses past F times
+ * the baseline's — CI uses 2.0, so only gross regressions gate while
+ * shared-runner noise does not. The gate is MAD-aware: the threshold
+ * stretches by the relative median-absolute-deviation of whichever
+ * side is noisier, so a scenario whose run-to-run spread is 4 % of
+ * its median (numa_tiny on a shared box) cannot false-alarm on spread
+ * alone; scenarios known to be high-variance also run extra reps so
+ * their median itself is steadier.
  */
 
 #include <algorithm>
@@ -66,6 +73,7 @@
 #include <vector>
 
 #include "core/run_length_predictor.hh"
+#include "cpu/exec_engine.hh"
 #include "sim/json.hh"
 #include "sim/metrics.hh"
 #include "sim/random.hh"
@@ -96,10 +104,23 @@ struct PerfOptions
     std::string summaryPath;
     /**
      * When > 0, exit nonzero if any scenario's median exceeds the
-     * baseline's by more than this factor. CI passes 2.0: a >2x
-     * slowdown is a real regression even on a noisy shared runner.
+     * baseline's by more than this factor (stretched by the relative
+     * MAD of the noisier side; see regressionThreshold). CI passes
+     * 2.0: a >2x slowdown is a real regression even on a noisy shared
+     * runner.
      */
     double failOver = 0.0;
+    /** When non-empty, run only the scenarios named here. */
+    std::vector<std::string> only;
+
+    /** True when `name` should run under the --only filter. */
+    bool
+    selected(const std::string &name) const
+    {
+        if (only.empty())
+            return true;
+        return std::find(only.begin(), only.end(), name) != only.end();
+    }
 };
 
 /** One timed scenario's outcome. */
@@ -146,10 +167,18 @@ timeOnce(F &&body)
         .count();
 }
 
-/** Run warmup + timed reps of body() and reduce to a ScenarioResult. */
+/**
+ * Run warmup + timed reps of body() and reduce to a ScenarioResult.
+ *
+ * `rep_boost` multiplies the configured rep count — high-variance
+ * scenarios (request-serving grids, whose wall time depends on how
+ * the host scheduler slices their many short simulations) pass 2 so
+ * their median stabilizes instead of false-alarming the CI gate.
+ */
 template <typename F>
 ScenarioResult
-measure(const std::string &name, const PerfOptions &opts, F &&body)
+measure(const std::string &name, const PerfOptions &opts, F &&body,
+        int rep_boost = 1)
 {
     std::printf("  %-22s", name.c_str());
     std::fflush(stdout);
@@ -157,12 +186,13 @@ measure(const std::string &name, const PerfOptions &opts, F &&body)
         body();
     ScenarioResult result;
     result.name = name;
-    for (int i = 0; i < opts.reps; ++i)
+    const int reps = opts.reps * std::max(1, rep_boost);
+    for (int i = 0; i < reps; ++i)
         result.runsMs.push_back(timeOnce(body));
     result.medianMs = median(result.runsMs);
     result.madMs = medianAbsDeviation(result.runsMs, result.medianMs);
     std::printf("median %9.2f ms   mad %6.2f ms   (%d reps)\n",
-                result.medianMs, result.madMs, opts.reps);
+                result.medianMs, result.madMs, reps);
     return result;
 }
 
@@ -315,7 +345,7 @@ runServingTinyScenario(const PerfOptions &opts)
             all_ok = all_ok && point.ok;
             requests += point.results.requestsCompleted;
         }
-    });
+    }, /*rep_boost=*/2);
     result.meta.emplace_back("points", std::to_string(points.size()));
     result.meta.emplace_back("requests", std::to_string(requests));
     result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
@@ -384,7 +414,7 @@ runNumaTinyScenario(const PerfOptions &opts)
             all_ok = all_ok && point.ok;
             requests += point.results.requestsCompleted;
         }
-    });
+    }, /*rep_boost=*/2);
     result.meta.emplace_back("points", std::to_string(points.size()));
     result.meta.emplace_back("requests", std::to_string(requests));
     result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
@@ -511,6 +541,59 @@ runPredictorScenario(const std::string &name, const PerfOptions &opts,
 }
 
 // ---------------------------------------------------------------------
+// Scenario: batched execution kernel microbenchmark
+
+/**
+ * Times ExecEngine::execute + MemorySystem::accessBatch alone — no
+ * scheduler, policy, events or serving layer — on one core with an
+ * apache-user-like segment shape (hot code, a Zipf heap, a small
+ * stack). This is the measured-region hot loop of every figure
+ * scenario distilled to the two components the batched kernel
+ * rebuilt, so kernel-level regressions show up here undiluted.
+ */
+ScenarioResult
+runExecHotScenario(const PerfOptions &opts)
+{
+    constexpr InstCount kInstructionsPerRep = 4'000'000;
+
+    AddressSpace space;
+    RegionParams code{"code", 256 * 1024, 1.25, 0.5, 64, 0.80, 12, 8};
+    RegionParams heap{"heap", 4 * 1024 * 1024, 0.9, 0.1, 64, 0.70,
+                      48, 8};
+    RegionParams stack{"stack", 64 * 1024, 1.1, 0.2, 64, 0.80, 8, 8};
+    AddressRegion *code_r = space.allocate(code);
+    AddressRegion *heap_r = space.allocate(heap);
+    AddressRegion *stack_r = space.allocate(stack);
+
+    SegmentProfile profile(code_r, /*instr_per_data=*/4.0,
+                           /*instr_per_fetch=*/8.0);
+    profile.addData(heap_r, 3.0, 0.3);
+    profile.addData(stack_r, 1.0, 0.5);
+    profile.finalize();
+
+    MemorySystem mem(1, HierarchyGeometry{}, MemTimings{});
+    Rng rng(2024);
+    std::uint64_t refs = 0;
+    Cycle cycles = 0;
+    // The RNG stream and caches carry across reps: after the first
+    // rep (and the untimed warmups) every rep measures the
+    // steady-state kernel, not cold-cache fill.
+    ScenarioResult result = measure("exec_hot", opts, [&] {
+        const ExecResult r =
+            ExecEngine::execute(mem, 0, ExecContext::User,
+                                kInstructionsPerRep, profile, rng);
+        refs = r.dataAccesses + r.fetches;
+        cycles = r.cycles;
+    });
+    result.meta.emplace_back("instructions",
+                             std::to_string(kInstructionsPerRep));
+    result.meta.emplace_back("refs", std::to_string(refs));
+    result.meta.emplace_back("checksum",
+                             std::to_string(cycles & 0xFFFF));
+    return result;
+}
+
+// ---------------------------------------------------------------------
 // Report serialization and comparison
 
 std::string
@@ -622,8 +705,18 @@ printComparison(const std::vector<ScenarioResult> &scenarios,
         double base_mad = 0.0;
         (void)extractField(doc, s.name, "mad_ms", base_mad);
         const double delta_pct = 100.0 * (s.medianMs - base) / base;
+        // MAD-aware gate: stretch the allowed factor by the relative
+        // spread of whichever side is noisier. A scenario with a 4 %
+        // relative MAD gets a 2.0 -> ~2.24 threshold — still far below
+        // any real regression, but outside what scheduling jitter on a
+        // shared runner can produce.
+        const double rel_mad =
+            std::max(base_mad / base,
+                     s.medianMs > 0.0 ? s.madMs / s.medianMs : 0.0);
+        const double threshold =
+            base * opts.failOver * (1.0 + 3.0 * rel_mad);
         const bool regressed =
-            opts.failOver > 0.0 && s.medianMs > base * opts.failOver;
+            opts.failOver > 0.0 && s.medianMs > threshold;
         ok = ok && !regressed;
         const std::string delta =
             (delta_pct >= 0.0 ? "+" : "") + formatDouble(delta_pct, 1) +
@@ -686,6 +779,12 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--fail-over") {
             opts.failOver = std::strtod(
                 next("--fail-over").c_str(), nullptr);
+        } else if (arg == "--only") {
+            std::stringstream names(next("--only"));
+            std::string name;
+            while (std::getline(names, name, ','))
+                if (!name.empty())
+                    opts.only.push_back(name);
         } else if (arg == "--quick") {
             opts.reps = 3;
             opts.warmup = 0;
@@ -694,7 +793,8 @@ parseArgs(int argc, char **argv)
                 "usage: perf_wallclock [--reps N] [--warmup N] "
                 "[--json PATH] [--compare BASELINE] "
                 "[--trace-out PATH] [--metrics-out PATH] "
-                "[--summary PATH] [--fail-over FACTOR] [--quick]\n");
+                "[--summary PATH] [--fail-over FACTOR] "
+                "[--only NAME[,NAME...]] [--quick]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -716,15 +816,25 @@ main(int argc, char **argv)
                 kPerfSchema);
 
     std::vector<ScenarioResult> scenarios;
-    scenarios.push_back(runFig5Scenario(opts));
-    scenarios.push_back(runServingTinyScenario(opts));
-    scenarios.push_back(runNumaTinyScenario(opts));
-    scenarios.push_back(runTraceScenario(opts));
-    scenarios.push_back(runMetricsScenario(opts));
-    scenarios.push_back(runPredictorScenario(
-        "predictor_cam_hot", opts, zipfAStateStream(4096, 80)));
-    scenarios.push_back(runPredictorScenario(
-        "predictor_cam_churn", opts, uniformAStateStream(4096, 4096)));
+    if (opts.selected("fig5_policy_points"))
+        scenarios.push_back(runFig5Scenario(opts));
+    if (opts.selected("serving_tiny"))
+        scenarios.push_back(runServingTinyScenario(opts));
+    if (opts.selected("numa_tiny"))
+        scenarios.push_back(runNumaTinyScenario(opts));
+    if (opts.selected("exec_hot"))
+        scenarios.push_back(runExecHotScenario(opts));
+    if (opts.selected("trace_stream"))
+        scenarios.push_back(runTraceScenario(opts));
+    if (opts.selected("metrics_stream"))
+        scenarios.push_back(runMetricsScenario(opts));
+    if (opts.selected("predictor_cam_hot"))
+        scenarios.push_back(runPredictorScenario(
+            "predictor_cam_hot", opts, zipfAStateStream(4096, 80)));
+    if (opts.selected("predictor_cam_churn"))
+        scenarios.push_back(runPredictorScenario(
+            "predictor_cam_churn", opts,
+            uniformAStateStream(4096, 4096)));
 
     if (!opts.jsonPath.empty()) {
         std::ofstream out(opts.jsonPath,

@@ -11,12 +11,13 @@
  * what operators actually provision for: p50/p95/p99/p999 end-to-end
  * request latency, alongside request throughput.
  *
- * Per (policy, migration, load) the seed replicas are folded with
- * SweepAggregate, whose LatencyHistogram::merge pools the *samples* —
- * the printed tail percentiles are those of the union distribution,
- * not averages of per-seed percentiles. The per-point detail
- * (including the percentile series) lands in the oscar.sweep.v1
- * report, byte-identical at any --jobs count.
+ * Each (policy, migration, load) cell is one sweep point whose seed
+ * replicas shard across the worker pool (SweepPoint::replicaSeeds)
+ * and fold through mergeReplicaResults, whose LatencyHistogram::merge
+ * pools the *samples* — the printed tail percentiles are those of the
+ * union distribution, not averages of per-seed percentiles. The
+ * per-cell detail (including the percentile series) lands in the
+ * oscar.sweep.v1 report, byte-identical at any --jobs count.
  *
  * Flags: the shared sweep options (see BenchOptions) plus --tiny,
  * which shrinks the request horizon for CI smoke runs.
@@ -112,39 +113,39 @@ main(int argc, char **argv)
 
     const auto profile = ExperimentRunner::profileServices(workload);
 
+    // One point per (load, migration, policy) cell; the seed replicas
+    // shard across the worker pool inside the point and fold into one
+    // merged result (see SweepPoint::replicaSeeds), so the pooled
+    // percentiles below come straight out of the sweep.
     std::vector<SweepPoint> points;
     for (const Load &load : loads) {
         for (const Cycle migration : migrations) {
             for (const PolicySetup &policy : policies) {
-                for (const std::uint64_t seed : seeds) {
-                    SweepPoint point;
-                    switch (policy.kind) {
-                      case PolicyKind::StaticInstrumentation:
-                        point.config =
-                            ExperimentRunner::staticInstrConfig(
-                                workload, migration, profile, seed);
-                        break;
-                      case PolicyKind::DynamicInstrumentation:
-                        point.config =
-                            ExperimentRunner::dynamicInstrConfig(
-                                workload, migration, 100, seed);
-                        break;
-                      default:
-                        point.config =
-                            ExperimentRunner::hardwareDynamicConfig(
-                                workload, migration, seed);
-                        break;
-                    }
-                    point.config.userCores = user_cores;
-                    point.config.serving =
-                        makeServing(load.meanInterarrival, tiny);
-                    point.normalize = false;
-                    point.label = std::string(policy.name) + "/" +
-                                  load.name + "/lat=" +
-                                  std::to_string(migration) +
-                                  "/seed=" + std::to_string(seed);
-                    points.push_back(std::move(point));
+                SweepPoint point;
+                switch (policy.kind) {
+                  case PolicyKind::StaticInstrumentation:
+                    point.config = ExperimentRunner::staticInstrConfig(
+                        workload, migration, profile, seeds.front());
+                    break;
+                  case PolicyKind::DynamicInstrumentation:
+                    point.config = ExperimentRunner::dynamicInstrConfig(
+                        workload, migration, 100, seeds.front());
+                    break;
+                  default:
+                    point.config =
+                        ExperimentRunner::hardwareDynamicConfig(
+                            workload, migration, seeds.front());
+                    break;
                 }
+                point.config.userCores = user_cores;
+                point.config.serving =
+                    makeServing(load.meanInterarrival, tiny);
+                point.normalize = false;
+                point.replicaSeeds = seeds;
+                point.label = std::string(policy.name) + "/" +
+                              load.name + "/lat=" +
+                              std::to_string(migration);
+                points.push_back(std::move(point));
             }
         }
     }
@@ -161,8 +162,9 @@ main(int argc, char **argv)
         }
     }
 
-    // Fold seed replicas: one aggregate per (load, migration, policy),
-    // percentiles over the merged sample population.
+    // Each point already pooled its seed replicas: percentiles are
+    // over the merged sample population (LatencyHistogram::merge),
+    // not averages of per-seed percentiles.
     std::size_t index = 0;
     for (const Load &load : loads) {
         for (const Cycle migration : migrations) {
@@ -173,14 +175,12 @@ main(int argc, char **argv)
             TextTable table({"policy", "req/kcy", "offload%", "p50",
                              "p95", "p99", "p999", "max"});
             for (const PolicySetup &policy : policies) {
-                SweepAggregate agg;
-                for (std::size_t s = 0; s < seeds.size(); ++s)
-                    agg.add(results[index++]);
-                const LatencyHistogram &lat = agg.requestLatency;
+                const SimResults &r = results[index++].results;
+                const LatencyHistogram &lat = r.requestLatency;
                 table.addRow({
                     policy.name,
-                    formatDouble(agg.requestThroughput.mean(), 4),
-                    formatPercent(agg.offload.ratio(), 1),
+                    formatDouble(r.requestThroughput, 4),
+                    formatPercent(r.offloadRatio.ratio(), 1),
                     std::to_string(lat.quantile(0.50)),
                     std::to_string(lat.quantile(0.95)),
                     std::to_string(lat.quantile(0.99)),

@@ -7,6 +7,12 @@
 
 #include "sim/logging.hh"
 
+#ifdef OSCAR_TSC_PROFILE
+#include <atomic>
+#include <cstdio>
+#include <x86intrin.h>
+#endif
+
 namespace oscar
 {
 
@@ -42,7 +48,8 @@ SegmentProfile::addData(AddressRegion *region, double weight,
     oscar_assert(region != nullptr);
     oscar_assert(weight >= 0.0);
     oscar_assert(write_fraction >= 0.0 && write_fraction <= 1.0);
-    data.push_back(RegionAccess{region, weight, write_fraction});
+    data.push_back(RegionAccess{region, weight, write_fraction,
+                                BoolThreshold(write_fraction)});
     alias.reset();
 }
 
@@ -58,10 +65,153 @@ SegmentProfile::finalize()
     alias = std::make_unique<AliasTable>(weights);
 }
 
+#ifdef OSCAR_TSC_PROFILE
+namespace
+{
+std::atomic<unsigned long long> g_execTsc{0}, g_accessTsc{0},
+    g_refs{0}, g_calls{0};
+struct TscDump
+{
+    ~TscDump()
+    {
+        std::fprintf(stderr,
+                     "[tsc] calls=%llu refs=%llu execTsc=%llu "
+                     "accessTsc=%llu\n",
+                     g_calls.load(), g_refs.load(), g_execTsc.load(),
+                     g_accessTsc.load());
+    }
+} g_tscDump;
+} // namespace
+#endif
+
+namespace
+{
+
+/**
+ * References per accessBatch block. 4096 packed words are 32 KiB —
+ * resident in host L1/L2 while a block is generated and then probed —
+ * and large enough that per-block costs (buffer bookkeeping, stat
+ * flushes) vanish against the per-reference work.
+ */
+constexpr std::size_t kBatchRefs = 4096;
+
+/**
+ * Per-thread block buffer. execute() is a leaf — nothing below it
+ * re-enters the engine — so one buffer per thread suffices, and
+ * parallel sweep workers never share it.
+ */
+std::vector<std::uint64_t> &
+batchBuffer()
+{
+    thread_local std::vector<std::uint64_t> buffer;
+    return buffer;
+}
+
+thread_local bool referenceModeFlag = false;
+
+} // namespace
+
+void
+ExecEngine::setReferenceMode(bool on)
+{
+    referenceModeFlag = on;
+}
+
+bool
+ExecEngine::referenceMode()
+{
+    return referenceModeFlag;
+}
+
 ExecResult
 ExecEngine::execute(MemorySystem &mem, CoreId core, ExecContext ctx,
                     InstCount instructions, const SegmentProfile &profile,
                     Rng &rng)
+{
+    if (referenceModeFlag) {
+        return executeReference(mem, core, ctx, instructions, profile,
+                                rng);
+    }
+    oscar_assert(profile.finalized());
+    ExecResult result;
+    if (instructions == 0)
+        return result;
+
+    const FastBound &burst_bound = profile.burstBound();
+    double fetch_accum = 0.0;
+    const double fetch_rate = 1.0 / profile.instrPerFetch();
+    AddressRegion *const code = profile.code();
+
+    std::vector<std::uint64_t> &refs = batchBuffer();
+    refs.resize(kBatchRefs);
+    std::uint64_t *const block = refs.data();
+    std::uint64_t *const block_end = block + kBatchRefs;
+    std::uint64_t *out = block;
+
+    const auto flush = [&] {
+#ifdef OSCAR_TSC_PROFILE
+        const unsigned long long t0 = __rdtsc();
+#endif
+        result.cycles += mem.accessBatch(
+            core, ctx, block, static_cast<std::size_t>(out - block));
+#ifdef OSCAR_TSC_PROFILE
+        g_accessTsc += __rdtsc() - t0;
+        g_refs += static_cast<unsigned long long>(out - block);
+#endif
+        out = block;
+    };
+#ifdef OSCAR_TSC_PROFILE
+    const unsigned long long tExec0 = __rdtsc();
+    ++g_calls;
+#endif
+
+    // Same loop structure and — critically — the same RNG draw
+    // sequence as executeReference(); the only difference is that
+    // references are packed into a block instead of probed one at a
+    // time. A block may flush mid-burst: probing is side-effect-free
+    // with respect to generation, so only the block boundary moves.
+    InstCount remaining = instructions;
+    while (remaining > 0) {
+        InstCount burst = 1 + rng.nextBoundedFast(burst_bound);
+        if (burst > remaining)
+            burst = remaining;
+        result.cycles += burst;
+        remaining -= burst;
+
+        fetch_accum += static_cast<double>(burst) * fetch_rate;
+        while (fetch_accum >= 1.0) {
+            fetch_accum -= 1.0;
+            *out++ = PackedRef::make(code->nextAccess(rng),
+                                     PackedRef::kInstrFetch);
+            ++result.fetches;
+            if (out == block_end)
+                flush();
+        }
+
+        if (remaining == 0 || !profile.hasData())
+            continue;
+
+        const RegionAccess &target = profile.sampleData(rng);
+        const bool is_write = rng.nextBoolFast(target.writeThresh);
+        *out++ = PackedRef::make(target.region->nextAccess(rng),
+                                 is_write ? PackedRef::kWrite
+                                          : PackedRef::kRead);
+        ++result.dataAccesses;
+        if (out == block_end)
+            flush();
+    }
+    if (out != block)
+        flush();
+#ifdef OSCAR_TSC_PROFILE
+    g_execTsc += __rdtsc() - tExec0;
+#endif
+    return result;
+}
+
+ExecResult
+ExecEngine::executeReference(MemorySystem &mem, CoreId core,
+                             ExecContext ctx, InstCount instructions,
+                             const SegmentProfile &profile, Rng &rng)
 {
     oscar_assert(profile.finalized());
     ExecResult result;

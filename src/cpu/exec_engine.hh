@@ -35,6 +35,12 @@ struct RegionAccess
     double weight = 1.0;
     /** Fraction of references to this region that are writes. */
     double writeFraction = 0.0;
+    /**
+     * writeFraction as a precomputed integer Bernoulli threshold —
+     * decision-identical to nextBool(writeFraction), without the
+     * per-reference integer-to-double conversion.
+     */
+    BoolThreshold writeThresh{0.0};
 };
 
 /**
@@ -118,12 +124,26 @@ struct ExecResult
 /**
  * Stateless executor: charges a segment's instructions and memory
  * references against a core's hierarchy.
+ *
+ * Two implementations exist. execute() is the production batched
+ * kernel: it generates blocks of packed references from the RNG, then
+ * runs each block through MemorySystem::accessBatch. executeReference()
+ * is the original one-reference-at-a-time loop, kept verbatim as the
+ * behavioural reference (the pattern reference_cache.hh /
+ * reference_directory.hh established). The two are interchangeable —
+ * identical ExecResult, RNG stream position, memory/directory state
+ * and statistics — because reference *generation* never depends on
+ * access outcomes: every RNG draw in the loop is conditioned only on
+ * the profile and the regions' own generator state, so hoisting
+ * generation ahead of the probes reorders nothing observable. The
+ * randomized differential test in tests/test_exec_batch.cc holds the
+ * two paths together.
  */
 class ExecEngine
 {
   public:
     /**
-     * Execute a segment.
+     * Execute a segment (batched kernel).
      *
      * @param mem Coherent hierarchy to charge references against.
      * @param core Core the segment runs on.
@@ -135,6 +155,24 @@ class ExecEngine
     static ExecResult execute(MemorySystem &mem, CoreId core,
                               ExecContext ctx, InstCount instructions,
                               const SegmentProfile &profile, Rng &rng);
+
+    /** Execute a segment through the scalar reference loop. */
+    static ExecResult executeReference(MemorySystem &mem, CoreId core,
+                                       ExecContext ctx,
+                                       InstCount instructions,
+                                       const SegmentProfile &profile,
+                                       Rng &rng);
+
+    /**
+     * Route execute() through the scalar reference loop on this thread
+     * (differential tests drive whole systems down both paths without
+     * plumbing a flag through every layer). Thread-local so parallel
+     * sweep workers are unaffected.
+     */
+    static void setReferenceMode(bool on);
+
+    /** Current thread's reference-mode flag. */
+    static bool referenceMode();
 };
 
 } // namespace oscar

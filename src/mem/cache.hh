@@ -67,6 +67,9 @@ struct Eviction
 class SetAssocCache
 {
   public:
+    /** Sentinel way index returned by lookupTouch on a miss. */
+    static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
     /**
      * @param name Instance name used in error messages.
      * @param geometry Size/assoc/line parameters; validated here.
@@ -104,6 +107,58 @@ class SetAssocCache
     }
 
     /**
+     * Counter-free lookup for the batched access path: touches LRU on
+     * a hit exactly like access(), but leaves the hit/miss counters to
+     * the caller (which accumulates a whole batch locally and flushes
+     * once via addLookupStats()).
+     *
+     * @return Flat way index of the line, or kNone on miss.
+     */
+    std::size_t
+    lookupTouch(Addr line_addr)
+    {
+        const std::size_t idx = findIndex(line_addr);
+        if (idx != kNone)
+            lastUse[idx] = ++useClock;
+        return idx;
+    }
+
+    /** State of the way at a lookupTouch()-returned index. */
+    MesiState stateAt(std::size_t idx) const { return states[idx]; }
+
+    /** Overwrite the state of the way at a valid index. */
+    void setStateAt(std::size_t idx, MesiState state)
+    {
+        oscar_assert(state != MesiState::Invalid);
+        states[idx] = state;
+    }
+
+    /**
+     * Set a line's state if it is resident; no-op otherwise. Touches
+     * neither LRU nor the hit/miss counters — this is the coherence
+     * sync used to keep L1 mirror states in step with the L2 (see
+     * MemorySystem::fillL1).
+     */
+    void
+    setStateIfPresent(Addr line_addr, MesiState state)
+    {
+        const std::size_t idx = findIndex(line_addr);
+        if (idx != kNone)
+            states[idx] = state;
+    }
+
+    /**
+     * Fold a batch's locally accumulated lookup outcomes into the
+     * lifetime hit/miss counters (see lookupTouch).
+     */
+    void
+    addLookupStats(std::uint64_t hits_in, std::uint64_t misses_in)
+    {
+        hitCount += hits_in;
+        missCount += misses_in;
+    }
+
+    /**
      * Insert a line with the given state, evicting the LRU way if the
      * set is full.
      *
@@ -120,6 +175,24 @@ class SetAssocCache
             lastUse[idx] = ++useClock;
             return std::nullopt;
         }
+        return insertMiss(line_addr, state);
+    }
+
+    /**
+     * Insert a line the caller knows is absent (it just missed on it),
+     * skipping insert()'s residency re-scan. Inserting a resident line
+     * through this path is a simulator bug (it would duplicate the
+     * tag); asserts stay out of the way here because oscar_assert is
+     * never compiled out and a residency check is exactly the scan
+     * this entry point exists to avoid. Victim choice is identical to
+     * insert().
+     *
+     * @return The evicted line, if any.
+     */
+    std::optional<Eviction>
+    insertMiss(Addr line_addr, MesiState state)
+    {
+        oscar_assert(state != MesiState::Invalid);
 
         // Victim choice mirrors the reference implementation exactly:
         // the lowest-numbered empty way wins, else the strictly
@@ -188,8 +261,6 @@ class SetAssocCache
      * by the line size, so all-ones can never collide with a real one.
      */
     static constexpr Addr kNoTag = ~static_cast<Addr>(0);
-
-    static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
 
     /** Set index for a line address. */
     std::uint64_t

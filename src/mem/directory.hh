@@ -130,6 +130,58 @@ class Directory
         }
     }
 
+    /**
+     * Opaque handle to a line's slot, for fused lookup-then-update
+     * sequences on the miss path. A slot stays valid only until the
+     * next insertion or removal anywhere in the directory (rehash and
+     * backward-shift deletion both move entries), so a holder must
+     * finish all slot operations before touching the directory
+     * through any other line.
+     */
+    using Slot = std::size_t;
+
+    /**
+     * Find a line's slot, inserting an empty (zero-sharer) entry when
+     * absent. The caller must leave the entry non-empty before the
+     * next directory operation: empty entries can never be erased
+     * (removeSharer never reaches them) and would inflate
+     * trackedLines().
+     */
+    Slot findOrInsert(Addr line_addr) { return slotForInsert(line_addr); }
+
+    /** Entry at a slot returned by findOrInsert(). */
+    DirEntry
+    entryAt(Slot slot) const
+    {
+        return DirEntry{sharer[slot], excl[slot] != 0};
+    }
+
+    /**
+     * addSharer() at an already-located slot; also clears any
+     * exclusive flag, folding in the demoteToShared() the probing API
+     * needs as a separate call.
+     */
+    void
+    addSharerAt(Slot slot, CoreId core)
+    {
+        oscar_assert(core < cores);
+        sharer[slot] |= 1ULL << core;
+        excl[slot] = 0;
+    }
+
+    /**
+     * setExclusive() at an already-located slot: the core becomes the
+     * sole sharer with the exclusive flag set. Any cores dropped from
+     * the mask must already have had their caches invalidated.
+     */
+    void
+    setExclusiveAt(Slot slot, CoreId core)
+    {
+        oscar_assert(core < cores);
+        sharer[slot] = 1ULL << core;
+        excl[slot] = 1;
+    }
+
     /** Number of lines with at least one sharer. */
     std::size_t trackedLines() const { return count; }
 

@@ -160,17 +160,18 @@ MemorySystem::resetWindow()
 }
 
 unsigned
-MemorySystem::invalidateRemote(Addr line_addr, CoreId except)
+MemorySystem::invalidateSharers(const DirEntry &entry, Addr line_addr,
+                                CoreId except)
 {
-    const DirEntry entry = dir.lookup(line_addr);
     unsigned invalidated = 0;
-    for (unsigned c = 0; c < cores.size(); ++c) {
-        if (c == except || !entry.hasSharer(c))
-            continue;
+    std::uint64_t mask = entry.sharerMask & ~(1ULL << except);
+    while (mask != 0) {
+        const unsigned c =
+            static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
         cores[c].l2.invalidate(line_addr);
         cores[c].l1d.invalidate(line_addr);
         cores[c].l1i.invalidate(line_addr);
-        dir.removeSharer(line_addr, c);
         ++coreStats[c].invalidationsReceived;
         if (!metricHandles.empty())
             ++*metricHandles[c].invalidationsReceived;
@@ -183,7 +184,9 @@ MemorySystem::invalidateRemote(Addr line_addr, CoreId except)
 void
 MemorySystem::fillL2(CoreId core, Addr line_addr, MesiState state)
 {
-    auto evicted = cores[core].l2.insert(line_addr, state);
+    // The line just missed in this L2, so skip insert()'s residency
+    // re-scan.
+    auto evicted = cores[core].l2.insertMiss(line_addr, state);
     if (evicted) {
         // Inclusion: the L1s may not keep a line the L2 dropped.
         cores[core].l1d.invalidate(evicted->lineAddr);
@@ -196,25 +199,39 @@ MemorySystem::fillL2(CoreId core, Addr line_addr, MesiState state)
 }
 
 void
-MemorySystem::fillL1(CoreId core, Addr line_addr, bool instr)
+MemorySystem::fillL1(CoreId core, Addr line_addr, bool instr,
+                     MesiState state)
 {
     SetAssocCache &l1 = instr ? cores[core].l1i : cores[core].l1d;
-    // L1s hold presence only; authoritative MESI state lives in the L2.
-    l1.insert(line_addr, MesiState::Shared);
+    // The authoritative MESI state lives in the L2; the L1 entry
+    // mirrors it so write hits resolve permission without an L2 scan
+    // (see the declaration for the sync invariant). Fills only happen
+    // after an L1 miss on the line, hence insertMiss.
+    l1.insertMiss(line_addr, state);
 }
 
 Cycle
 MemorySystem::upgradeLine(CoreId core, Addr line_addr)
 {
     // S->M upgrade: request to directory, invalidations to sharers,
-    // acks back to the requester.
+    // acks back to the requester. One directory probe serves the
+    // whole transaction: the slot is read for the sharer set and then
+    // rewritten in place (nothing below touches the directory, so the
+    // slot stays valid).
     fabric.countMessage();
     Cycle latency = fabric.requestResponse() + lat.directoryLookup;
-    const unsigned invalidated = invalidateRemote(line_addr, core);
+    const Directory::Slot slot = dir.findOrInsert(line_addr);
+    const DirEntry entry = dir.entryAt(slot);
+    // The requester holds the line (Shared) in its L2, so the entry
+    // was already present and non-empty.
+    oscar_assert(entry.hasSharer(core));
+    const unsigned invalidated =
+        invalidateSharers(entry, line_addr, core);
     if (invalidated > 0)
         latency += lat.invalidateAck;
-    dir.setExclusive(line_addr, core);
+    dir.setExclusiveAt(slot, core);
     cores[core].l2.setState(line_addr, MesiState::Modified);
+    cores[core].l1d.setStateIfPresent(line_addr, MesiState::Modified);
     ++coreStats[core].upgrades;
     if (!metricHandles.empty()) {
         ++*metricHandles[core].upgrades;
@@ -234,7 +251,14 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
     fabric.countMessage();
     result.latency = fabric.requestResponse() + lat.directoryLookup;
 
-    const DirEntry entry = dir.lookup(line_addr);
+    // One directory probe serves the whole transaction: the slot is
+    // read once and rewritten in place by the arm taken. Every arm
+    // leaves the requester caching the line, so the empty entry
+    // findOrInsert creates for an untracked line never outlives this
+    // call. Slot operations all precede fillL2 — its eviction path
+    // removes the victim's directory entry, which can move slots.
+    const Directory::Slot slot = dir.findOrInsert(line_addr);
+    const DirEntry entry = dir.entryAt(slot);
     const bool remote_exclusive =
         entry.exclusive && !entry.hasSharer(core);
 
@@ -251,7 +275,6 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
             cores[owner].l2.invalidate(line_addr);
             cores[owner].l1d.invalidate(line_addr);
             cores[owner].l1i.invalidate(line_addr);
-            dir.removeSharer(line_addr, owner);
             ++coreStats[owner].invalidationsReceived;
             ++coreStats[core].invalidationsSent;
             if (!metricHandles.empty()) {
@@ -259,20 +282,22 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
                 ++*metricHandles[core].invalidationsSent;
             }
             result.invalidatedRemote = true;
-            dir.setExclusive(line_addr, core);
-            fillL2(core, line_addr, MesiState::Modified);
+            dir.setExclusiveAt(slot, core);
+            result.filled = MesiState::Modified;
         } else {
             // Owner downgrades to Shared (writeback folded into the
-            // cache-to-cache latency).
+            // cache-to-cache latency); its L1D mirror follows.
             cores[owner].l2.setState(line_addr, MesiState::Shared);
-            dir.demoteToShared(line_addr);
-            dir.addSharer(line_addr, core);
-            fillL2(core, line_addr, MesiState::Shared);
+            cores[owner].l1d.setStateIfPresent(line_addr,
+                                               MesiState::Shared);
+            dir.addSharerAt(slot, core);
+            result.filled = MesiState::Shared;
         }
     } else if (!entry.uncached() && !entry.hasSharer(core)) {
         // Shared at one or more other cores.
         if (is_write) {
-            const unsigned invalidated = invalidateRemote(line_addr, core);
+            const unsigned invalidated =
+                invalidateSharers(entry, line_addr, core);
             result.latency += lat.invalidateAck + lat.memory;
             result.source = AccessSource::Memory;
             result.invalidatedRemote = invalidated > 0;
@@ -282,16 +307,16 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
                 *metricHandles[core].invalidationsSent += invalidated;
                 ++*metricHandles[core].memoryFetches;
             }
-            dir.setExclusive(line_addr, core);
-            fillL2(core, line_addr, MesiState::Modified);
+            dir.setExclusiveAt(slot, core);
+            result.filled = MesiState::Modified;
         } else {
             result.latency += lat.memory;
             result.source = AccessSource::Memory;
             ++coreStats[core].memoryFetches;
             if (!metricHandles.empty())
                 ++*metricHandles[core].memoryFetches;
-            dir.addSharer(line_addr, core);
-            fillL2(core, line_addr, MesiState::Shared);
+            dir.addSharerAt(slot, core);
+            result.filled = MesiState::Shared;
         }
     } else {
         // Uncached anywhere: fetch from memory.
@@ -300,11 +325,60 @@ MemorySystem::handleL2Miss(CoreId core, Addr line_addr, bool is_write,
         ++coreStats[core].memoryFetches;
         if (!metricHandles.empty())
             ++*metricHandles[core].memoryFetches;
-        dir.setExclusive(line_addr, core);
-        fillL2(core, line_addr,
-               is_write ? MesiState::Modified : MesiState::Exclusive);
+        dir.setExclusiveAt(slot, core);
+        result.filled =
+            is_write ? MesiState::Modified : MesiState::Exclusive;
     }
+    fillL2(core, line_addr, result.filled);
     return result;
+}
+
+void
+MemorySystem::missPath(CoreId core, Addr line_addr, bool is_instr,
+                       bool is_write, ExecContext ctx,
+                       AccessResult &result)
+{
+    CoreCaches &cc = cores[core];
+    CoreMemStats &cs = coreStats[core];
+    CoreMetricHandles *mh =
+        metricHandles.empty() ? nullptr : &metricHandles[core];
+
+    const MesiState l2_state = cc.l2.access(line_addr);
+    result.latency += lat.l2Hit;
+    const bool l2_usable = l2_state != MesiState::Invalid;
+    RatioStat &l2_stat = ctx == ExecContext::User ? cs.l2User : cs.l2Os;
+
+    if (l2_usable) {
+        l2_stat.add(true);
+        if (mh)
+            (ctx == ExecContext::User ? mh->l2User : mh->l2Os).add(true);
+        ++windowL2Hits;
+        ++windowL2Accesses;
+        MesiState final_state = l2_state;
+        if (is_write && !canWrite(l2_state)) {
+            result.latency += upgradeLine(core, line_addr);
+            result.upgrade = true;
+            final_state = MesiState::Modified;
+        } else if (is_write && l2_state == MesiState::Exclusive) {
+            cc.l2.setState(line_addr, MesiState::Modified);
+            final_state = MesiState::Modified;
+        }
+        fillL1(core, line_addr, is_instr, final_state);
+        result.source = AccessSource::L2;
+        return;
+    }
+
+    l2_stat.add(false);
+    if (mh)
+        (ctx == ExecContext::User ? mh->l2User : mh->l2Os).add(false);
+    ++windowL2Accesses;
+
+    const AccessResult miss = handleL2Miss(core, line_addr, is_write, ctx);
+    result.latency += miss.latency;
+    result.source = miss.source;
+    result.invalidatedRemote = miss.invalidatedRemote;
+    result.filled = miss.filled;
+    fillL1(core, line_addr, is_instr, miss.filled);
 }
 
 AccessResult
@@ -325,61 +399,106 @@ MemorySystem::access(CoreId core, Addr byte_addr, AccessType type,
 
     SetAssocCache &l1 = is_instr ? cc.l1i : cc.l1d;
     RatioStat &l1_stat = is_instr ? cs.l1i : cs.l1d;
-    const bool l1_hit = l1.access(line_addr) != MesiState::Invalid;
+    const MesiState l1_state = l1.access(line_addr);
+    const bool l1_hit = l1_state != MesiState::Invalid;
     l1_stat.add(l1_hit);
     if (mh)
         (is_instr ? mh->l1i : mh->l1d).add(l1_hit);
 
     if (l1_hit) {
         if (is_write) {
-            const MesiState l2_state = cc.l2.probe(line_addr);
-            oscar_assert(l2_state != MesiState::Invalid);
-            if (!canWrite(l2_state)) {
+            // The L1D entry mirrors the L2's MESI state (see fillL1),
+            // so permission resolves without re-scanning the L2.
+            if (!canWrite(l1_state)) {
                 result.latency += upgradeLine(core, line_addr);
                 result.upgrade = true;
-            } else if (l2_state == MesiState::Exclusive) {
-                // Silent E->M upgrade.
+            } else if (l1_state == MesiState::Exclusive) {
+                // Silent E->M upgrade, in both levels.
                 cc.l2.setState(line_addr, MesiState::Modified);
+                l1.setStateIfPresent(line_addr, MesiState::Modified);
             }
         }
         result.source = AccessSource::L1;
         return result;
     }
 
-    // L1 miss: consult the private L2.
-    const MesiState l2_state = cc.l2.access(line_addr);
-    result.latency += lat.l2Hit;
-    const bool l2_usable = l2_state != MesiState::Invalid;
-    RatioStat &l2_stat = ctx == ExecContext::User ? cs.l2User : cs.l2Os;
+    missPath(core, line_addr, is_instr, is_write, ctx, result);
+    return result;
+}
 
-    if (l2_usable) {
-        l2_stat.add(true);
-        if (mh)
-            (ctx == ExecContext::User ? mh->l2User : mh->l2Os).add(true);
-        ++windowL2Hits;
-        ++windowL2Accesses;
-        if (is_write && !canWrite(l2_state)) {
-            result.latency += upgradeLine(core, line_addr);
-            result.upgrade = true;
-        } else if (is_write && l2_state == MesiState::Exclusive) {
-            cc.l2.setState(line_addr, MesiState::Modified);
+Cycle
+MemorySystem::accessBatch(CoreId core, ExecContext ctx,
+                          const std::uint64_t *refs, std::size_t count)
+{
+    oscar_assert(core < cores.size());
+    CoreCaches &cc = cores[core];
+    CoreMemStats &cs = coreStats[core];
+    CoreMetricHandles *mh =
+        metricHandles.empty() ? nullptr : &metricHandles[core];
+
+    // Batch-local L1 tallies, flushed once below. Everything past an
+    // L1 hit is rare enough that it records its stats directly through
+    // the same code the scalar path runs (missPath/upgradeLine).
+    // Indexed by is_instr so the tally update is branch-free — the
+    // fetch/data interleaving is effectively random and a conditional
+    // here would mispredict constantly.
+    std::uint64_t l1Hits[2] = {0, 0};
+    std::uint64_t l1Misses[2] = {0, 0};
+    SetAssocCache *const l1s[2] = {&cc.l1d, &cc.l1i};
+    const Cycle l1HitStall = lat.l1Hit > 1 ? lat.l1Hit - 1 : 0;
+    Cycle stall = 0;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t ref = refs[i];
+        const std::uint64_t kind = ref >> PackedRef::kKindShift;
+        const Addr line_addr = (ref & PackedRef::kAddrMask) >> lineShift;
+        const std::size_t is_instr = kind == PackedRef::kInstrFetch;
+        SetAssocCache &l1 = *l1s[is_instr];
+        const std::size_t idx = l1.lookupTouch(line_addr);
+        if (idx != SetAssocCache::kNone) [[likely]] {
+            ++l1Hits[is_instr];
+            stall += l1HitStall;
+            // Writes to an already-writable line (the steady state)
+            // fall through this single rarely-taken test; reads fold
+            // into it for free.
+            const MesiState l1_state = l1.stateAt(idx);
+            if (kind == PackedRef::kWrite &&
+                l1_state != MesiState::Modified) [[unlikely]] {
+                if (l1_state == MesiState::Exclusive) {
+                    // Silent E->M upgrade, in both levels.
+                    cc.l2.setState(line_addr, MesiState::Modified);
+                    l1.setStateAt(idx, MesiState::Modified);
+                } else {
+                    // Shared: paid S->M upgrade. Replace the hoisted
+                    // hit-stall with the exact per-reference formula.
+                    stall -= l1HitStall;
+                    const Cycle latency =
+                        lat.l1Hit + upgradeLine(core, line_addr);
+                    if (latency > 1)
+                        stall += latency - 1;
+                }
+            }
+            continue;
         }
-        fillL1(core, line_addr, is_instr);
-        result.source = AccessSource::L2;
-        return result;
+
+        ++l1Misses[is_instr];
+        AccessResult result;
+        result.latency = lat.l1Hit;
+        missPath(core, line_addr, is_instr != 0,
+                 kind == PackedRef::kWrite, ctx, result);
+        if (result.latency > 1)
+            stall += result.latency - 1;
     }
 
-    l2_stat.add(false);
-    if (mh)
-        (ctx == ExecContext::User ? mh->l2User : mh->l2Os).add(false);
-    ++windowL2Accesses;
-
-    const AccessResult miss = handleL2Miss(core, line_addr, is_write, ctx);
-    result.latency += miss.latency;
-    result.source = miss.source;
-    result.invalidatedRemote = miss.invalidatedRemote;
-    fillL1(core, line_addr, is_instr);
-    return result;
+    cs.l1i.addMany(l1Hits[1], l1Hits[1] + l1Misses[1]);
+    cs.l1d.addMany(l1Hits[0], l1Hits[0] + l1Misses[0]);
+    cc.l1i.addLookupStats(l1Hits[1], l1Misses[1]);
+    cc.l1d.addLookupStats(l1Hits[0], l1Misses[0]);
+    if (mh) {
+        mh->l1i.addMany(l1Hits[1], l1Hits[1] + l1Misses[1]);
+        mh->l1d.addMany(l1Hits[0], l1Hits[0] + l1Misses[0]);
+    }
+    return stall;
 }
 
 } // namespace oscar

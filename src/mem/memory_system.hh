@@ -64,6 +64,36 @@ struct AccessResult
     bool invalidatedRemote = false;
     /** True when the reference paid an S->M upgrade transaction. */
     bool upgrade = false;
+    /**
+     * MESI state the line was installed with in the requester's L2 by
+     * an L2-miss fill; Invalid when the reference did not fill the L2.
+     */
+    MesiState filled = MesiState::Invalid;
+};
+
+/**
+ * Packed memory reference for MemorySystem::accessBatch: the access
+ * kind lives in the top two bits, the byte address in the low 62
+ * (simulated physical addresses are far below 2^62; asserted when a
+ * reference is packed). One 8-byte word per reference keeps a whole
+ * generated block in a few host cache lines.
+ */
+struct PackedRef
+{
+    static constexpr unsigned kKindShift = 62;
+    static constexpr std::uint64_t kAddrMask =
+        (std::uint64_t{1} << kKindShift) - 1;
+    static constexpr std::uint64_t kInstrFetch = 0;
+    static constexpr std::uint64_t kRead = 1;
+    static constexpr std::uint64_t kWrite = 2;
+
+    /** Pack one reference. */
+    static std::uint64_t
+    make(Addr byte_addr, std::uint64_t kind)
+    {
+        oscar_assert((byte_addr & ~kAddrMask) == 0);
+        return byte_addr | (kind << kKindShift);
+    }
 };
 
 /** Latency parameters of the hierarchy (Table II + coherence costs). */
@@ -136,6 +166,22 @@ class MemorySystem
      */
     AccessResult access(CoreId core, Addr byte_addr, AccessType type,
                         ExecContext ctx);
+
+    /**
+     * Perform a block of packed references (see PackedRef) in order
+     * and return the total pipeline-stall cycles they cost — the sum
+     * over the block of max(latency - 1, 0), the same quantity the
+     * execution engine accumulates per reference around access().
+     *
+     * State transitions, statistics and latencies are reference-for-
+     * reference identical to looping over access(); the batch form
+     * exists purely for speed. L1 hit/miss tallies are accumulated in
+     * registers and flushed once per block (no mid-segment observer
+     * exists: metric sampling and tracing only run between system
+     * steps, never inside a segment).
+     */
+    Cycle accessBatch(CoreId core, ExecContext ctx,
+                      const std::uint64_t *refs, std::size_t count);
 
     /** Number of cores. */
     unsigned numCores() const { return static_cast<unsigned>(cores.size()); }
@@ -217,6 +263,13 @@ class MemorySystem
             *hits += hit ? 1 : 0;
             ++*total;
         }
+
+        void
+        addMany(std::uint64_t hits_in, std::uint64_t total_in)
+        {
+            *hits += hits_in;
+            *total += total_in;
+        }
     };
 
     /**
@@ -241,17 +294,47 @@ class MemorySystem
     AccessResult handleL2Miss(CoreId core, Addr line_addr, bool is_write,
                               ExecContext ctx);
 
+    /**
+     * Everything an access does after its L1 lookup missed: L2 lookup
+     * and stats, upgrade or miss handling, L1 fill. Adds the post-L1
+     * latency onto result.latency and fills source/flags. Shared by
+     * the scalar access() and the batched accessBatch() so the two
+     * paths cannot drift.
+     */
+    void missPath(CoreId core, Addr line_addr, bool is_instr,
+                  bool is_write, ExecContext ctx, AccessResult &result);
+
     /** Pay for and perform an S->M upgrade for a line resident at core. */
     Cycle upgradeLine(CoreId core, Addr line_addr);
 
-    /** Invalidate a line in every other core's hierarchy. */
-    unsigned invalidateRemote(Addr line_addr, CoreId except);
+    /**
+     * Invalidate every cached copy of a line outside @p except,
+     * charging per-sharer fabric messages and invalidation stats.
+     * Directory bookkeeping is the caller's: it holds the line's slot
+     * and rewrites the sharer set in one shot afterwards (removing
+     * sharers one at a time would erase and reinsert the entry, and
+     * backward-shift deletion would invalidate the held slot).
+     */
+    unsigned invalidateSharers(const DirEntry &entry, Addr line_addr,
+                               CoreId except);
 
     /** Insert into L2 handling eviction bookkeeping. */
     void fillL2(CoreId core, Addr line_addr, MesiState state);
 
-    /** Insert presence into the right L1. */
-    void fillL1(CoreId core, Addr line_addr, bool instr);
+    /**
+     * Insert into the right L1 with the state the requester's L2 now
+     * holds the line in. L1D entries thereby *mirror* the L2's MESI
+     * state, so the write-hit path reads permission from the L1 way it
+     * just hit instead of re-scanning the 16-way L2 — the invariant is
+     * that a line resident in a core's L1D always carries that core's
+     * current L2 state. Every L2 state change for a possibly-L1D-
+     * resident line re-syncs (upgradeLine, the silent E->M sites, the
+     * cache-to-cache read downgrade); invalidations remove the line
+     * from both levels, which preserves the invariant trivially. L1I
+     * entries store the fill-time state too, but it is advisory only —
+     * fetch handling never consults it for permissions.
+     */
+    void fillL1(CoreId core, Addr line_addr, bool instr, MesiState state);
 
     std::vector<CoreCaches> cores;
     std::vector<CoreMemStats> coreStats;

@@ -154,6 +154,18 @@ AliasTable::AliasTable(const std::vector<double> &weights)
     for (std::size_t s : small)
         probability[s] = 1.0;
 
+    // Integer acceptance thresholds: x < ceil(p * 2^53) is exactly
+    // `(x * 2^-53) < p` for the 53-bit draw x (see BoolThreshold).
+    // Computed raw rather than through BoolThreshold because Vose
+    // residues can land a hair above 1.0; the equivalence holds for
+    // any p >= 0.
+    constexpr double kTwo53 = 9007199254740992.0;
+    probThreshold.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        probThreshold[i] = static_cast<std::uint64_t>(
+            std::ceil(probability[i] * kTwo53));
+    }
+
     columnBound = FastBound(n);
 }
 
@@ -214,22 +226,22 @@ ZipfDistribution::tableFor(std::size_t n, double s)
         c /= sum;
     table->cdf.back() = 1.0;
 
-    // Bucket index: for each slice boundary b/kBuckets, run the same
-    // lower-bound search sample() performs and record the result.
+    // Bucket index: for each slice boundary b/kBuckets, record the
+    // rank the full lower-bound search sample() performs would
+    // return. Both the boundary values and the CDF are monotone, so
+    // one linear merge produces exactly lower_bound(cdf, b/kBuckets)
+    // for every b without kBuckets separate binary searches.
     table->bucketLo.resize(kBuckets + 1);
-    for (std::size_t b = 0; b <= kBuckets; ++b) {
-        const double u =
-            static_cast<double>(b) / static_cast<double>(kBuckets);
+    {
+        const std::size_t last = table->cdf.size() - 1;
         std::size_t lo = 0;
-        std::size_t hi = table->cdf.size() - 1;
-        while (lo < hi) {
-            const std::size_t mid = lo + (hi - lo) / 2;
-            if (table->cdf[mid] < u)
-                lo = mid + 1;
-            else
-                hi = mid;
+        for (std::size_t b = 0; b <= kBuckets; ++b) {
+            const double u =
+                static_cast<double>(b) / static_cast<double>(kBuckets);
+            while (lo < last && table->cdf[lo] < u)
+                ++lo;
+            table->bucketLo[b] = static_cast<std::uint32_t>(lo);
         }
-        table->bucketLo[b] = static_cast<std::uint32_t>(lo);
     }
 
     std::lock_guard<std::mutex> lock(cache.mutex);

@@ -12,6 +12,7 @@
 #define OSCAR_SIM_RANDOM_HH_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -95,6 +96,46 @@ class FastBound
     std::uint64_t magic;
     std::uint64_t rejectThreshold;
     bool isPow2;
+};
+
+/**
+ * Precomputed integer threshold for Bernoulli draws.
+ *
+ * Rng::nextBool(p) computes d = (next64() >> 11) * 2^-53 and compares
+ * d < p: an int->double conversion, a multiply and a floating compare
+ * on every draw. All of that can be hoisted when p is fixed (region
+ * reuse/streaming fractions, per-target write fractions): d is exactly
+ * x / 2^53 for the 53-bit integer x = next64() >> 11, so
+ *
+ *     d < p  <=>  x < p * 2^53   (comparison of exact reals)
+ *            <=>  x < ceil(p * 2^53)  (x integral)
+ *
+ * p * 2^53 is a power-of-two scaling, exact in double for p in [0, 1],
+ * so the u64 threshold ceil(p * 2^53) makes nextBoolFast bit-identical
+ * to nextBool — same single draw, same outcome — with the floating
+ * point replaced by one shift and one integer compare.
+ * test_random.cc sweeps this equivalence over probabilities and draw
+ * streams.
+ */
+class BoolThreshold
+{
+  public:
+    /** Threshold for probability 0 (always false). */
+    BoolThreshold() = default;
+
+    /** Precompute the threshold for probability `p` in [0, 1]. */
+    explicit BoolThreshold(double p)
+    {
+        oscar_assert(p >= 0.0 && p <= 1.0);
+        constexpr double kTwo53 = 9007199254740992.0; // 2^53
+        t = static_cast<std::uint64_t>(std::ceil(p * kTwo53));
+    }
+
+    /** The integer threshold; draws strictly below it come out true. */
+    std::uint64_t threshold() const { return t; }
+
+  private:
+    std::uint64_t t = 0;
 };
 
 /**
@@ -182,6 +223,17 @@ class Rng
         return nextDouble() < p;
     }
 
+    /**
+     * Bernoulli trial, byte-identical to nextBool(p) for the p the
+     * threshold was built from — same draw, same outcome — with the
+     * floating-point comparison hoisted into the BoolThreshold.
+     */
+    bool
+    nextBoolFast(const BoolThreshold &bt)
+    {
+        return (next64() >> 11) < bt.threshold();
+    }
+
     /** Standard normal via Box-Muller (cached second value). */
     double nextGaussian();
 
@@ -229,10 +281,14 @@ class AliasTable
     sample(Rng &rng) const
     {
         // columnBound is FastBound(size()): the draw stream is
-        // byte-identical to nextBounded(probability.size()).
+        // byte-identical to nextBounded(probability.size()). The
+        // column acceptance is the BoolThreshold transformation of
+        // `rng.nextDouble() < probability[column]` — one draw either
+        // way, identical outcome, no floating point.
         const std::size_t column = rng.nextBoundedFast(columnBound);
-        return rng.nextDouble() < probability[column] ? column
-                                                     : alias[column];
+        return (rng.next64() >> 11) < probThreshold[column]
+                   ? column
+                   : alias[column];
     }
 
     /** Number of outcomes. */
@@ -243,6 +299,8 @@ class AliasTable
 
   private:
     std::vector<double> probability;
+    /** probability[] as BoolThreshold integers (see sample()). */
+    std::vector<std::uint64_t> probThreshold;
     std::vector<std::size_t> alias;
     std::vector<double> normalized;
     /** Division-free column reduction; built once in the ctor. */
@@ -282,6 +340,12 @@ class ZipfDistribution
      * a true statement about u itself. The sampled rank is provably
      * independent of the bucket count, so changing it never perturbs
      * draw streams.
+     *
+     * 16 K buckets keep the index at 64 KiB — small enough to stay
+     * warm in the host cache next to the CDF it brackets. (Larger
+     * indexes make more buckets single-rank, which skips the CDF read
+     * entirely, but measured on the fig5 shape the extra index
+     * footprint evicts more than it saves.)
      */
     static constexpr std::size_t kBuckets = 16384;
 

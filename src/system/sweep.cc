@@ -191,6 +191,17 @@ writePointJson(JsonWriter &w, const SweepPointResult &point,
     w.field("ok", point.ok);
     w.field("error", point.error);
     w.field("metrics_path", point.metricsPath);
+    // Sharded points record their replica seeds; classic points emit
+    // nothing here, so pre-existing artifacts stay byte-identical.
+    if (!point.replicaSeeds.empty()) {
+        w.field("replicas", static_cast<std::uint64_t>(
+                                point.replicaSeeds.size()));
+        w.key("replica_seeds");
+        w.beginArray();
+        for (const std::uint64_t seed : point.replicaSeeds)
+            w.value(seed);
+        w.endArray();
+    }
     if (include_wall)
         w.field("wall_ms", point.wallMs);
     w.key("config");
@@ -340,6 +351,156 @@ SweepAggregate::add(const SweepPointResult &result)
 }
 
 // ---------------------------------------------------------------------
+// Replica merging
+
+SimResults
+mergeReplicaResults(const std::vector<SimResults> &replicas)
+{
+    oscar_assert(!replicas.empty());
+    // Replica 0 seeds every field with no pooled form (workload and
+    // policy names, the threshold trajectory, final threshold).
+    SimResults merged = replicas.front();
+    if (replicas.size() == 1)
+        return merged;
+
+    // Weighted-rate numerators over every replica (including 0):
+    // retirement-weighted for instruction-share rates, makespan-
+    // weighted for utilizations.
+    double retired_sum = 0.0;
+    double makespan_sum = 0.0;
+    double priv_num = 0.0;
+    double warm_priv_num = 0.0;
+    double user_l2_num = 0.0;
+    double os_l2_num = 0.0;
+    double combined_l2_num = 0.0;
+    double util_num = 0.0;
+    double share_num[4] = {0.0, 0.0, 0.0, 0.0};
+    double inv_len_num = 0.0;
+    double inv_count_sum = 0.0;
+    for (const SimResults &r : replicas) {
+        const double ret = static_cast<double>(r.retired);
+        const double mk = static_cast<double>(r.makespan);
+        retired_sum += ret;
+        makespan_sum += mk;
+        priv_num += r.privFraction * ret;
+        warm_priv_num += r.warmupPrivFraction * ret;
+        user_l2_num += r.userL2HitRate * ret;
+        os_l2_num += r.osL2HitRate * ret;
+        combined_l2_num += r.combinedL2HitRate * ret;
+        util_num += r.osCoreUtilization * mk;
+        for (std::size_t t = 0; t < 4; ++t)
+            share_num[t] += r.osShareAbove[t] * ret;
+        inv_len_num += r.meanInvocationLength *
+                       static_cast<double>(r.invocations);
+        inv_count_sum += static_cast<double>(r.invocations);
+    }
+
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+        const SimResults &r = replicas[i];
+        oscar_assert(r.servingEnabled == merged.servingEnabled);
+        merged.makespan += r.makespan;
+        merged.retired += r.retired;
+        merged.invocations += r.invocations;
+        merged.offloaded += r.offloaded;
+        merged.numaMigrationsIntra += r.numaMigrationsIntra;
+        merged.numaMigrationsInter += r.numaMigrationsInter;
+        merged.steals += r.steals;
+        merged.spills += r.spills;
+        merged.decisionCycles += r.decisionCycles;
+        merged.migrationCycles += r.migrationCycles;
+        merged.queueWaitCycles += r.queueWaitCycles;
+        merged.c2cTransfers += r.c2cTransfers;
+        merged.invalidations += r.invalidations;
+        merged.thresholdSwitches += r.thresholdSwitches;
+        merged.requestsCompleted += r.requestsCompleted;
+        merged.requestsOffered += r.requestsOffered;
+        for (std::size_t s = 0; s < kNumServices; ++s) {
+            merged.invocationsByService[s] += r.invocationsByService[s];
+            merged.offloadsByService[s] += r.offloadsByService[s];
+        }
+        merged.offloadRatio.merge(r.offloadRatio);
+        merged.invocationLengths.merge(r.invocationLengths);
+        merged.requestLatency.merge(r.requestLatency);
+        merged.requestDispatchWait.merge(r.requestDispatchWait);
+        merged.accuracy.merge(r.accuracy);
+        // Queue k of one replica merges with queue k of every other:
+        // replicas share the configuration, hence the topology.
+        oscar_assert(r.osQueues.size() == merged.osQueues.size());
+        for (std::size_t k = 0; k < merged.osQueues.size(); ++k) {
+            OsQueueResult &into = merged.osQueues[k];
+            const OsQueueResult &from = r.osQueues[k];
+            oscar_assert(into.queue == from.queue &&
+                         into.core == from.core &&
+                         into.node == from.node);
+            into.admitted += from.admitted;
+            into.stealsIn += from.stealsIn;
+            into.stealsOut += from.stealsOut;
+            into.spillsIn += from.spillsIn;
+            into.spillsOut += from.spillsOut;
+            into.queueDelay.merge(from.queueDelay);
+            into.wait.merge(from.wait);
+        }
+    }
+
+    // Per-queue utilization: busy cycles pool over pooled makespan.
+    {
+        std::size_t k = 0;
+        for (OsQueueResult &into : merged.osQueues) {
+            double busy = 0.0;
+            for (const SimResults &r : replicas) {
+                busy += r.osQueues[k].utilization *
+                        static_cast<double>(r.makespan);
+            }
+            into.utilization =
+                makespan_sum > 0.0 ? busy / makespan_sum : 0.0;
+            ++k;
+        }
+    }
+
+    merged.throughput =
+        makespan_sum > 0.0 ? retired_sum / makespan_sum : 0.0;
+    merged.privFraction =
+        retired_sum > 0.0 ? priv_num / retired_sum : 0.0;
+    merged.warmupPrivFraction =
+        retired_sum > 0.0 ? warm_priv_num / retired_sum : 0.0;
+    merged.userL2HitRate =
+        retired_sum > 0.0 ? user_l2_num / retired_sum : 0.0;
+    merged.osL2HitRate =
+        retired_sum > 0.0 ? os_l2_num / retired_sum : 0.0;
+    merged.combinedL2HitRate =
+        retired_sum > 0.0 ? combined_l2_num / retired_sum : 0.0;
+    merged.osCoreUtilization =
+        makespan_sum > 0.0 ? util_num / makespan_sum : 0.0;
+    for (std::size_t t = 0; t < 4; ++t) {
+        merged.osShareAbove[t] =
+            retired_sum > 0.0 ? share_num[t] / retired_sum : 0.0;
+    }
+    merged.offloadFraction = merged.offloadRatio.ratio();
+    merged.meanInvocationLength =
+        inv_count_sum > 0.0 ? inv_len_num / inv_count_sum : 0.0;
+    if (merged.servingEnabled) {
+        merged.requestThroughput =
+            merged.makespan
+                ? static_cast<double>(merged.requestsCompleted) *
+                      1000.0 / static_cast<double>(merged.makespan)
+                : 0.0;
+    }
+
+    // Queue delay over the pooled per-queue samples, mirroring the
+    // single-run computation over its own queues.
+    {
+        RunningStat pooled;
+        for (const OsQueueResult &q : merged.osQueues)
+            pooled.merge(q.queueDelay);
+        if (pooled.count() > 0) {
+            merged.meanQueueDelay = pooled.mean();
+            merged.maxQueueDelay = pooled.max();
+        }
+    }
+    return merged;
+}
+
+// ---------------------------------------------------------------------
 // ParallelSweepRunner
 
 ParallelSweepRunner::ParallelSweepRunner(SweepOptions options)
@@ -435,6 +596,75 @@ ParallelSweepRunner::clearWarmSnapshotCache()
     snapshotCache.clear();
 }
 
+namespace
+{
+
+/** The one-seed sub-point a replica of a sharded point runs as. */
+SweepPoint
+replicaSubPoint(const SweepPoint &point, std::size_t replica)
+{
+    SweepPoint sub = point;
+    sub.replicaSeeds.clear();
+    sub.config.seed = point.replicaSeeds[replica];
+    if (!sub.tracePath.empty())
+        sub.tracePath = sweepReplicaPath(point.tracePath, replica);
+    if (!sub.metricsPath.empty())
+        sub.metricsPath = sweepReplicaPath(point.metricsPath, replica);
+    return sub;
+}
+
+/**
+ * Fold a sharded point's per-replica outcomes (already in replica
+ * order) into its single merged result. Wall clock sums; normalized
+ * throughput averages over the normalized replicas (the same
+ * statistic SweepAggregate reports for separately-run replicas); a
+ * failed replica fails the point with the first failure's message.
+ */
+SweepPointResult
+mergeReplicaPoint(const SweepPoint &point, std::size_t index,
+                  std::vector<SweepPointResult> &&replicas)
+{
+    SweepPointResult merged;
+    merged.index = index;
+    merged.label = point.label;
+    merged.config = point.config;
+    merged.replicaSeeds = point.replicaSeeds;
+    merged.ok = true;
+
+    std::vector<SimResults> sims;
+    sims.reserve(replicas.size());
+    double normalized_sum = 0.0;
+    unsigned normalized_count = 0;
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+        SweepPointResult &rep = replicas[r];
+        merged.wallMs += rep.wallMs;
+        if (!rep.ok) {
+            if (merged.ok) {
+                merged.ok = false;
+                merged.error =
+                    "replica seed " +
+                    std::to_string(point.replicaSeeds[r]) + ": " +
+                    rep.error;
+            }
+            continue;
+        }
+        if (merged.metricsPath.empty())
+            merged.metricsPath = rep.metricsPath;
+        if (rep.normalized > 0.0) {
+            normalized_sum += rep.normalized;
+            ++normalized_count;
+        }
+        sims.push_back(std::move(rep.results));
+    }
+    if (merged.ok)
+        merged.results = mergeReplicaResults(sims);
+    if (normalized_count > 0)
+        merged.normalized = normalized_sum / normalized_count;
+    return merged;
+}
+
+} // namespace
+
 std::vector<SweepPointResult>
 ParallelSweepRunner::run(const std::vector<SweepPoint> &points) const
 {
@@ -442,33 +672,75 @@ ParallelSweepRunner::run(const std::vector<SweepPoint> &points) const
     if (points.empty())
         return results;
 
-    const unsigned jobs = effectiveJobs(points.size());
-    if (jobs <= 1) {
-        for (std::size_t i = 0; i < points.size(); ++i)
-            results[i] = runPoint(points[i], i, opts.fork);
-        return results;
+    // Expand sharded points into per-replica sub-jobs. Replicas join
+    // the same dynamic claim pool as whole points, so a single
+    // many-replica point saturates the pool instead of running its
+    // replicas serially on one worker.
+    struct SubJob
+    {
+        std::size_t point;
+        std::size_t replica; // kWholePoint for an unsharded point
+    };
+    static constexpr std::size_t kWholePoint =
+        ~static_cast<std::size_t>(0);
+    std::vector<SubJob> sub_jobs;
+    std::vector<std::vector<SweepPointResult>> replica_results(
+        points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::vector<std::uint64_t> &seeds =
+            points[i].replicaSeeds;
+        if (seeds.empty()) {
+            sub_jobs.push_back({i, kWholePoint});
+            continue;
+        }
+        replica_results[i].resize(seeds.size());
+        for (std::size_t r = 0; r < seeds.size(); ++r)
+            sub_jobs.push_back({i, r});
     }
 
-    // Dynamic work claiming: each worker grabs the next unclaimed
-    // index. Results are stored by point index, so the output is
-    // independent of claim order.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= points.size())
-                return;
-            results[i] = runPoint(points[i], i, opts.fork);
+    // Sub-results land at (point, replica) regardless of which worker
+    // ran them, and the merge below folds replicas in listed order —
+    // the output is independent of the job count and claim order.
+    auto run_sub_job = [&](const SubJob &job) {
+        if (job.replica == kWholePoint) {
+            results[job.point] =
+                runPoint(points[job.point], job.point, opts.fork);
+        } else {
+            replica_results[job.point][job.replica] =
+                runPoint(replicaSubPoint(points[job.point], job.replica),
+                         job.point, opts.fork);
         }
     };
 
-    std::vector<std::thread> threads;
-    threads.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &thread : threads)
-        thread.join();
+    const unsigned jobs = effectiveJobs(sub_jobs.size());
+    if (jobs <= 1) {
+        for (const SubJob &job : sub_jobs)
+            run_sub_job(job);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= sub_jobs.size())
+                    return;
+                run_sub_job(sub_jobs[i]);
+            }
+        };
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].replicaSeeds.empty()) {
+            results[i] = mergeReplicaPoint(points[i], i,
+                                           std::move(replica_results[i]));
+        }
+    }
     return results;
 }
 
@@ -539,6 +811,19 @@ sweepPointResultsJson(const SweepPointResult &result)
     writePointJson(w, result, /*include_wall=*/false);
     oscar_assert(w.complete());
     return w.str();
+}
+
+std::string
+sweepReplicaPath(const std::string &base, std::size_t replica)
+{
+    static const std::string kExt = ".jsonl";
+    const std::string suffix = ".r" + std::to_string(replica) + kExt;
+    if (base.size() > kExt.size() &&
+        base.compare(base.size() - kExt.size(), kExt.size(), kExt) ==
+            0) {
+        return base.substr(0, base.size() - kExt.size()) + suffix;
+    }
+    return base + suffix;
 }
 
 std::string

@@ -64,6 +64,21 @@ struct SweepPoint
      * samples. Ignored unless metricsPath is set.
      */
     std::uint64_t metricsSampleEvery = 1'000'000;
+    /**
+     * Seed replicas of this point. When non-empty, the runner executes
+     * one sub-run per listed seed (the point's configuration with
+     * `config.seed` replaced) and folds the sub-runs — in listed
+     * order, whatever the job count or claim order — into a single
+     * merged SweepPointResult via mergeReplicaResults(). Replica
+     * sub-runs shard across the worker pool like independent points,
+     * so one sharded point saturates the pool instead of running its
+     * replicas serially on one worker. `config.seed` itself is never
+     * run; leave replicaSeeds empty for the classic one-run point.
+     * Trace and metrics paths gain a per-replica ".r<k>" suffix (each
+     * replica samples its own registry, so merged metrics are never
+     * double-counted).
+     */
+    std::vector<std::uint64_t> replicaSeeds;
 };
 
 /** Outcome of one sweep point. */
@@ -82,7 +97,14 @@ struct SweepPointResult
     /** Metrics file the point wrote; empty when metrics were off. */
     std::string metricsPath;
 
-    /** Simulation output (valid only when ok). */
+    /**
+     * Seeds of the replicas folded into this result; empty for a
+     * classic one-run point. Mirrors SweepPoint::replicaSeeds.
+     */
+    std::vector<std::uint64_t> replicaSeeds;
+
+    /** Simulation output (valid only when ok). For a sharded point
+     *  this is the mergeReplicaResults() fold of the replicas. */
     SimResults results;
     /** Variant/baseline throughput; 0 when not normalized. */
     double normalized = 0.0;
@@ -133,6 +155,37 @@ struct SweepAggregate
     /** Fold one point in; failed points are skipped. */
     void add(const SweepPointResult &result);
 };
+
+/**
+ * Fold the SimResults of a point's seed replicas (in replica order)
+ * into one distribution-preserving result.
+ *
+ * Mergeable machinery pools exactly: offloadRatio via
+ * RatioStat::merge, invocationLengths via LogHistogram::merge,
+ * requestLatency and per-queue waits via LatencyHistogram::merge,
+ * predictor accuracy via PredictorStats::merge, and per-queue delay /
+ * dispatch-wait moments via RunningStat::merge — so a percentile of
+ * the merged result is the percentile of the union sample population.
+ * Counters sum; per-queue counters sum by queue index (replicas share
+ * a topology). Derived rates are recomputed from pooled numerators
+ * where the counts exist (throughput = pooled retired / pooled
+ * makespan, offloadFraction from the pooled RatioStat, mean
+ * invocation length weighted by invocation counts) and otherwise as
+ * weighted means over the natural weight (L2 hit rates and priv
+ * fraction by retired instructions, utilizations by makespan).
+ * Replica-0 wins for fields with no meaningful pooled form: the
+ * threshold trajectory and final threshold (per-replica trajectories
+ * diverge; switches still sum).
+ */
+SimResults mergeReplicaResults(const std::vector<SimResults> &replicas);
+
+/**
+ * Per-replica artifact file name: ".r<k>" spliced in before a
+ * trailing ".jsonl" ("fig.2.jsonl" -> replica 1 -> "fig.2.r1.jsonl"),
+ * or appended as ".r<k>.jsonl" otherwise (mirroring sweepTracePath).
+ */
+std::string sweepReplicaPath(const std::string &base,
+                             std::size_t replica);
 
 /** Sweep execution knobs. */
 struct SweepOptions

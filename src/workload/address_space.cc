@@ -15,7 +15,9 @@ AddressRegion::AddressRegion(Addr base, const RegionParams &params_in)
       lines(std::max<std::uint64_t>(1,
                                     params_in.sizeBytes /
                                         params_in.lineBytes)),
-      lineBound(lines),
+      lineBound(lines), reuseThresh(params_in.reuseFraction),
+      seqThresh(params_in.sequentialFraction),
+      offsetBound(params_in.lineBytes),
       zipf(std::max<std::uint64_t>(1, params_in.sizeBytes /
                                           params_in.lineBytes),
            params_in.zipfSkew)

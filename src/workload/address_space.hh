@@ -78,11 +78,15 @@ class AddressRegion
     nextAccess(Rng &rng)
     {
         std::uint64_t line;
-        if (ringFilled > 0 && rng.nextBool(params.reuseFraction)) {
+        if (ringFilled > 0 && rng.nextBoolFast(reuseThresh)) {
             // Short-term reuse: re-touch a recently referenced line.
-            line = reuseRing[rng.nextBounded(ringFilled)];
+            // ringBound tracks ringFilled (see remember()), so this is
+            // nextBounded(ringFilled) without its two per-draw 64-bit
+            // divisions — the hottest divides in the whole simulator,
+            // since most regions have non-power-of-two reuse windows.
+            line = reuseRing[rng.nextBoundedFast(ringBound)];
         } else if (params.sequentialFraction > 0.0 &&
-                   rng.nextBool(params.sequentialFraction)) {
+                   rng.nextBoolFast(seqThresh)) {
             // Streaming: dwell on a line for several references (word
             // granularity) before advancing to the next line.
             if (++streamDwell >= params.sequentialRepeats) {
@@ -97,7 +101,7 @@ class AddressRegion
             line = scatter(rank);
             remember(line);
         }
-        const std::uint64_t offset = rng.nextBounded(params.lineBytes);
+        const std::uint64_t offset = rng.nextBoundedFast(offsetBound);
         return baseAddr + line * params.lineBytes + offset;
     }
 
@@ -137,8 +141,14 @@ class AddressRegion
         reuseRing[ringCursor] = line;
         if (++ringCursor == reuseRing.size())
             ringCursor = 0;
-        if (ringFilled < reuseRing.size())
+        if (ringFilled < reuseRing.size()) {
+            // The ring only grows until it saturates at the window
+            // size, so the reduction is rebuilt a handful of times per
+            // region lifetime and every reuse draw after that is
+            // division-free.
             ++ringFilled;
+            ringBound = FastBound(ringFilled);
+        }
     }
 
     Addr baseAddr;
@@ -146,12 +156,19 @@ class AddressRegion
     std::uint64_t lines;
     /** Division-free reduction modulo `lines` (see scatter). */
     FastBound lineBound;
+    /** Integer Bernoulli thresholds for the locality fractions. */
+    BoolThreshold reuseThresh;
+    BoolThreshold seqThresh;
+    /** Division-free reduction for the intra-line offset draw. */
+    FastBound offsetBound;
     ZipfDistribution zipf;
     std::uint64_t streamCursor = 0;
     unsigned streamDwell = 0;
     std::vector<std::uint64_t> reuseRing;
     unsigned ringCursor = 0;
     unsigned ringFilled = 0;
+    /** Division-free reduction modulo ringFilled (see nextAccess). */
+    FastBound ringBound;
 };
 
 /**

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Randomized differential tests holding the batched execution kernel
+ * (ExecEngine::execute) to the scalar reference loop
+ * (ExecEngine::executeReference).
+ *
+ * The batched kernel's correctness argument is the draw-order
+ * contract: reference *generation* never depends on access outcomes,
+ * so bulk-generating a block of references ahead of the probes
+ * reorders nothing observable. These tests attack that claim from two
+ * sides: a low-level randomized sweep over profiles, core counts and
+ * contexts that compares ExecResult, RNG stream position, per-line
+ * cache/directory state and every statistic after each segment; and a
+ * system-level pass that drives whole experiments (all three decision
+ * policies, a K=2 NUMA topology, the serving front-end) down both
+ * paths via ExecEngine::setReferenceMode and byte-compares the result
+ * JSON and the emitted traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cpu/exec_engine.hh"
+#include "sim/trace.hh"
+#include "system/sweep.hh"
+#include "system/trace_capture.hh"
+#include "workload/address_space.hh"
+
+namespace oscar
+{
+namespace
+{
+
+/** Route execute() through the scalar loop for the guard's lifetime. */
+class ScopedReferenceMode
+{
+  public:
+    ScopedReferenceMode() { ExecEngine::setReferenceMode(true); }
+    ~ScopedReferenceMode() { ExecEngine::setReferenceMode(false); }
+};
+
+/** One of the two identical worlds a differential trial runs. */
+struct World
+{
+    AddressSpace space;
+    std::vector<AddressRegion *> regions; // [0] = code, rest = data
+    std::unique_ptr<MemorySystem> mem;
+    std::vector<SegmentProfile> profiles;
+    Rng rng{0};
+};
+
+struct RegionSpec
+{
+    std::string name;
+    std::uint64_t sizeBytes;
+};
+
+struct ProfileSpec
+{
+    double instrPerData;
+    double instrPerFetch;
+    /** (region index, weight, write fraction) per data target. */
+    std::vector<std::tuple<std::size_t, double, double>> data;
+};
+
+struct TrialSpec
+{
+    unsigned cores;
+    std::uint64_t seed;
+    std::vector<RegionSpec> regions;
+    std::vector<ProfileSpec> profiles;
+};
+
+/** Materialize the same trial specification into a fresh world. */
+void
+buildWorld(World &world, const TrialSpec &spec)
+{
+    for (const RegionSpec &r : spec.regions) {
+        RegionParams params;
+        params.name = r.name;
+        params.sizeBytes = r.sizeBytes;
+        world.regions.push_back(world.space.allocate(params));
+    }
+    world.mem = std::make_unique<MemorySystem>(
+        spec.cores, HierarchyGeometry{}, MemTimings{});
+    world.profiles.reserve(spec.profiles.size());
+    for (const ProfileSpec &p : spec.profiles) {
+        world.profiles.emplace_back(world.regions[0], p.instrPerData,
+                                    p.instrPerFetch);
+        for (const auto &[region, weight, wf] : p.data)
+            world.profiles.back().addData(world.regions[region],
+                                          weight, wf);
+        world.profiles.back().finalize();
+    }
+    world.rng = Rng(spec.seed);
+}
+
+/** Every observable the two paths must agree on, per core. */
+void
+expectSameMemoryState(const MemorySystem &a, const MemorySystem &b,
+                      unsigned cores, const TrialSpec &spec,
+                      const World &wa, const World &wb)
+{
+    ASSERT_EQ(a.directory().trackedLines(), b.directory().trackedLines());
+    for (CoreId core = 0; core < cores; ++core) {
+        for (auto pick : {&MemorySystem::l1i, &MemorySystem::l1d,
+                          &MemorySystem::l2}) {
+            const SetAssocCache &ca = (a.*pick)(core);
+            const SetAssocCache &cb = (b.*pick)(core);
+            EXPECT_EQ(ca.hits(), cb.hits());
+            EXPECT_EQ(ca.misses(), cb.misses());
+            EXPECT_EQ(ca.evictions(), cb.evictions());
+            EXPECT_EQ(ca.residentLines(), cb.residentLines());
+        }
+        const CoreMemStats &sa = a.stats(core);
+        const CoreMemStats &sb = b.stats(core);
+        EXPECT_EQ(sa.l1i.hits(), sb.l1i.hits());
+        EXPECT_EQ(sa.l1i.total(), sb.l1i.total());
+        EXPECT_EQ(sa.l1d.hits(), sb.l1d.hits());
+        EXPECT_EQ(sa.l1d.total(), sb.l1d.total());
+        EXPECT_EQ(sa.l2User.hits(), sb.l2User.hits());
+        EXPECT_EQ(sa.l2User.total(), sb.l2User.total());
+        EXPECT_EQ(sa.l2Os.hits(), sb.l2Os.hits());
+        EXPECT_EQ(sa.l2Os.total(), sb.l2Os.total());
+        EXPECT_EQ(sa.c2cTransfers, sb.c2cTransfers);
+        EXPECT_EQ(sa.invalidationsSent, sb.invalidationsSent);
+        EXPECT_EQ(sa.invalidationsReceived, sb.invalidationsReceived);
+        EXPECT_EQ(sa.upgrades, sb.upgrades);
+        EXPECT_EQ(sa.memoryFetches, sb.memoryFetches);
+        // Line-by-line MESI comparison over every region: counters
+        // can collide, tag state cannot.
+        for (std::size_t r = 0; r < spec.regions.size(); ++r) {
+            const Addr base_a = wa.regions[r]->base() >> 6;
+            const Addr base_b = wb.regions[r]->base() >> 6;
+            const Addr lines =
+                (spec.regions[r].sizeBytes + 63) >> 6;
+            for (Addr i = 0; i < lines; ++i) {
+                ASSERT_EQ(a.l2(core).probe(base_a + i),
+                          b.l2(core).probe(base_b + i))
+                    << "core " << core << " region " << r
+                    << " line " << i;
+                ASSERT_EQ(a.l1d(core).probe(base_a + i),
+                          b.l1d(core).probe(base_b + i));
+                ASSERT_EQ(a.l1i(core).probe(base_a + i),
+                          b.l1i(core).probe(base_b + i));
+            }
+        }
+    }
+}
+
+TEST(ExecBatchDifferential, RandomProfilesMatchScalarReference)
+{
+    // Each trial builds two identical worlds, runs a random schedule
+    // of segments — batched on one, scalar reference on the other —
+    // and demands bit-identical observables after every segment.
+    for (unsigned trial = 0; trial < 10; ++trial) {
+        std::mt19937_64 meta(7919 * trial + 11);
+        auto pick = [&meta](std::uint64_t lo, std::uint64_t hi) {
+            return lo + meta() % (hi - lo + 1);
+        };
+        auto frac = [&meta]() {
+            return static_cast<double>(meta() >> 11) * 0x1.0p-53;
+        };
+
+        TrialSpec spec;
+        spec.cores = static_cast<unsigned>(pick(1, 4));
+        spec.seed = meta();
+        spec.regions.push_back({"code", pick(8, 64) * 1024});
+        const std::size_t data_regions = pick(1, 3);
+        for (std::size_t r = 0; r < data_regions; ++r) {
+            spec.regions.push_back(
+                {"data" + std::to_string(r), pick(4, 256) * 1024});
+        }
+        const std::size_t profiles = pick(1, 2);
+        for (std::size_t p = 0; p < profiles; ++p) {
+            ProfileSpec prof;
+            prof.instrPerData = 1.5 + frac() * 14.5;
+            prof.instrPerFetch = 4.0 + frac() * 60.0;
+            // Profiles may target any subset of the data regions —
+            // including none, exercising the fetch-only block path.
+            for (std::size_t r = 1; r < spec.regions.size(); ++r) {
+                if (p == 0 || meta() % 2 == 0) {
+                    prof.data.emplace_back(r, 0.25 + frac() * 4.0,
+                                           frac() * 0.8);
+                }
+            }
+            spec.profiles.push_back(std::move(prof));
+        }
+
+        World batched;
+        World scalar;
+        buildWorld(batched, spec);
+        buildWorld(scalar, spec);
+
+        for (unsigned seg = 0; seg < 6; ++seg) {
+            const CoreId core = static_cast<CoreId>(
+                pick(0, spec.cores - 1));
+            const ExecContext ctx =
+                meta() % 2 == 0 ? ExecContext::User : ExecContext::Os;
+            // Spans straddling multiples of the 4096-reference batch
+            // exercise the partial-final-block path.
+            const InstCount instructions = pick(1, 30'000);
+            const std::size_t prof = pick(0, spec.profiles.size() - 1);
+
+            const ExecResult rb = ExecEngine::execute(
+                *batched.mem, core, ctx, instructions,
+                batched.profiles[prof], batched.rng);
+            const ExecResult rs = ExecEngine::executeReference(
+                *scalar.mem, core, ctx, instructions,
+                scalar.profiles[prof], scalar.rng);
+
+            ASSERT_EQ(rb.cycles, rs.cycles)
+                << "trial " << trial << " segment " << seg;
+            ASSERT_EQ(rb.dataAccesses, rs.dataAccesses);
+            ASSERT_EQ(rb.fetches, rs.fetches);
+            // The RNG streams must sit at the same position: probe
+            // with copies so the comparison itself consumes nothing.
+            Rng probe_b = batched.rng;
+            Rng probe_s = scalar.rng;
+            ASSERT_EQ(probe_b.next64(), probe_s.next64())
+                << "RNG streams diverged at trial " << trial
+                << " segment " << seg;
+            expectSameMemoryState(*batched.mem, *scalar.mem,
+                                  spec.cores, spec, batched, scalar);
+            if (::testing::Test::HasFailure())
+                return;
+        }
+    }
+}
+
+TEST(ExecBatchDifferential, ReferenceModeRoutesExecute)
+{
+    // Two worlds (regions carry generator state, so they cannot be
+    // shared): the scalar loop called directly must equal execute()
+    // under the thread-local reference-mode flag.
+    auto run = [](bool use_guard) {
+        AddressSpace space;
+        RegionParams params;
+        params.name = "code";
+        params.sizeBytes = 16 * 1024;
+        AddressRegion *code = space.allocate(params);
+        SegmentProfile profile(code, 1e9, 8.0);
+        profile.finalize();
+        MemorySystem mem(1, HierarchyGeometry{}, MemTimings{});
+        Rng rng(3);
+        ExecResult result;
+        if (use_guard) {
+            ScopedReferenceMode guard;
+            EXPECT_TRUE(ExecEngine::referenceMode());
+            result = ExecEngine::execute(mem, 0, ExecContext::User,
+                                         5'000, profile, rng);
+        } else {
+            result = ExecEngine::executeReference(
+                mem, 0, ExecContext::User, 5'000, profile, rng);
+        }
+        return std::make_pair(result, rng.next64());
+    };
+
+    EXPECT_FALSE(ExecEngine::referenceMode());
+    const auto [direct, direct_draw] = run(/*use_guard=*/false);
+    const auto [routed, routed_draw] = run(/*use_guard=*/true);
+    EXPECT_FALSE(ExecEngine::referenceMode());
+    EXPECT_EQ(direct.cycles, routed.cycles);
+    EXPECT_EQ(direct.fetches, routed.fetches);
+    EXPECT_EQ(direct_draw, routed_draw);
+}
+
+// ---------------------------------------------------------------------
+// System level: whole experiments down both paths.
+
+std::string
+resultsJson(const SystemConfig &config, const SimResults &results)
+{
+    SweepPointResult wrap;
+    wrap.label = "differential";
+    wrap.config = config;
+    wrap.ok = true;
+    wrap.results = results;
+    return sweepPointResultsJson(wrap);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+SimResults
+runTraced(const SystemConfig &config, bool reference,
+          const std::string &trace_path)
+{
+    JsonlTraceSink sink(trace_path, traceHeaderJson(config));
+    if (!reference)
+        return ExperimentRunner::run(config, &sink);
+    ScopedReferenceMode guard;
+    return ExperimentRunner::run(config, &sink);
+}
+
+void
+shrinkHorizon(SystemConfig &config)
+{
+    config.warmupInstructions = 20'000;
+    config.measureInstructions = 30'000;
+}
+
+std::shared_ptr<const ServingConfig>
+tinyServing()
+{
+    auto serving = std::make_shared<ServingConfig>();
+    serving->arrival = ArrivalModel::OpenLoop;
+    serving->dispatch = DispatchPolicy::NodeAffinity;
+    serving->meanInterarrivalCycles = 20'000.0;
+    serving->tenants = 16;
+    serving->tenantSkew = 0.99;
+    serving->warmupRequests = 20;
+    serving->measureRequests = 80;
+    return serving;
+}
+
+TEST(ExecBatchDifferential, WholeSystemsMatchAcrossPoliciesAndTopologies)
+{
+    // SI, DI, HI-dynamic, and a two-OS-core NUMA serving point: every
+    // layer that issues segment executions rides through both kernels.
+    std::vector<std::pair<std::string, SystemConfig>> configs;
+
+    SystemConfig si = ExperimentRunner::staticInstrConfig(
+        WorkloadKind::Apache, 1'000,
+        ExperimentRunner::profileServices(WorkloadKind::Apache));
+    shrinkHorizon(si);
+    configs.emplace_back("si", si);
+
+    SystemConfig di = ExperimentRunner::dynamicInstrConfig(
+        WorkloadKind::SpecJbb, 1'000, 100);
+    shrinkHorizon(di);
+    configs.emplace_back("di", di);
+
+    SystemConfig hi = ExperimentRunner::hardwareDynamicConfig(
+        WorkloadKind::Derby, 1'000);
+    shrinkHorizon(hi);
+    configs.emplace_back("hi", hi);
+
+    SystemConfig numa = ExperimentRunner::hardwareConfig(
+        WorkloadKind::Apache, /*static_n=*/0,
+        /*migration_one_way=*/100);
+    numa.userCores = 4;
+    numa.topology.osCores = 2;
+    numa.topology.numaNodes = 2;
+    numa.topology.placement = OsPlacement::Spread;
+    numa.topology.dispatch = OsDispatchPolicy::WorkStealing;
+    numa.topology.spillDepth = 1;
+    numa.serving = tinyServing();
+    shrinkHorizon(numa);
+    configs.emplace_back("numa-serving", numa);
+
+    for (const auto &[name, config] : configs) {
+        const std::string batched_path =
+            "test_exec_batch." + name + ".batched.jsonl";
+        const std::string scalar_path =
+            "test_exec_batch." + name + ".scalar.jsonl";
+        const SimResults batched =
+            runTraced(config, /*reference=*/false, batched_path);
+        const SimResults scalar =
+            runTraced(config, /*reference=*/true, scalar_path);
+
+        EXPECT_EQ(resultsJson(config, batched),
+                  resultsJson(config, scalar))
+            << "results diverged for " << name;
+        const std::string batched_bytes = readFile(batched_path);
+        EXPECT_FALSE(batched_bytes.empty());
+        EXPECT_EQ(batched_bytes, readFile(scalar_path))
+            << "trace bytes diverged for " << name;
+        std::remove(batched_path.c_str());
+        std::remove(scalar_path.c_str());
+    }
+}
+
+} // namespace
+} // namespace oscar

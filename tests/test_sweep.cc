@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -314,6 +315,220 @@ TEST(SweepAggregate, PoolsEveryQueueOfAMultiOsCorePoint)
     const std::string flat_json = flat_report.toJson();
     EXPECT_EQ(flat_json.find("\"numa\":{"), std::string::npos);
     EXPECT_EQ(flat_json.find("\"topology\":{"), std::string::npos);
+}
+
+/** A two-OS-core serving point exercising every mergeable channel. */
+SweepPoint
+shardedServingPoint(std::vector<std::uint64_t> seeds)
+{
+    SweepPoint point;
+    point.label = "sharded";
+    point.config = ExperimentRunner::hardwareConfig(
+        WorkloadKind::Apache, /*static_n=*/0,
+        /*migration_one_way=*/100, seeds.front());
+    point.config.userCores = 4;
+    point.config.topology.osCores = 2;
+    point.config.topology.numaNodes = 2;
+    point.config.topology.placement = OsPlacement::Spread;
+    point.config.topology.dispatch = OsDispatchPolicy::WorkStealing;
+    point.config.topology.spillDepth = 1;
+    point.config.warmupInstructions = 20'000;
+    point.config.measureInstructions = 15'000;
+    auto serving = std::make_shared<ServingConfig>();
+    serving->arrival = ArrivalModel::OpenLoop;
+    serving->dispatch = DispatchPolicy::NodeAffinity;
+    serving->meanInterarrivalCycles = 20'000.0;
+    serving->tenants = 16;
+    serving->tenantSkew = 0.99;
+    serving->warmupRequests = 20;
+    serving->measureRequests = 60;
+    point.config.serving = std::move(serving);
+    point.normalize = false;
+    point.replicaSeeds = std::move(seeds);
+    return point;
+}
+
+TEST(SweepReplicas, ShardedPointIsJobsInvariant)
+{
+    // A sharded point's sub-runs join the worker pool like independent
+    // points; whatever the job count or claim order, the fixed-order
+    // fold must produce byte-identical output.
+    std::vector<SweepPoint> points;
+    points.push_back(shardedServingPoint({42, 1337, 7}));
+    SweepPoint classic;
+    classic.label = "classic";
+    classic.config = quickConfig(WorkloadKind::SpecJbb, 1000, 1000);
+    points.push_back(classic);
+
+    ExperimentRunner::clearBaselineCache();
+    ParallelSweepRunner::clearWarmSnapshotCache();
+    const auto sequential = ParallelSweepRunner({1}).run(points);
+    ExperimentRunner::clearBaselineCache();
+    ParallelSweepRunner::clearWarmSnapshotCache();
+    const auto parallel = ParallelSweepRunner({4}).run(points);
+
+    ASSERT_EQ(sequential.size(), 2u);
+    ASSERT_EQ(parallel.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_TRUE(sequential[i].ok) << sequential[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        EXPECT_EQ(sweepPointResultsJson(sequential[i]),
+                  sweepPointResultsJson(parallel[i]))
+            << "point " << i;
+    }
+    EXPECT_EQ(sequential[0].replicaSeeds,
+              (std::vector<std::uint64_t>{42, 1337, 7}));
+    EXPECT_TRUE(sequential[1].replicaSeeds.empty());
+}
+
+TEST(SweepReplicas, MergedResultMatchesIndividuallyRunSeeds)
+{
+    // Cross-check the sharded fold against first principles: run each
+    // seed as its own classic point and fold the SimResults by hand
+    // through mergeReplicaResults — the sharded point must serialize
+    // to the very same bytes. Alongside, SweepAggregate pooling over
+    // the individual runs must agree with the merged distributions
+    // sample for sample (same population, not averaged percentiles).
+    const std::vector<std::uint64_t> seeds = {42, 1337};
+    const SweepPoint sharded = shardedServingPoint(seeds);
+
+    // Fresh path on both sides: runPoint(point, index) below never
+    // forks, so the sharded run must not either — fork-mode warm-up
+    // is a (deterministic) methodology change, not a byte-preserving
+    // optimization.
+    ParallelSweepRunner::clearWarmSnapshotCache();
+    const auto results =
+        ParallelSweepRunner({2, /*fork=*/false}).run({sharded});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+
+    std::vector<SimResults> individual;
+    SweepAggregate pooled;
+    for (const std::uint64_t seed : seeds) {
+        SweepPoint solo = sharded;
+        solo.replicaSeeds.clear();
+        solo.config.seed = seed;
+        solo.label = "solo";
+        const SweepPointResult run =
+            ParallelSweepRunner::runPoint(solo, 0);
+        ASSERT_TRUE(run.ok) << run.error;
+        individual.push_back(run.results);
+        pooled.add(run);
+    }
+
+    SweepPointResult manual = results[0];
+    manual.results = mergeReplicaResults(individual);
+    EXPECT_EQ(sweepPointResultsJson(results[0]),
+              sweepPointResultsJson(manual));
+
+    const SimResults &merged = results[0].results;
+    // Counters sum across replicas...
+    EXPECT_EQ(merged.requestsCompleted,
+              individual[0].requestsCompleted +
+                  individual[1].requestsCompleted);
+    EXPECT_EQ(merged.steals, individual[0].steals + individual[1].steals);
+    // ...and the latency population is the union of the replicas',
+    // matching the distribution-preserving aggregate exactly.
+    EXPECT_EQ(merged.requestLatency.count(),
+              pooled.requestLatency.count());
+    for (const double q : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(merged.requestLatency.quantile(q),
+                  pooled.requestLatency.quantile(q));
+    }
+    // Per-queue pooling: every admission of every replica's every
+    // queue lands in the merged per-queue results exactly once.
+    ASSERT_EQ(merged.osQueues.size(), 2u);
+    for (std::size_t k = 0; k < merged.osQueues.size(); ++k) {
+        EXPECT_EQ(merged.osQueues[k].admitted,
+                  individual[0].osQueues[k].admitted +
+                      individual[1].osQueues[k].admitted);
+    }
+}
+
+TEST(SweepReplicas, ReplicaMetricsFilesAreIndependentRegistries)
+{
+    // The no-double-count guarantee: each replica samples its own
+    // MetricRegistry into its own ".r<k>" file, so a replica's
+    // serving.* and os.queue.q<k>.* series carry that seed's run and
+    // nothing else. Proven by byte-comparing a replica's file against
+    // the file from running that seed standalone.
+    const std::vector<std::uint64_t> seeds = {42, 1337};
+    SweepPoint sharded = shardedServingPoint(seeds);
+    sharded.metricsPath = "test_sweep_replicas.metrics.jsonl";
+    sharded.metricsSampleEvery = 10'000;
+
+    ParallelSweepRunner::clearWarmSnapshotCache();
+    const auto results = ParallelSweepRunner({2}).run({sharded});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+
+    const std::string r0_path =
+        sweepReplicaPath(sharded.metricsPath, 0);
+    const std::string r1_path =
+        sweepReplicaPath(sharded.metricsPath, 1);
+    EXPECT_EQ(r0_path, "test_sweep_replicas.metrics.r0.jsonl");
+    EXPECT_EQ(results[0].metricsPath, r0_path);
+
+    SweepPoint solo = sharded;
+    solo.replicaSeeds.clear();
+    solo.config.seed = seeds[1];
+    solo.metricsPath = "test_sweep_replicas.solo.jsonl";
+    const SweepPointResult solo_run =
+        ParallelSweepRunner::runPoint(solo, 0);
+    ASSERT_TRUE(solo_run.ok) << solo_run.error;
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.good()) << path;
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    };
+    const std::string replica_doc = slurp(r1_path);
+    // The families the merge must not double-count are present...
+    EXPECT_NE(replica_doc.find("serving.completed"), std::string::npos);
+    EXPECT_NE(replica_doc.find("os.queue.q1."), std::string::npos);
+    // ...and the replica's document is byte-for-byte the standalone
+    // run of its seed: no sample from any sibling leaked in.
+    EXPECT_EQ(replica_doc, slurp(solo.metricsPath));
+
+    std::remove(r0_path.c_str());
+    std::remove(r1_path.c_str());
+    std::remove(solo.metricsPath.c_str());
+}
+
+TEST(SweepReplicas, FailedReplicaFailsThePointAndIsIsolated)
+{
+    std::vector<SweepPoint> points;
+    SweepPoint good;
+    good.label = "good";
+    good.config = quickConfig(WorkloadKind::Apache, 100, 1000);
+    points.push_back(good);
+
+    SweepPoint bad = shardedServingPoint({42, 1337});
+    bad.label = "bad";
+    bad.config.userCores = 0; // validate() calls oscar_fatal
+    points.push_back(bad);
+
+    for (unsigned jobs : {1u, 3u}) {
+        ExperimentRunner::clearBaselineCache();
+        ParallelSweepRunner::clearWarmSnapshotCache();
+        const auto results = ParallelSweepRunner({jobs}).run(points);
+        ASSERT_EQ(results.size(), 2u);
+        EXPECT_TRUE(results[0].ok) << results[0].error;
+        EXPECT_FALSE(results[1].ok);
+        // The error names the replica seed that poisoned the fold.
+        EXPECT_NE(results[1].error.find("replica seed 42"),
+                  std::string::npos)
+            << results[1].error;
+        EXPECT_NE(results[1].error.find("user core"), std::string::npos)
+            << results[1].error;
+    }
+}
+
+TEST(SweepReplicas, ReplicaPathDerivation)
+{
+    EXPECT_EQ(sweepReplicaPath("fig.2.jsonl", 1), "fig.2.r1.jsonl");
+    EXPECT_EQ(sweepReplicaPath("trace", 0), "trace.r0.jsonl");
 }
 
 TEST(SweepReport, WriteToBadPathFailsGracefully)
