@@ -22,6 +22,12 @@
  * percentiles are those of the union distribution. The
  * oscar.sweep.v1 report is byte-identical at any --jobs count.
  *
+ * Every point also records request spans (sim/span.hh): a second
+ * table per load attributes the p99 of each latency phase per
+ * topology — queue wait vs migration vs steal/spill transfer — so a
+ * losing topology shows *which* leg of the request path it loses on.
+ * Pass --spans PATH to export the per-point oscar.spans.v1 documents.
+ *
  * Flags: the shared sweep options (see BenchOptions) plus --tiny,
  * which shrinks the request horizon for CI smoke runs.
  */
@@ -86,6 +92,31 @@ makeTopology(unsigned os_cores, OsPlacement placement,
     if (dispatch == OsDispatchPolicy::WorkStealing)
         topo.spillDepth = 2;
     return topo;
+}
+
+/** Headers for the per-phase attribution table: a label column plus
+ * one column per span phase, in schema order. */
+std::vector<std::string>
+phaseHeaders(const char *label)
+{
+    std::vector<std::string> headers = {label};
+    for (std::size_t p = 0; p < kNumSpanPhases; ++p)
+        headers.push_back(spanPhaseName(static_cast<SpanPhase>(p)));
+    return headers;
+}
+
+/** Per-phase p99 cells for one cell's merged span aggregates. */
+std::vector<std::string>
+phaseP99Cells(const SimResults &r)
+{
+    std::vector<std::string> cells;
+    for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+        cells.push_back(r.spans == nullptr
+                            ? "-"
+                            : std::to_string(
+                                  r.spans->phase[p].quantile(0.99)));
+    }
+    return cells;
 }
 
 } // namespace
@@ -168,6 +199,7 @@ main(int argc, char **argv)
                 makeServing(load.meanInterarrival, tiny);
             point.normalize = false;
             point.replicaSeeds = seeds;
+            point.recordSpans = true;
             point.label =
                 std::string(scenario.name) + "/" + load.name;
             points.push_back(std::move(point));
@@ -175,6 +207,7 @@ main(int argc, char **argv)
     }
     applySweepTracePaths(points, opts.tracePath);
     applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
+    applySweepSpanPaths(points, opts.spansPath);
 
     const ParallelSweepRunner runner({opts.jobs, opts.fork});
     const auto results = runner.run(points);
@@ -195,6 +228,8 @@ main(int argc, char **argv)
                     load.name, load.meanInterarrival);
         TextTable table({"topology", "req/kcy", "p50", "p95", "p99",
                          "p999", "qwait p99", "steals", "spills"});
+        TextTable attribution(phaseHeaders("topology p99 by phase"));
+        const std::size_t cell = index;
         for (const Scenario &scenario : scenarios) {
             const SimResults &r = results[index++].results;
             const LatencyHistogram &lat = r.requestLatency;
@@ -214,6 +249,17 @@ main(int argc, char **argv)
             });
         }
         std::printf("%s\n", table.render().c_str());
+        // Attribution: p99 of each phase's per-request cycle total
+        // over the same pooled population — which leg of the request
+        // path each topology loses on.
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            std::vector<std::string> cells = {scenarios[s].name};
+            const std::vector<std::string> phases =
+                phaseP99Cells(results[cell + s].results);
+            cells.insert(cells.end(), phases.begin(), phases.end());
+            attribution.addRow(std::move(cells));
+        }
+        std::printf("%s\n", attribution.render().c_str());
     }
     std::printf("reading the tables: a second OS core pays for itself "
                 "when the K1 row's qwait p99\ndominates its request "

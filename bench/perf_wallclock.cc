@@ -22,6 +22,10 @@
  *  - numa_tiny: the `numa_topology --tiny` grid — K=1 plus six K=2
  *    placement×dispatch scenarios under two offered loads — so the
  *    baseline covers the multi-OS-core NUMA layer.
+ *  - spans_overhead: the serving_tiny grid again with a SpanRecorder
+ *    attached to every point; the delta against serving_tiny is the
+ *    whole-grid cost of per-request span capture (sim/span.hh), the
+ *    price the serving benches now pay for phase attribution.
  *  - trace_stream: one apache/HI run streaming an `oscar.trace.v1`
  *    JSONL trace to disk; measures the trace serialization + write
  *    path on top of simulation.
@@ -303,10 +307,11 @@ tinyServing(double mean_interarrival)
 /**
  * The `serving_tail_latency --tiny` grid: SI/DI/HI at two migration
  * design points under two offered loads, one seed — 12 request-mode
- * points on two user cores.
+ * points on two user cores. `record_spans` attaches a SpanRecorder to
+ * every point (the spans_overhead scenario).
  */
-ScenarioResult
-runServingTinyScenario(const PerfOptions &opts)
+std::vector<SweepPoint>
+servingTinyPoints(bool record_spans)
 {
     const WorkloadKind workload = WorkloadKind::Apache;
     const auto profile = ExperimentRunner::profileServices(workload);
@@ -329,11 +334,20 @@ runServingTinyScenario(const PerfOptions &opts)
                 p->config.userCores = 2;
                 p->config.serving = tinyServing(load);
                 p->normalize = false;
+                p->recordSpans = record_spans;
                 p->label = "p" + std::to_string(points.size());
                 points.push_back(std::move(*p));
             }
         }
     }
+    return points;
+}
+
+ScenarioResult
+runServingTinyScenario(const PerfOptions &opts)
+{
+    const std::vector<SweepPoint> points =
+        servingTinyPoints(/*record_spans=*/false);
 
     ParallelSweepRunner runner({/*jobs=*/1});
     std::uint64_t requests = 0;
@@ -348,6 +362,44 @@ runServingTinyScenario(const PerfOptions &opts)
     }, /*rep_boost=*/2);
     result.meta.emplace_back("points", std::to_string(points.size()));
     result.meta.emplace_back("requests", std::to_string(requests));
+    result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: serving grid with span capture attached
+
+/**
+ * Identical grid to serving_tiny but with per-request span recording
+ * on every point, so `spans_overhead − serving_tiny` bounds the cost
+ * of the span instrumentation over a representative serving sweep.
+ * (Span points never warm-snapshot fork, matching how the serving
+ * benches actually run them.)
+ */
+ScenarioResult
+runSpansOverheadScenario(const PerfOptions &opts)
+{
+    const std::vector<SweepPoint> points =
+        servingTinyPoints(/*record_spans=*/true);
+
+    ParallelSweepRunner runner({/*jobs=*/1});
+    std::uint64_t requests = 0;
+    std::uint64_t spans = 0;
+    bool all_ok = true;
+    ScenarioResult result = measure("spans_overhead", opts, [&] {
+        const auto results = runner.run(points);
+        requests = 0;
+        spans = 0;
+        for (const SweepPointResult &point : results) {
+            all_ok = all_ok && point.ok;
+            requests += point.results.requestsCompleted;
+            if (point.results.spans != nullptr)
+                spans += point.results.spans->spansRecorded;
+        }
+    }, /*rep_boost=*/2);
+    result.meta.emplace_back("points", std::to_string(points.size()));
+    result.meta.emplace_back("requests", std::to_string(requests));
+    result.meta.emplace_back("spans", std::to_string(spans));
     result.meta.emplace_back("all_ok", all_ok ? "true" : "false");
     return result;
 }
@@ -820,6 +872,8 @@ main(int argc, char **argv)
         scenarios.push_back(runFig5Scenario(opts));
     if (opts.selected("serving_tiny"))
         scenarios.push_back(runServingTinyScenario(opts));
+    if (opts.selected("spans_overhead"))
+        scenarios.push_back(runSpansOverheadScenario(opts));
     if (opts.selected("numa_tiny"))
         scenarios.push_back(runNumaTinyScenario(opts));
     if (opts.selected("exec_hot"))

@@ -19,12 +19,20 @@
  * per-cell detail (including the percentile series) lands in the
  * oscar.sweep.v1 report, byte-identical at any --jobs count.
  *
+ * Every point also records request spans (sim/span.hh): a second
+ * table per cell attributes the p99 of each latency phase — dispatch
+ * wait, user execution, OS-queue wait, migration, OS service — so the
+ * policy comparison says not just *which* tail is worse but *where*
+ * those cycles go. Pass --spans PATH to export the per-point
+ * oscar.spans.v1 documents (aggregates + slowest-request exemplars).
+ *
  * Flags: the shared sweep options (see BenchOptions) plus --tiny,
  * which shrinks the request horizon for CI smoke runs.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +70,31 @@ makeServing(double mean_interarrival, bool tiny)
     serving->warmupRequests = tiny ? 40 : 150;
     serving->measureRequests = tiny ? 150 : 1'000;
     return serving;
+}
+
+/** Headers for the per-phase attribution table: a label column plus
+ * one column per span phase, in schema order. */
+std::vector<std::string>
+phaseHeaders(const char *label)
+{
+    std::vector<std::string> headers = {label};
+    for (std::size_t p = 0; p < kNumSpanPhases; ++p)
+        headers.push_back(spanPhaseName(static_cast<SpanPhase>(p)));
+    return headers;
+}
+
+/** Per-phase p99 cells for one cell's merged span aggregates. */
+std::vector<std::string>
+phaseP99Cells(const SimResults &r)
+{
+    std::vector<std::string> cells;
+    for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+        cells.push_back(r.spans == nullptr
+                            ? "-"
+                            : std::to_string(
+                                  r.spans->phase[p].quantile(0.99)));
+    }
+    return cells;
 }
 
 } // namespace
@@ -142,6 +175,7 @@ main(int argc, char **argv)
                     makeServing(load.meanInterarrival, tiny);
                 point.normalize = false;
                 point.replicaSeeds = seeds;
+                point.recordSpans = true;
                 point.label = std::string(policy.name) + "/" +
                               load.name + "/lat=" +
                               std::to_string(migration);
@@ -151,6 +185,7 @@ main(int argc, char **argv)
     }
     applySweepTracePaths(points, opts.tracePath);
     applySweepMetricsPaths(points, opts.metricsPath, opts.metricsEvery);
+    applySweepSpanPaths(points, opts.spansPath);
 
     const ParallelSweepRunner runner({opts.jobs, opts.fork});
     const auto results = runner.run(points);
@@ -174,6 +209,8 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(migration));
             TextTable table({"policy", "req/kcy", "offload%", "p50",
                              "p95", "p99", "p999", "max"});
+            TextTable attribution(phaseHeaders("policy p99 by phase"));
+            const std::size_t cell = index;
             for (const PolicySetup &policy : policies) {
                 const SimResults &r = results[index++].results;
                 const LatencyHistogram &lat = r.requestLatency;
@@ -189,6 +226,17 @@ main(int argc, char **argv)
                 });
             }
             std::printf("%s\n", table.render().c_str());
+            // Attribution: p99 of each phase's per-request cycle
+            // total over the same pooled population — where the tail
+            // cycles actually go, phase by phase.
+            for (std::size_t p = 0; p < std::size(policies); ++p) {
+                std::vector<std::string> cells = {policies[p].name};
+                const std::vector<std::string> phases =
+                    phaseP99Cells(results[cell + p].results);
+                cells.insert(cells.end(), phases.begin(), phases.end());
+                attribution.addRow(std::move(cells));
+            }
+            std::printf("%s\n", attribution.render().c_str());
         }
     }
     std::printf("reading the tables: latencies are end-to-end cycles "

@@ -11,10 +11,12 @@
  *       Print "instant value" lines for one named series (cumulative
  *       by default, per-interval with --delta).
  *
- *   metrics_tools diff LEFT RIGHT
- *       Compare two documents structurally (series catalogue, then
- *       row by row); print the first divergence. Exits 1 when the
- *       documents differ.
+ *   metrics_tools diff LEFT RIGHT [--tolerance T]
+ *       Compare two documents. Structural divergences (catalogue,
+ *       row count, sample instants) are always failures; value
+ *       divergences are reported as per-series maximum relative
+ *       deltas and fail only when one exceeds T (default 0: exact
+ *       match). Exits 1 when the documents differ beyond tolerance.
  *
  *   metrics_tools validate FILE
  *       Run the schema validator (see sim/metrics_reader.hh) and list
@@ -22,7 +24,10 @@
  *       metrics check is built on this.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -196,18 +201,47 @@ runTimeseries(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Relative distance between two samples: |l-r| scaled by the larger
+ * magnitude. Equal values (including 0 vs 0) are distance 0; a value
+ * against exactly zero is distance 1 — any sign of life where the
+ * other run was flat is a full-scale divergence.
+ */
+double
+relativeDelta(double l, double r)
+{
+    if (l == r)
+        return 0.0;
+    const double scale = std::max(std::fabs(l), std::fabs(r));
+    return std::fabs(l - r) / scale;
+}
+
 int
 runDiff(int argc, char **argv)
 {
-    if (argc != 4) {
-        std::fprintf(stderr, "usage: %s diff LEFT RIGHT\n", argv[0]);
+    double tolerance = 0.0;
+    std::vector<std::string> positional;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+            tolerance = std::strtod(argv[++i], nullptr);
+        } else {
+            positional.emplace_back(argv[i]);
+        }
+    }
+    if (positional.size() != 2 || tolerance < 0.0) {
+        std::fprintf(stderr,
+                     "usage: %s diff LEFT RIGHT [--tolerance T]\n",
+                     argv[0]);
         return 2;
     }
-    const MetricsFile left = loadOrComplain(argv[2]);
-    const MetricsFile right = loadOrComplain(argv[3]);
+    const MetricsFile left = loadOrComplain(positional[0]);
+    const MetricsFile right = loadOrComplain(positional[1]);
     if (!left.ok || !right.ok)
         return 2;
 
+    // Structural divergences are never excusable by tolerance: a
+    // different catalogue or sampling grid means the runs are not
+    // comparable point for point.
     if (left.series.size() != right.series.size()) {
         std::printf("series catalogues differ: %zu vs %zu\n",
                     left.series.size(), right.series.size());
@@ -221,9 +255,12 @@ runDiff(int argc, char **argv)
             return 1;
         }
     }
-    const std::size_t rows =
-        std::min(left.rows.size(), right.rows.size());
-    for (std::size_t i = 0; i < rows; ++i) {
+    if (left.rows.size() != right.rows.size()) {
+        std::printf("row counts differ: %zu vs %zu\n",
+                    left.rows.size(), right.rows.size());
+        return 1;
+    }
+    for (std::size_t i = 0; i < left.rows.size(); ++i) {
         const MetricsRow &l = left.rows[i];
         const MetricsRow &r = right.rows[i];
         if (l.instant != r.instant || l.cycle != r.cycle) {
@@ -235,20 +272,44 @@ runDiff(int argc, char **argv)
                         static_cast<unsigned long long>(r.cycle));
             return 1;
         }
-        for (std::size_t s = 0; s < left.series.size(); ++s) {
-            if (l.cum[s] != r.cum[s]) {
-                std::printf("row %zu series '%s' differs: %s vs %s\n",
-                            i, left.series[s].name.c_str(),
-                            formatDouble(l.cum[s], 6).c_str(),
-                            formatDouble(r.cum[s], 6).c_str());
-                return 1;
+    }
+
+    // Value comparison: worst relative delta per series across all
+    // rows, reported for every series that diverges at all.
+    std::size_t exceeded = 0;
+    std::size_t diverged = 0;
+    for (std::size_t s = 0; s < left.series.size(); ++s) {
+        double worst = 0.0;
+        std::size_t worstRow = 0;
+        for (std::size_t i = 0; i < left.rows.size(); ++i) {
+            const double d =
+                relativeDelta(left.rows[i].cum[s], right.rows[i].cum[s]);
+            if (d > worst) {
+                worst = d;
+                worstRow = i;
             }
         }
+        if (worst == 0.0)
+            continue;
+        ++diverged;
+        const bool over = worst > tolerance;
+        exceeded += over ? 1 : 0;
+        std::printf("series '%s': max rel delta %.6g at row %zu "
+                    "(%s vs %s)%s\n",
+                    left.series[s].name.c_str(), worst, worstRow,
+                    formatDouble(left.rows[worstRow].cum[s], 6).c_str(),
+                    formatDouble(right.rows[worstRow].cum[s], 6).c_str(),
+                    over ? " EXCEEDS" : "");
     }
-    if (left.rows.size() != right.rows.size()) {
-        std::printf("row counts differ: %zu vs %zu\n",
-                    left.rows.size(), right.rows.size());
+    if (exceeded > 0) {
+        std::printf("%zu of %zu series exceed tolerance %.6g\n",
+                    exceeded, left.series.size(), tolerance);
         return 1;
+    }
+    if (diverged > 0) {
+        std::printf("%zu series diverge within tolerance %.6g\n",
+                    diverged, tolerance);
+        return 0;
     }
     std::printf("identical: %zu series, %zu rows\n",
                 left.series.size(), left.rows.size());
@@ -282,7 +343,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s {summary FILE | timeseries FILE SERIES "
-                     "[--delta] | diff LEFT RIGHT | validate FILE}\n",
+                     "[--delta] | diff LEFT RIGHT [--tolerance T] | "
+                     "validate FILE}\n",
                      argv[0]);
         return 2;
     }

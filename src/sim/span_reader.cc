@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Implementation of the `oscar.spans.v1` reader.
+ *
+ * The scanner is deliberately strict: it accepts exactly the byte
+ * layout system/span_capture.cc produces (keys in writer order, no
+ * whitespace, no string escapes). Anything else is a parse error —
+ * which is what the validation tests and the CI schema check want.
+ */
+
+#include "sim/span_reader.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+
+namespace oscar
+{
+
+namespace
+{
+
+/** Advance past `token` or fail. */
+bool
+expect(std::string_view text, std::size_t &pos, std::string_view token)
+{
+    if (text.substr(pos, token.size()) != token)
+        return false;
+    pos += token.size();
+    return true;
+}
+
+/** Parse a quoted string (writer strings never contain escapes). */
+bool
+parseString(std::string_view text, std::size_t &pos, std::string &out)
+{
+    if (pos >= text.size() || text[pos] != '"')
+        return false;
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string_view::npos)
+        return false;
+    out.assign(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+    return true;
+}
+
+bool
+parseUint(std::string_view text, std::size_t &pos, std::uint64_t &out)
+{
+    const char *begin = text.data() + pos;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr == begin)
+        return false;
+    pos += static_cast<std::size_t>(res.ptr - begin);
+    return true;
+}
+
+bool
+parseUint32(std::string_view text, std::size_t &pos, std::uint32_t &out)
+{
+    std::uint64_t wide = 0;
+    if (!parseUint(text, pos, wide) || wide > 0xFFFFFFFFull)
+        return false;
+    out = static_cast<std::uint32_t>(wide);
+    return true;
+}
+
+bool
+parseDouble(std::string_view text, std::size_t &pos, double &out)
+{
+    const char *begin = text.data() + pos;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr == begin)
+        return false;
+    pos += static_cast<std::size_t>(res.ptr - begin);
+    return true;
+}
+
+/** Skip a balanced `{...}` object (string-aware, escape-free). */
+bool
+skipObject(std::string_view text, std::size_t &pos)
+{
+    if (pos >= text.size() || text[pos] != '{')
+        return false;
+    int depth = 0;
+    bool in_string = false;
+    for (; pos < text.size(); ++pos) {
+        const char c = text[pos];
+        if (in_string) {
+            if (c == '"')
+                in_string = false;
+        } else if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            if (--depth == 0) {
+                ++pos;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+parseMetaLine(std::string_view line, SpansFile &file)
+{
+    std::size_t pos = 0;
+    if (!expect(line, pos, "{\"schema\":") ||
+        !parseString(line, pos, file.schema)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"spans\":") ||
+        !parseUint(line, pos, file.spans)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"exemplar_capacity\":") ||
+        !parseUint(line, pos, file.exemplarCapacity)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"config\":") || !skipObject(line, pos))
+        return false;
+    if (!expect(line, pos, ",\"phases\":["))
+        return false;
+    if (!expect(line, pos, "]")) {
+        for (;;) {
+            std::string name;
+            if (!parseString(line, pos, name))
+                return false;
+            file.catalogue.push_back(std::move(name));
+            if (expect(line, pos, "]"))
+                break;
+            if (!expect(line, pos, ","))
+                return false;
+        }
+    }
+    return expect(line, pos, "}") && pos == line.size();
+}
+
+bool
+parsePhaseLine(std::string_view line, SpanPhaseRow &row)
+{
+    std::size_t pos = 0;
+    return expect(line, pos, "{\"phase\":") &&
+           parseString(line, pos, row.name) &&
+           expect(line, pos, ",\"count\":") &&
+           parseUint(line, pos, row.count) &&
+           expect(line, pos, ",\"sum\":") &&
+           parseUint(line, pos, row.sum) &&
+           expect(line, pos, ",\"mean\":") &&
+           parseDouble(line, pos, row.mean) &&
+           expect(line, pos, ",\"min\":") &&
+           parseUint(line, pos, row.min) &&
+           expect(line, pos, ",\"max\":") &&
+           parseUint(line, pos, row.max) &&
+           expect(line, pos, ",\"p50\":") &&
+           parseUint(line, pos, row.p50) &&
+           expect(line, pos, ",\"p95\":") &&
+           parseUint(line, pos, row.p95) &&
+           expect(line, pos, ",\"p99\":") &&
+           parseUint(line, pos, row.p99) &&
+           expect(line, pos, ",\"p999\":") &&
+           parseUint(line, pos, row.p999) &&
+           expect(line, pos, "}") && pos == line.size();
+}
+
+bool
+parseSegObject(std::string_view line, std::size_t &pos, SpanSegRow &seg)
+{
+    if (!expect(line, pos, "{\"ph\":") ||
+        !parseString(line, pos, seg.phase) ||
+        !expect(line, pos, ",\"start\":") ||
+        !parseUint(line, pos, seg.start) ||
+        !expect(line, pos, ",\"cy\":") ||
+        !parseUint(line, pos, seg.cycles)) {
+        return false;
+    }
+    if (expect(line, pos, ",\"sv\":")) {
+        std::uint64_t value = 0;
+        if (!parseUint(line, pos, value))
+            return false;
+        seg.service = static_cast<std::int64_t>(value);
+    }
+    if (expect(line, pos, ",\"q\":")) {
+        std::uint64_t value = 0;
+        if (!parseUint(line, pos, value))
+            return false;
+        seg.queue = static_cast<std::int64_t>(value);
+    }
+    return expect(line, pos, "}");
+}
+
+bool
+parseSpanLine(std::string_view line, SpanRow &row)
+{
+    std::size_t pos = 0;
+    if (!expect(line, pos, "{\"span\":") ||
+        !parseUint(line, pos, row.id) ||
+        !expect(line, pos, ",\"tn\":") ||
+        !parseUint32(line, pos, row.tenant) ||
+        !expect(line, pos, ",\"t\":") ||
+        !parseUint32(line, pos, row.thread) ||
+        !expect(line, pos, ",\"segs_n\":") ||
+        !parseUint32(line, pos, row.segments) ||
+        !expect(line, pos, ",\"seed\":") ||
+        !parseUint(line, pos, row.seed) ||
+        !expect(line, pos, ",\"issued\":") ||
+        !parseUint(line, pos, row.issued) ||
+        !expect(line, pos, ",\"started\":") ||
+        !parseUint(line, pos, row.started) ||
+        !expect(line, pos, ",\"completed\":") ||
+        !parseUint(line, pos, row.completed) ||
+        !expect(line, pos, ",\"lat\":") ||
+        !parseUint(line, pos, row.latency) ||
+        !expect(line, pos, ",\"segs\":[")) {
+        return false;
+    }
+    if (!expect(line, pos, "]")) {
+        for (;;) {
+            SpanSegRow seg;
+            if (!parseSegObject(line, pos, seg))
+                return false;
+            row.segs.push_back(std::move(seg));
+            if (expect(line, pos, "]"))
+                break;
+            if (!expect(line, pos, ","))
+                return false;
+        }
+    }
+    return expect(line, pos, "}") && pos == line.size();
+}
+
+SpansFile
+failParse(std::string error)
+{
+    SpansFile file;
+    file.ok = false;
+    file.error = std::move(error);
+    return file;
+}
+
+} // namespace
+
+std::ptrdiff_t
+SpansFile::phaseIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (phases[i].name == name)
+            return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+SpansFile
+parseSpansDocument(const std::string &text)
+{
+    SpansFile file;
+    std::size_t line_start = 0;
+    std::size_t line_no = 0;
+    bool have_meta = false;
+    while (line_start < text.size()) {
+        std::size_t line_end = text.find('\n', line_start);
+        if (line_end == std::string::npos)
+            line_end = text.size();
+        const std::string_view line(text.data() + line_start,
+                                    line_end - line_start);
+        line_start = line_end + 1;
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (!have_meta) {
+            if (!parseMetaLine(line, file))
+                return failParse("line 1: malformed meta line");
+            have_meta = true;
+            continue;
+        }
+        if (line.substr(0, 9) == "{\"phase\":") {
+            SpanPhaseRow row;
+            if (!parsePhaseLine(line, row)) {
+                return failParse("line " + std::to_string(line_no) +
+                                 ": malformed phase row");
+            }
+            // Phase rows precede exemplars in the writer's layout.
+            if (!file.exemplars.empty()) {
+                return failParse("line " + std::to_string(line_no) +
+                                 ": phase row after exemplar rows");
+            }
+            file.phases.push_back(std::move(row));
+            continue;
+        }
+        SpanRow row;
+        if (!parseSpanLine(line, row)) {
+            return failParse("line " + std::to_string(line_no) +
+                             ": malformed span row");
+        }
+        file.exemplars.push_back(std::move(row));
+    }
+    if (!have_meta)
+        return failParse("empty document");
+    file.ok = true;
+    return file;
+}
+
+SpansFile
+loadSpansFile(const std::string &path)
+{
+    std::FILE *handle = std::fopen(path.c_str(), "rb");
+    if (handle == nullptr)
+        return failParse("cannot open '" + path + "'");
+    std::string text;
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), handle)) > 0)
+        text.append(buffer, got);
+    std::fclose(handle);
+    return parseSpansDocument(text);
+}
+
+std::vector<std::string>
+validateSpansFile(const SpansFile &file)
+{
+    std::vector<std::string> problems;
+    if (!file.ok) {
+        problems.push_back("parse failed: " + file.error);
+        return problems;
+    }
+    if (file.schema != kSpansSchema) {
+        problems.push_back("schema is '" + file.schema + "', expected '" +
+                           std::string(kSpansSchema) + "'");
+    }
+
+    // Meta catalogue must be the canonical phase list in order.
+    if (file.catalogue.size() != kNumSpanPhases) {
+        problems.push_back("phase catalogue has " +
+                           std::to_string(file.catalogue.size()) +
+                           " entries, expected " +
+                           std::to_string(kNumSpanPhases));
+    } else {
+        for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+            const char *want = spanPhaseName(static_cast<SpanPhase>(p));
+            if (file.catalogue[p] != want) {
+                problems.push_back("catalogue[" + std::to_string(p) +
+                                   "] is '" + file.catalogue[p] +
+                                   "', expected '" + want + "'");
+            }
+        }
+    }
+
+    // Aggregate rows: "total" first, then one row per catalogue phase.
+    if (file.phases.size() != kNumSpanPhases + 1) {
+        problems.push_back(std::to_string(file.phases.size()) +
+                           " phase rows, expected " +
+                           std::to_string(kNumSpanPhases + 1));
+        return problems; // Layout is broken; row checks would mislead.
+    }
+    if (file.phases.front().name != "total")
+        problems.push_back("first phase row is not 'total'");
+    std::uint64_t phase_sum = 0;
+    for (std::size_t i = 0; i < file.phases.size(); ++i) {
+        const SpanPhaseRow &row = file.phases[i];
+        const std::string where = "phase '" + row.name + "': ";
+        if (i > 0) {
+            const char *want =
+                spanPhaseName(static_cast<SpanPhase>(i - 1));
+            if (row.name != want) {
+                problems.push_back("phase row " + std::to_string(i) +
+                                   " is '" + row.name +
+                                   "', expected '" + want + "'");
+            }
+            phase_sum += row.sum;
+        }
+        if (row.count != file.spans) {
+            problems.push_back(where + "count " +
+                               std::to_string(row.count) +
+                               " != spans " +
+                               std::to_string(file.spans));
+        }
+        if (row.min > row.max)
+            problems.push_back(where + "min > max");
+        if (row.p50 > row.p95 || row.p95 > row.p99 ||
+            row.p99 > row.p999 || row.p999 > row.max) {
+            problems.push_back(where + "quantiles not monotone");
+        }
+        // The writer computes mean as sum/count in double; jsonNumber
+        // round-trips, so the check is exact.
+        const double want_mean =
+            row.count ? static_cast<double>(row.sum) /
+                            static_cast<double>(row.count)
+                      : 0.0;
+        if (row.mean != want_mean)
+            problems.push_back(where + "mean != sum / count");
+    }
+    // Every cycle of every request belongs to exactly one phase, so
+    // the per-phase sums reconstruct the end-to-end sum exactly
+    // (modulo 2^64, matching the histograms' wrap-around arithmetic).
+    if (phase_sum != file.phases.front().sum) {
+        problems.push_back("per-phase sums " + std::to_string(phase_sum) +
+                           " != total sum " +
+                           std::to_string(file.phases.front().sum));
+    }
+
+    if (file.exemplars.size() > file.exemplarCapacity) {
+        problems.push_back(std::to_string(file.exemplars.size()) +
+                           " exemplars exceed capacity " +
+                           std::to_string(file.exemplarCapacity));
+    }
+    if (file.spans >= file.exemplarCapacity &&
+        file.exemplars.size() != file.exemplarCapacity) {
+        problems.push_back("reservoir not full: " +
+                           std::to_string(file.exemplars.size()) +
+                           " exemplars from " +
+                           std::to_string(file.spans) + " spans");
+    }
+    for (std::size_t i = 0; i < file.exemplars.size(); ++i) {
+        const SpanRow &span = file.exemplars[i];
+        const std::string where =
+            "exemplar " + std::to_string(i) + " (span " +
+            std::to_string(span.id) + "): ";
+        if (i > 0) {
+            const SpanRow &prev = file.exemplars[i - 1];
+            const bool ordered =
+                prev.latency != span.latency
+                    ? prev.latency > span.latency
+                    : (prev.seed != span.seed ? prev.seed < span.seed
+                                              : prev.id < span.id);
+            if (!ordered)
+                problems.push_back(where + "not in slowest-first order");
+        }
+        if (span.issued > span.started || span.started > span.completed)
+            problems.push_back(where + "timestamps not ordered");
+        if (span.latency != span.completed - span.issued)
+            problems.push_back(where + "lat != completed - issued");
+        if (span.segs.empty()) {
+            problems.push_back(where + "no segments");
+            continue;
+        }
+        if (span.segs.front().phase != "dispatch_wait" ||
+            span.segs.front().start != span.issued) {
+            problems.push_back(where + "first segment is not the "
+                                       "dispatch wait at the issue "
+                                       "instant");
+        }
+        std::uint64_t cycle_sum = 0;
+        for (std::size_t s = 0; s < span.segs.size(); ++s) {
+            const SpanSegRow &seg = span.segs[s];
+            bool known = false;
+            for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+                if (seg.phase ==
+                    spanPhaseName(static_cast<SpanPhase>(p))) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                problems.push_back(where + "unknown phase '" +
+                                   seg.phase + "'");
+            }
+            if (s > 0 && seg.start < span.segs[s - 1].start)
+                problems.push_back(where + "segments not in start order");
+            if (seg.start < span.issued ||
+                seg.start + seg.cycles > span.completed) {
+                problems.push_back(where + "segment outside the span");
+            }
+            cycle_sum += seg.cycles;
+        }
+        // The segments tile the lifetime: phase attribution loses no
+        // cycles and counts none twice.
+        if (cycle_sum != span.latency) {
+            problems.push_back(where + "segment cycles " +
+                               std::to_string(cycle_sum) + " != lat " +
+                               std::to_string(span.latency));
+        }
+    }
+    return problems;
+}
+
+} // namespace oscar

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reader and validator for `oscar.spans.v1` documents.
+ *
+ * Like the metrics reader, this is a targeted scanner for the exact
+ * documents system/span_capture.cc emits (phase names are restricted
+ * to [a-z_], so no escape handling is needed). It exists for the span
+ * CLI (summary/top/rollup/diff/validate) and the schema-validation
+ * tests and CI step.
+ */
+
+#ifndef OSCAR_SIM_SPAN_READER_HH_
+#define OSCAR_SIM_SPAN_READER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/span.hh"
+
+namespace oscar
+{
+
+/** One parsed aggregate phase line. */
+struct SpanPhaseRow
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double mean = 0.0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+};
+
+/** One parsed exemplar segment. */
+struct SpanSegRow
+{
+    std::string phase;
+    std::uint64_t start = 0;
+    std::uint64_t cycles = 0;
+    /** Service id, or -1 when the segment carried none. */
+    std::int64_t service = -1;
+    /** Queue index, or -1 when the segment carried none. */
+    std::int64_t queue = -1;
+};
+
+/** One parsed exemplar span line. */
+struct SpanRow
+{
+    std::uint64_t id = 0;
+    std::uint32_t tenant = 0;
+    std::uint32_t thread = 0;
+    std::uint32_t segments = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t latency = 0;
+    std::vector<SpanSegRow> segs;
+};
+
+/** A parsed `oscar.spans.v1` document. */
+struct SpansFile
+{
+    /** False when parsing failed; `error` says why. */
+    bool ok = false;
+    std::string error;
+
+    std::string schema;
+    std::uint64_t spans = 0;
+    std::uint64_t exemplarCapacity = 0;
+    /** Phase catalogue from the meta line, in schema order. */
+    std::vector<std::string> catalogue;
+    /** Aggregate rows: "total" first, then the catalogue phases. */
+    std::vector<SpanPhaseRow> phases;
+    /** Exemplar spans, slowest first. */
+    std::vector<SpanRow> exemplars;
+
+    /** Index into phases[] by name, or -1 when absent. */
+    std::ptrdiff_t phaseIndex(const std::string &name) const;
+};
+
+/** Parse a document from memory. */
+SpansFile parseSpansDocument(const std::string &text);
+
+/** Load and parse a document from disk. */
+SpansFile loadSpansFile(const std::string &path);
+
+/**
+ * Check schema invariants: schema id; the phase catalogue matches the
+ * canonical phase list; a "total" row plus one row per phase, each
+ * with count == spans, monotone quantiles (p50<=p95<=p99<=p999<=max),
+ * and mean == sum/count; per-phase sums add up to the total sum
+ * exactly (modulo 2^64); exemplars within capacity, ordered slowest
+ * first (ties by seed then id), each with issued <= started <=
+ * completed, lat == completed - issued, segments in start order
+ * tiling [issued, completed] (cycle sum == lat), and a leading
+ * dispatch_wait segment anchored at the issue instant.
+ *
+ * @return Human-readable problems; empty when the file is valid.
+ */
+std::vector<std::string> validateSpansFile(const SpansFile &file);
+
+} // namespace oscar
+
+#endif // OSCAR_SIM_SPAN_READER_HH_

@@ -243,6 +243,16 @@ class LatencyHistogram
      */
     void merge(const LatencyHistogram &other);
 
+    /**
+     * Exact sum of recorded values, modulo 2^64. Unlike mean(), this
+     * is not subject to double rounding, so per-phase sums can be
+     * cross-checked against end-to-end sums with operator==.
+     */
+    std::uint64_t sum() const { return valueSum; }
+
+    /** Times sum() wrapped past 2^64. */
+    std::uint64_t sumWrapCount() const { return sumWraps; }
+
     /** Forget all samples. */
     void reset();
 

@@ -121,11 +121,15 @@ traceEventJson(const TraceEvent &event)
         w.field("tn", event.tenant);
         w.field("segs", event.actual);
         w.field("wait", event.latency);
+        if (event.queue != kNoTraceQueue)
+            w.field("q", event.queue);
         break;
       case TraceEventKind::RequestEnd:
         w.field("id", event.requestId);
         w.field("tn", event.tenant);
         w.field("lat", event.latency);
+        if (event.queue != kNoTraceQueue)
+            w.field("q", event.queue);
         break;
       case TraceEventKind::Steal:
         w.field("from", event.queueFrom);

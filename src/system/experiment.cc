@@ -107,11 +107,20 @@ SimResults
 ExperimentRunner::run(const SystemConfig &config, TraceSink *trace,
                       MetricRegistry *metrics)
 {
+    return run(config, trace, metrics, nullptr);
+}
+
+SimResults
+ExperimentRunner::run(const SystemConfig &config, TraceSink *trace,
+                      MetricRegistry *metrics, SpanRecorder *spans)
+{
     System system(config);
     if (trace != nullptr)
         system.setTraceSink(trace);
     if (metrics != nullptr)
         system.setMetricRegistry(metrics);
+    if (spans != nullptr)
+        system.setSpanRecorder(spans);
     return system.run();
 }
 

@@ -82,6 +82,16 @@ class ExperimentRunner
                           MetricRegistry *metrics);
 
     /**
+     * Build and run a system with any combination of trace sink,
+     * metric registry, and span recorder attached (see sim/span.hh).
+     * Null arguments behave exactly like run(config); a non-null
+     * recorder requires a serving configuration.
+     */
+    static SimResults run(const SystemConfig &config, TraceSink *trace,
+                          MetricRegistry *metrics,
+                          SpanRecorder *spans);
+
+    /**
      * Run a configuration and its uni-processor baseline with the same
      * seed, returning variant throughput / baseline throughput — the
      * normalized IPC of Figures 4 and 5.

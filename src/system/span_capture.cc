@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Implementation of `oscar.spans.v1` serialization.
+ */
+
+#include "system/span_capture.hh"
+
+#include <cstdio>
+
+#include "core/offload_policy.hh"
+#include "core/run_length_predictor.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "workload/workload.hh"
+
+namespace oscar
+{
+
+namespace
+{
+
+const char *
+predictorShortName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Cam: return "cam";
+      case PredictorKind::DirectMapped: return "direct-mapped";
+      case PredictorKind::Infinite: return "infinite";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+spansMetaJson(const SpanResults &results, const SystemConfig &config)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kSpansSchema);
+    w.field("spans", results.spansRecorded);
+    w.field("exemplar_capacity",
+            static_cast<std::uint64_t>(results.exemplarCapacity));
+    w.key("config");
+    w.beginObject();
+    w.field("workload", workloadName(config.workload));
+    w.field("policy", policyShortName(config.policy));
+    w.field("predictor", predictorShortName(config.predictor));
+    w.field("user_cores", config.userCores);
+    w.field("offload_enabled", config.offloadEnabled);
+    w.field("dynamic_threshold", config.dynamicThreshold);
+    w.field("static_threshold", config.staticThreshold);
+    w.field("migration_one_way_cycles", config.migrationOneWayCycles);
+    w.field("seed", config.seed);
+    w.endObject();
+    w.key("phases");
+    w.beginArray();
+    for (std::size_t p = 0; p < kNumSpanPhases; ++p)
+        w.value(spanPhaseName(static_cast<SpanPhase>(p)));
+    w.endArray();
+    w.endObject();
+    oscar_assert(w.complete());
+    return w.str();
+}
+
+std::string
+spanPhaseJson(const char *name, const LatencyHistogram &histogram)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("phase", name);
+    w.field("count", histogram.count());
+    w.field("sum", histogram.sum());
+    w.field("mean", histogram.mean());
+    w.field("min", histogram.min());
+    w.field("max", histogram.max());
+    w.field("p50", histogram.quantile(0.50));
+    w.field("p95", histogram.quantile(0.95));
+    w.field("p99", histogram.quantile(0.99));
+    w.field("p999", histogram.quantile(0.999));
+    w.endObject();
+    oscar_assert(w.complete());
+    return w.str();
+}
+
+std::string
+spanExemplarJson(const RequestSpan &span)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("span", span.requestId);
+    w.field("tn", span.tenant);
+    w.field("t", span.thread);
+    w.field("segs_n", span.segments);
+    w.field("seed", span.seed);
+    w.field("issued", span.issued);
+    w.field("started", span.started);
+    w.field("completed", span.completed);
+    w.field("lat", span.latency());
+    w.key("segs");
+    w.beginArray();
+    for (const SpanSegment &seg : span.segs) {
+        w.beginObject();
+        w.field("ph", spanPhaseName(seg.phase));
+        w.field("start", seg.start);
+        w.field("cy", seg.cycles);
+        if (seg.service != kNoSpanService)
+            w.field("sv", static_cast<unsigned>(seg.service));
+        if (seg.queue != kNoSpanQueue)
+            w.field("q", seg.queue);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    oscar_assert(w.complete());
+    return w.str();
+}
+
+std::string
+spansDocument(const SpanResults &results, const SystemConfig &config)
+{
+    std::string out = spansMetaJson(results, config);
+    out += '\n';
+    out += spanPhaseJson("total", results.total);
+    out += '\n';
+    for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+        out += spanPhaseJson(spanPhaseName(static_cast<SpanPhase>(p)),
+                             results.phase[p]);
+        out += '\n';
+    }
+    for (const RequestSpan &span : results.exemplars) {
+        out += spanExemplarJson(span);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writeSpansFile(const SpanResults &results, const SystemConfig &config,
+               const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        oscar_warn("cannot open spans file '%s'", path.c_str());
+        return false;
+    }
+    const std::string doc = spansDocument(results, config);
+    const std::size_t written =
+        std::fwrite(doc.data(), 1, doc.size(), file);
+    std::fclose(file);
+    if (written != doc.size()) {
+        oscar_warn("short write to spans file '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace oscar

@@ -22,6 +22,7 @@
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "system/metrics_capture.hh"
+#include "system/span_capture.hh"
 #include "system/trace_capture.hh"
 
 namespace oscar
@@ -167,6 +168,35 @@ writeResultsJson(JsonWriter &w, const SweepPointResult &point)
         w.endObject();
     }
 
+    // Span-recording points add per-phase attribution; everything
+    // else keeps the pre-existing byte layout (spans off = no block).
+    if (r.spans != nullptr) {
+        const SpanResults &s = *r.spans;
+        w.key("spans");
+        w.beginObject();
+        w.field("count", s.spansRecorded);
+        w.field("exemplars",
+                static_cast<std::uint64_t>(s.exemplars.size()));
+        w.key("phases");
+        w.beginArray();
+        for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+            const LatencyHistogram &h = s.phase[p];
+            w.beginObject();
+            w.field("name", spanPhaseName(static_cast<SpanPhase>(p)));
+            w.field("count", h.count());
+            w.field("sum", h.sum());
+            w.field("mean", h.mean());
+            w.field("p50", h.quantile(0.50));
+            w.field("p95", h.quantile(0.95));
+            w.field("p99", h.quantile(0.99));
+            w.field("p999", h.quantile(0.999));
+            w.field("max", h.max());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
     w.field("final_threshold", r.finalThreshold);
     w.field("threshold_switches", r.thresholdSwitches);
     w.key("threshold_trajectory");
@@ -191,6 +221,10 @@ writePointJson(JsonWriter &w, const SweepPointResult &point,
     w.field("ok", point.ok);
     w.field("error", point.error);
     w.field("metrics_path", point.metricsPath);
+    // Span-exporting points record their file; everything else keeps
+    // the pre-existing byte layout.
+    if (!point.spansPath.empty())
+        w.field("spans_path", point.spansPath);
     // Sharded points record their replica seeds; classic points emit
     // nothing here, so pre-existing artifacts stay byte-identical.
     if (!point.replicaSeeds.empty()) {
@@ -275,6 +309,11 @@ forkEligible(const SweepPoint &point)
 {
     if (!point.tracePath.empty() || !point.metricsPath.empty())
         return false;
+    // Span points run fresh too: the recorder must see every request
+    // of the measured region from a cold start so phase sums
+    // cross-check against requestLatency exactly.
+    if (point.recordSpans || !point.spansPath.empty())
+        return false;
     if (point.config.serving != nullptr)
         return point.config.serving->warmupRequests > 0;
     return point.config.warmupInstructions > 0;
@@ -348,6 +387,11 @@ SweepAggregate::add(const SweepPointResult &result)
     }
     steals += result.results.steals;
     spills += result.results.spills;
+    if (result.results.spans != nullptr) {
+        spans += result.results.spans->spansRecorded;
+        for (std::size_t p = 0; p < kNumSpanPhases; ++p)
+            spanPhase[p].merge(result.results.spans->phase[p]);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -360,6 +404,11 @@ mergeReplicaResults(const std::vector<SimResults> &replicas)
     // Replica 0 seeds every field with no pooled form (workload and
     // policy names, the threshold trajectory, final threshold).
     SimResults merged = replicas.front();
+    // SimResults shares its span aggregates behind a shared_ptr;
+    // deep-copy before folding so replica 0's own results stay
+    // untouched.
+    if (merged.spans != nullptr)
+        merged.spans = std::make_shared<SpanResults>(*merged.spans);
     if (replicas.size() == 1)
         return merged;
 
@@ -422,6 +471,8 @@ mergeReplicaResults(const std::vector<SimResults> &replicas)
         merged.invocationLengths.merge(r.invocationLengths);
         merged.requestLatency.merge(r.requestLatency);
         merged.requestDispatchWait.merge(r.requestDispatchWait);
+        if (merged.spans != nullptr && r.spans != nullptr)
+            merged.spans->merge(*r.spans);
         merged.accuracy.merge(r.accuracy);
         // Queue k of one replica merges with queue k of every other:
         // replicas share the configuration, hence the topology.
@@ -563,12 +614,20 @@ ParallelSweepRunner::runPoint(const SweepPoint &point, std::size_t index,
                 metrics = std::make_unique<MetricRegistry>(
                     point.metricsSampleEvery);
             }
+            std::unique_ptr<SpanRecorder> spans;
+            if (point.recordSpans || !point.spansPath.empty())
+                spans = std::make_unique<SpanRecorder>(point.spanExemplars);
             result.results = ExperimentRunner::run(
-                point.config, trace.get(), metrics.get());
+                point.config, trace.get(), metrics.get(), spans.get());
             if (metrics &&
                 writeMetricsFile(*metrics, point.config,
                                  point.metricsPath)) {
                 result.metricsPath = point.metricsPath;
+            }
+            if (spans && !point.spansPath.empty() &&
+                writeSpansFile(spans->results(), point.config,
+                               point.spansPath)) {
+                result.spansPath = point.spansPath;
             }
         }
         if (point.normalize) {
@@ -610,6 +669,8 @@ replicaSubPoint(const SweepPoint &point, std::size_t replica)
         sub.tracePath = sweepReplicaPath(point.tracePath, replica);
     if (!sub.metricsPath.empty())
         sub.metricsPath = sweepReplicaPath(point.metricsPath, replica);
+    if (!sub.spansPath.empty())
+        sub.spansPath = sweepReplicaPath(point.spansPath, replica);
     return sub;
 }
 
@@ -650,6 +711,8 @@ mergeReplicaPoint(const SweepPoint &point, std::size_t index,
         }
         if (merged.metricsPath.empty())
             merged.metricsPath = rep.metricsPath;
+        if (merged.spansPath.empty())
+            merged.spansPath = rep.spansPath;
         if (rep.normalized > 0.0) {
             normalized_sum += rep.normalized;
             ++normalized_count;
@@ -863,6 +926,15 @@ applySweepMetricsPaths(std::vector<SweepPoint> &points,
     }
 }
 
+void
+applySweepSpanPaths(std::vector<SweepPoint> &points,
+                    const std::string &base)
+{
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i].spansPath = base.empty() ? std::string()
+                                           : sweepTracePath(base, i);
+}
+
 // ---------------------------------------------------------------------
 // BenchOptions
 
@@ -875,7 +947,8 @@ BenchOptions::parse(int argc, char **argv,
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" || arg == "--json" || arg == "--trace" ||
-            arg == "--metrics" || arg == "--metrics-every") {
+            arg == "--metrics" || arg == "--metrics-every" ||
+            arg == "--spans") {
             if (i + 1 >= argc)
                 oscar_fatal("bench option '%s' requires a value "
                             "(try --help)", arg.c_str());
@@ -898,6 +971,8 @@ BenchOptions::parse(int argc, char **argv,
             opts.tracePath = argv[++i];
         } else if (arg == "--metrics") {
             opts.metricsPath = argv[++i];
+        } else if (arg == "--spans") {
+            opts.spansPath = argv[++i];
         } else if (arg == "--metrics-every") {
             const char *text = argv[++i];
             char *end = nullptr;
@@ -910,7 +985,7 @@ BenchOptions::parse(int argc, char **argv,
         } else if (arg == "--help") {
             std::printf("usage: %s [--jobs N] [--json PATH | --no-json]"
                         " [--no-fork] [--trace PATH] [--metrics PATH]"
-                        " [--metrics-every N]\n"
+                        " [--metrics-every N] [--spans PATH]\n"
                         "  --jobs N          worker threads (0 = all "
                         "cores; default 1)\n"
                         "  --json P          write the sweep report to "
@@ -927,7 +1002,10 @@ BenchOptions::parse(int argc, char **argv,
                         "  --metrics-every N metric sampling period in "
                         "retired instructions\n"
                         "                    (default 1000000; 0 = "
-                        "endpoints only)\n",
+                        "endpoints only)\n"
+                        "  --spans P         write per-point "
+                        "oscar.spans.v1 files derived from P\n"
+                        "                    (serving benches)\n",
                         argv[0], default_json.c_str());
             std::exit(0);
         } else {

@@ -65,6 +65,23 @@ struct SweepPoint
      */
     std::uint64_t metricsSampleEvery = 1'000'000;
     /**
+     * True to attach a SpanRecorder (see sim/span.hh): the point's
+     * results carry per-phase latency histograms and tail exemplars
+     * in SimResults::spans, and the report gains a "spans" block.
+     * Span points always take the fresh path (no warm-snapshot fork),
+     * so phase sums cross-check against requestLatency exactly.
+     * Serving configurations only.
+     */
+    bool recordSpans = false;
+    /**
+     * When non-empty, the point writes its `oscar.spans.v1` document
+     * to this file (implies recordSpans). Each point owns its file,
+     * so the bytes written are independent of the sweep's job count.
+     */
+    std::string spansPath;
+    /** Tail-exemplar reservoir capacity for this point's recorder. */
+    std::size_t spanExemplars = 8;
+    /**
      * Seed replicas of this point. When non-empty, the runner executes
      * one sub-run per listed seed (the point's configuration with
      * `config.seed` replaced) and folds the sub-runs — in listed
@@ -96,6 +113,9 @@ struct SweepPointResult
 
     /** Metrics file the point wrote; empty when metrics were off. */
     std::string metricsPath;
+
+    /** Spans file the point wrote; empty when spans were off. */
+    std::string spansPath;
 
     /**
      * Seeds of the replicas folded into this result; empty for a
@@ -151,6 +171,11 @@ struct SweepAggregate
     /** Work-stealing balance actions summed across points. */
     std::uint64_t steals = 0;
     std::uint64_t spills = 0;
+
+    /** Spans folded in (span-recording points only). */
+    std::uint64_t spans = 0;
+    /** Merged per-phase span histograms (see sim/span.hh). */
+    std::array<LatencyHistogram, kNumSpanPhases> spanPhase;
 
     /** Fold one point in; failed points are skipped. */
     void add(const SweepPointResult &result);
@@ -383,6 +408,8 @@ std::string sweepPointResultsJson(const SweepPointResult &result);
  *                     as PATH-derived files
  *   --metrics-every N metric sampling period in retired instructions
  *                     (default 1000000; 0 = endpoints only)
+ *   --spans PATH      capture per-point oscar.spans.v1 documents as
+ *                     PATH-derived files (serving benches)
  *   --help            print usage and exit
  */
 struct BenchOptions
@@ -398,6 +425,8 @@ struct BenchOptions
     std::string metricsPath;
     /** Metric sampling period in retired instructions. */
     std::uint64_t metricsEvery = 1'000'000;
+    /** Per-point spans base path; empty disables span export. */
+    std::string spansPath;
 
     /**
      * Parse argv; fatal on malformed flags.
@@ -430,6 +459,14 @@ void applySweepTracePaths(std::vector<SweepPoint> &points,
 void applySweepMetricsPaths(std::vector<SweepPoint> &points,
                             const std::string &base,
                             std::uint64_t sample_every = 1'000'000);
+
+/**
+ * Set every point's spansPath from a base path (same derivation as
+ * sweepTracePath); an empty base clears the paths but leaves each
+ * point's recordSpans flag untouched.
+ */
+void applySweepSpanPaths(std::vector<SweepPoint> &points,
+                         const std::string &base);
 
 } // namespace oscar
 

@@ -262,6 +262,8 @@ System::reconfigureForMeasurement(const SystemConfig &config)
     requestsOfferedMeasured = 0;
     requestLatency = LatencyHistogram{};
     requestDispatchWait.reset();
+    if (spans != nullptr)
+        spans->reset();
 }
 
 System::~System() = default;
@@ -276,6 +278,17 @@ System::setTraceSink(TraceSink *sink)
     controller.setTraceSink(sink);
     for (Thread &thread : threads)
         thread.policy->setTraceSink(sink, thread.id);
+}
+
+void
+System::setSpanRecorder(SpanRecorder *recorder)
+{
+    oscar_assert(!started && "attach the span recorder before run()");
+    oscar_assert((recorder == nullptr || cfg.serving != nullptr) &&
+                 "span recording requires serving mode");
+    spans = recorder;
+    if (spans != nullptr)
+        spans->bind(threads.size(), cfg.seed);
 }
 
 void
@@ -645,6 +658,8 @@ System::threadStep(std::uint32_t tid)
         cores[thread.core].cycles().user += result.cycles;
         cores[thread.core].retireUser(token.burstLength);
         retire(thread, token.burstLength, false);
+        if (spans != nullptr)
+            spans->segment(tid, SpanPhase::User, now, result.cycles);
         scheduleThread(tid, now + result.cycles);
         return;
     }
@@ -670,6 +685,10 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
 
     const OffloadDecision decision = thread.policy->decide(inv);
     cores[thread.core].cycles().decision += decision.cost;
+    if (spans != nullptr) {
+        spans->segment(tid, SpanPhase::Decision, now, decision.cost,
+                       static_cast<std::uint16_t>(inv.service->id));
+    }
     if (trace != nullptr) {
         TraceEvent event;
         event.kind = TraceEventKind::Decision;
@@ -711,6 +730,11 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
             trace->emit(event);
         }
         retire(thread, length, true);
+        if (spans != nullptr) {
+            spans->segment(tid, SpanPhase::OsInline,
+                           now + decision.cost, result.cycles,
+                           static_cast<std::uint16_t>(inv.service->id));
+        }
         if (servingMode()) {
             oscar_assert(thread.servingRequest &&
                          thread.segmentsLeft > 0);
@@ -741,6 +765,12 @@ System::handleInvocation(std::uint32_t tid, const OsInvocation &inv)
         if (queues.size() > 1)
             event.queue = target;
         trace->emit(event);
+    }
+    if (spans != nullptr) {
+        spans->segment(tid, SpanPhase::MigrationOut,
+                       now + decision.cost, one_way,
+                       static_cast<std::uint16_t>(inv.service->id),
+                       target);
     }
     thread.pendingInv = inv;
     thread.pendingDecision = decision;
@@ -788,6 +818,12 @@ System::osCoreArrival(std::uint32_t tid)
                 event.latency = transfer;
                 trace->emit(event);
             }
+            if (spans != nullptr) {
+                spans->segment(tid, SpanPhase::Spill, now, transfer,
+                               static_cast<std::uint16_t>(
+                                   thread.pendingInv.service->id),
+                               spill);
+            }
             thread.pendingQueue = spill;
             thread.offloadArrival = now + transfer;
             events.schedulePayload(
@@ -822,6 +858,8 @@ System::startOsExecution(std::uint32_t tid, Cycle start, unsigned target)
     oscar_assert(start >= thread.offloadArrival);
     const Cycle waited = start - thread.offloadArrival;
     cores[thread.core].cycles().queueWait += waited;
+    if (spans != nullptr)
+        spans->queueWait(tid, start, waited, target);
 
     const InstCount length = extendedLength(thread.pendingInv);
     const ExecResult result = ExecEngine::execute(
@@ -830,6 +868,12 @@ System::startOsExecution(std::uint32_t tid, Cycle start, unsigned target)
         thread.rng);
     cores[os_core].cycles().os += result.cycles;
     cores[os_core].retireOs(length);
+    if (spans != nullptr) {
+        spans->segment(tid, SpanPhase::OsExec, start, result.cycles,
+                       static_cast<std::uint16_t>(
+                           thread.pendingInv.service->id),
+                       target);
+    }
 
     events.schedulePayload(
         start + result.cycles,
@@ -875,6 +919,12 @@ System::osCoreComplete(std::uint32_t tid, InstCount executed_length)
             event.queue = queue_idx;
         trace->emit(event);
     }
+    if (spans != nullptr) {
+        spans->segment(tid, SpanPhase::MigrationBack, now, one_way,
+                       static_cast<std::uint16_t>(
+                           thread.pendingInv.service->id),
+                       queue_idx);
+    }
     if (servingMode()) {
         oscar_assert(thread.servingRequest && thread.segmentsLeft > 0);
         --thread.segmentsLeft;
@@ -914,6 +964,8 @@ System::maybeSteal(unsigned thief, Cycle now)
         event.latency = transfer;
         trace->emit(event);
     }
+    if (spans != nullptr)
+        spans->stealTransfer(req.threadId, now, transfer, thief);
     thread.pendingQueue = thief;
     // The thief is committed now (so later arrivals queue behind the
     // stolen request) but service starts after the transfer.
@@ -1022,7 +1074,18 @@ System::beginRequest(std::uint32_t tid, Cycle now)
         event.tenant = thread.currentRequest.tenant;
         event.actual = thread.currentRequest.segments;
         event.latency = waited;
+        // Carry the home dispatch queue when K>1, matching the
+        // qenter/qexit convention, so spans reconstructed from traces
+        // can bind a request to its queue.
+        if (queues.size() > 1)
+            event.queue = topo.homeQueue(thread.core);
         trace->emit(event);
+    }
+    if (spans != nullptr) {
+        spans->begin(tid, thread.currentRequest.id,
+                     thread.currentRequest.tenant,
+                     thread.currentRequest.segments,
+                     thread.currentRequest.issued, now);
     }
     return true;
 }
@@ -1047,8 +1110,14 @@ System::completeRequest(std::uint32_t tid, Cycle now)
         event.requestId = thread.currentRequest.id;
         event.tenant = thread.currentRequest.tenant;
         event.latency = latency;
+        if (queues.size() > 1)
+            event.queue = topo.homeQueue(thread.core);
         trace->emit(event);
     }
+    // Before the measuring block: the request that triggers
+    // enterMeasurement below is warmup, exactly like requestLatency.
+    if (spans != nullptr)
+        spans->complete(tid, now, measuring);
 
     if (measuring) {
         requestLatency.add(latency);
@@ -1240,6 +1309,8 @@ System::collectResults() const
                 : 0.0;
         results.requestLatency = requestLatency;
         results.requestDispatchWait = requestDispatchWait;
+        if (spans != nullptr)
+            results.spans = std::make_shared<SpanResults>(spans->results());
     }
 
     if (cfg.offloadEnabled) {

@@ -32,6 +32,7 @@
 #include "os/os_service.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/span.hh"
 #include "sim/stats.hh"
 #include "system/system_config.hh"
 #include "workload/address_space.hh"
@@ -207,6 +208,12 @@ struct SimResults
     LatencyHistogram requestLatency;
     /** Cycles requests waited for a server thread before starting. */
     RunningStat requestDispatchWait;
+    /**
+     * Per-request span aggregates (see sim/span.hh); null unless a
+     * SpanRecorder was attached. Shared so copying SimResults stays
+     * cheap; replica merging deep-copies before folding.
+     */
+    std::shared_ptr<SpanResults> spans;
 };
 
 /**
@@ -289,6 +296,20 @@ class System
      * attaching one leaves traces and results byte-identical.
      */
     void setMetricRegistry(MetricRegistry *registry);
+
+    /**
+     * Attach a per-request span recorder (see sim/span.hh).
+     *
+     * Serving mode only; must be called before run(). Every phase a
+     * request passes through — dispatch wait, user execution, the
+     * offload decision, migrations, queueing, steals/spills, OS
+     * execution — is recorded as a span segment, and per-phase totals
+     * fold into the recorder's histograms at request completion.
+     * Spans never feed back into simulation: an attached recorder
+     * leaves results and traces byte-identical to a detached run.
+     * Null detaches (the default).
+     */
+    void setSpanRecorder(SpanRecorder *recorder);
 
     /** The configuration in force. */
     const SystemConfig &config() const { return cfg; }
@@ -480,6 +501,7 @@ class System
     std::vector<Thread> threads;
     ServiceProfile profile; ///< filled continuously; used for SI profiling
     TraceSink *trace = nullptr; ///< optional; null = tracing off
+    SpanRecorder *spans = nullptr; ///< optional; null = spans off
 
     // Metrics (optional; null = metrics off).
     MetricRegistry *metrics = nullptr;

@@ -581,6 +581,87 @@ TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
     EXPECT_DOUBLE_EQ(empty.mean(), 150.0);
 }
 
+TEST(LatencyHistogram, MergeEmptyWithEmpty)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.sum(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(a.quantile(q), 0u) << "q=" << q;
+}
+
+TEST(LatencyHistogram, SingleSampleQuantiles)
+{
+    LatencyHistogram h;
+    h.add(123'457);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 123'457u);
+    EXPECT_EQ(h.max(), 123'457u);
+    EXPECT_EQ(h.sum(), 123'457u);
+    EXPECT_DOUBLE_EQ(h.mean(), 123'457.0);
+    // Every quantile of a one-sample distribution is that sample:
+    // q=1.0 is clamped to the observed max, and every lower quantile
+    // resolves to the only occupied bucket.
+    for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+        const std::uint64_t v = h.quantile(q);
+        EXPECT_GE(v, 123'457u) << "q=" << q;
+        EXPECT_LE(v, h.max()) << "q=" << q;
+    }
+    EXPECT_EQ(h.quantile(1.0), 123'457u);
+}
+
+TEST(LatencyHistogram, SumIsExactModulo64)
+{
+    // valueSum accumulates mod 2^64 with an explicit wrap counter, so
+    // two histograms over the same samples compare exactly.
+    LatencyHistogram h;
+    h.add(UINT64_MAX);
+    h.add(3);
+    EXPECT_EQ(h.sum(), 2u); // UINT64_MAX + 3 wraps to 2
+    EXPECT_EQ(h.sumWrapCount(), 1u);
+    LatencyHistogram same;
+    same.add(3);
+    same.add(UINT64_MAX);
+    EXPECT_EQ(h.sum(), same.sum());
+    EXPECT_EQ(h.sumWrapCount(), same.sumWrapCount());
+}
+
+// The span-attribution invariant at the histogram level: decompose
+// each synthetic request's latency into per-phase parts, feed every
+// part to its phase histogram and the whole to a total histogram, and
+// the per-phase sums must reconstruct the end-to-end sum exactly —
+// the same cross-check the oscar.spans.v1 validator applies.
+TEST(LatencyHistogram, PhaseSumsReconstructEndToEnd)
+{
+    constexpr std::size_t kPhases = 10;
+    LatencyHistogram total;
+    LatencyHistogram phase[kPhases];
+    Rng rng(77);
+    for (int req = 0; req < 2000; ++req) {
+        std::uint64_t latency = 0;
+        for (std::size_t p = 0; p < kPhases; ++p) {
+            // Heavy-tailed parts, many of them zero — the shape real
+            // phase decompositions have.
+            const std::uint64_t part =
+                rng.nextBool(0.4) ? 0 : rng.next64() >> 40;
+            phase[p].add(part);
+            latency += part;
+        }
+        total.add(latency);
+    }
+    std::uint64_t reconstructed = 0;
+    for (std::size_t p = 0; p < kPhases; ++p) {
+        EXPECT_EQ(phase[p].count(), total.count()) << "p=" << p;
+        reconstructed += phase[p].sum();
+    }
+    EXPECT_EQ(reconstructed, total.sum());
+}
+
 TEST(LatencyHistogram, MergeRejectsMismatchedGeometry)
 {
     LatencyHistogram a(5);
